@@ -1,0 +1,37 @@
+"""Ablation — value of re-scoring devices after every calibration cycle.
+
+Section 2.2 of the paper motivates automated resource selection with the 2-3x
+cycle-to-cycle swings of real device calibrations.  This ablation drifts a
+small fleet over several calibration cycles and compares QRIO's behaviour
+(re-score against fresh calibration data every cycle) with a stale day-0
+device choice.  The fresh policy is never worse, and the reported switch
+fraction / fidelity gap quantify how much the calibration-awareness is worth.
+"""
+
+from __future__ import annotations
+
+from repro.cloud import CalibrationDriftModel
+from repro.experiments import render_calibration_drift, run_calibration_drift
+
+
+def test_ablation_calibration_drift(benchmark, bench_config):
+    """Fresh-vs-stale device choice across calibration cycles."""
+    result = benchmark.pedantic(
+        run_calibration_drift,
+        kwargs={
+            "config": bench_config,
+            "num_cycles": 8,
+            "drift_model": CalibrationDriftModel(two_qubit_spread=0.5),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_calibration_drift(result))
+
+    assert len(result.rows) == 8
+    # Re-scoring with fresh calibration data can only help.
+    for row in result.rows:
+        assert row.gap >= -1e-12
+    assert result.mean_gap() >= 0.0
+    assert 0.0 <= result.switch_fraction() <= 1.0

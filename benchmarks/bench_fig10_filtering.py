@@ -1,0 +1,30 @@
+"""Fig. 10 — number of filtered devices vs. the user's two-qubit error bound.
+
+Regenerates the paper's filtering sweep over the synthetic fleet: as the user
+relaxes the maximum tolerable average two-qubit error from 0.07 to 0.68, the
+number of devices surviving the scheduler's filtering stage grows
+monotonically from (almost) none to the whole cluster.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import PAPER_THRESHOLDS, render_fig10, run_fig10
+
+
+def test_fig10_filtering_sweep(benchmark, bench_config, bench_fleet):
+    """Regenerate Fig. 10 and check its qualitative shape."""
+    result = benchmark.pedantic(
+        run_fig10,
+        kwargs={"config": bench_config, "fleet": bench_fleet, "thresholds": PAPER_THRESHOLDS},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig10(result))
+
+    counts = result.counts()
+    assert result.is_monotonic()
+    # The loosest bound admits the entire cluster (every device's error <= 0.7).
+    assert counts[0.68] == len(bench_fleet)
+    # The tightest bound admits at most a sliver of the cluster.
+    assert counts[0.07] <= max(1, len(bench_fleet) // 10)

@@ -1,0 +1,38 @@
+"""Fig. 6 — device selection from default topologies (QRIO vs random scheduler).
+
+Regenerates the paper's bar chart: for each of the five default topology
+requests, the average decrease in (Mapomatic-style) score achieved by QRIO's
+topology-ranking scheduler relative to a random scheduler over repeated
+random draws.
+
+Expected shape (Section 4.2): QRIO always wins; the gap is by far the largest
+for the fully connected request, because only the handful of highly connected
+devices can host it, while the random scheduler usually lands on a poorly
+suited device.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import render_fig6, run_fig6
+from repro.experiments.report import PAPER_FIG6_DECREASES
+
+
+def test_fig6_default_topology_selection(benchmark, bench_config, bench_fleet):
+    """Regenerate Fig. 6 and check its qualitative shape."""
+    result = benchmark.pedantic(
+        run_fig6,
+        kwargs={"config": bench_config, "fleet": bench_fleet},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig6(result))
+    print(f"Paper-reported decreases: {PAPER_FIG6_DECREASES}")
+
+    decreases = result.decreases()
+    # QRIO's pick is never worse than the random pick, for every topology.
+    for row in result.rows:
+        assert row.average_decrease >= 0.0
+        assert row.qrio_score <= row.average_random_score
+    # The fully connected request shows the largest benefit, as in the paper.
+    assert decreases["Fully Connected"] == max(decreases.values())

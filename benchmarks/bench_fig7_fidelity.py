@@ -1,0 +1,56 @@
+"""Fig. 7 — achieved fidelity for user circuits under five selection policies.
+
+Regenerates the paper's grouped bar chart: for each evaluation workload
+(Bernstein-Vazirani, HSP, repetition code, Grover, Circ, Circ_2), the fidelity
+actually achieved on the device chosen by the Oracle, by QRIO's Clifford-canary
+ranking and by a random scheduler, alongside the average and median fidelity
+over all devices in the cluster.
+
+Expected shape (Section 4.3): the oracle is an upper bound; the Clifford pick
+tracks it closely (identically for already-Clifford circuits, slightly below
+for the non-Clifford ``Circ``); both are far above the random / average /
+median baselines.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments import render_fig7, run_fig7
+from repro.workloads import evaluation_workloads
+
+
+def _selected_workloads():
+    """Workload subset selection via QRIO_BENCH_WORKLOADS (comma-separated keys)."""
+    requested = os.environ.get("QRIO_BENCH_WORKLOADS")
+    workloads = evaluation_workloads()
+    if not requested:
+        return workloads
+    keys = {key.strip() for key in requested.split(",") if key.strip()}
+    return [workload for workload in workloads if workload.key in keys]
+
+
+def test_fig7_achieved_fidelity(benchmark, bench_config, bench_fleet):
+    """Regenerate Fig. 7 and check its qualitative shape."""
+    workloads = _selected_workloads()
+    result = benchmark.pedantic(
+        run_fig7,
+        kwargs={"config": bench_config, "fleet": bench_fleet, "workloads": workloads},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig7(result))
+
+    for row in result.rows:
+        # The oracle is by construction the best achievable fidelity in the fleet.
+        assert row.oracle >= row.clifford - 1e-9
+        assert row.oracle >= row.random - 1e-9
+        assert row.oracle >= row.median - 1e-9
+        # Everything is a fidelity.
+        for value in (row.oracle, row.clifford, row.random, row.average, row.median):
+            assert 0.0 <= value <= 1.0
+    # Aggregate claim of the paper: the Clifford-canary pick beats the average
+    # and median device on the clear majority of workloads.
+    wins_vs_average = sum(1 for row in result.rows if row.clifford >= row.average - 1e-9)
+    assert wins_vs_average >= len(result.rows) / 2

@@ -1,0 +1,31 @@
+"""Figs. 8 & 9 — device choice for a user-drawn topology.
+
+Regenerates the qualitative experiment of Section 4.4: three 10-qubit devices
+with identical error characteristics but different topologies (tree-like,
+ring, line); the user draws the tree-like topology of Fig. 8; the scheduler
+must select the tree device in every one of the repeated runs (the paper
+repeats it 50 times and observes the same result each time).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import render_fig8_9, run_fig8_9
+
+
+def test_fig8_9_user_topology_choice(benchmark, bench_config):
+    """Regenerate the Figs. 8/9 selection experiment."""
+    result = benchmark.pedantic(
+        run_fig8_9,
+        kwargs={"config": bench_config},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig8_9(result))
+
+    assert result.chosen_device == "device_tree"
+    assert result.always_same_choice
+    assert result.selections["device_tree"] == bench_config.fig8_repetitions
+    # The tree device's score is strictly the best of the three.
+    assert result.scores["device_tree"] < result.scores["device_ring"]
+    assert result.scores["device_tree"] < result.scores["device_line"]

@@ -1,0 +1,27 @@
+"""Table 1 — the visualizer-to-meta-server payload split.
+
+Runs both submission workflows (fidelity and topology) end-to-end through the
+form API and reports which fields reach the meta server in each case, which
+is exactly what Table 1 of the paper records.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import render_rows, table1_rows
+
+
+def test_table1_metadata_split(benchmark):
+    """Regenerate Table 1 by executing both submission workflows."""
+    rows = benchmark(table1_rows)
+    print()
+    print(render_rows(
+        "Table 1 — Details sent to QRIO Meta Server",
+        rows,
+        key_header="User Chosen Option",
+        value_header="Details sent",
+    ))
+    by_key = {row.key: row.value for row in rows}
+    assert "fidelity_threshold" in by_key["Fidelity"]
+    assert "circuit_qasm" in by_key["Fidelity"]
+    assert "topology_qasm" in by_key["Topology"]
+    assert "fidelity_threshold" not in by_key["Topology"]

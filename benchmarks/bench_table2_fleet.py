@@ -1,0 +1,33 @@
+"""Table 2 — regenerate the controllable-parameter table and the device fleet.
+
+Prints the parameter/value rows of Table 2 and times fleet generation (the
+"random coupling map and error rate generation algorithm" of Section 4.1).
+"""
+
+from __future__ import annotations
+
+from repro.backends import FleetSpec, generate_fleet
+from repro.experiments import render_rows, table2_rows
+
+
+def test_table2_parameter_rows(benchmark):
+    """Regenerate Table 2's parameter rows."""
+    rows = benchmark(table2_rows)
+    print()
+    print(render_rows("Table 2 — Controllable Backend Parameters", table2_rows()))
+    keys = {row.key for row in rows}
+    assert "Number of qubits" in keys
+    assert "Basis gates" in keys
+
+
+def test_table2_fleet_generation(benchmark, bench_config):
+    """Generate the full cross-product fleet the evaluation runs against."""
+    fleet = benchmark(generate_fleet, seed=bench_config.seed, limit=bench_config.fleet_limit)
+    spec = FleetSpec()
+    expected = spec.fleet_size() if bench_config.fleet_limit is None else bench_config.fleet_limit
+    assert len(fleet) == expected
+    qubit_counts = sorted({backend.num_qubits for backend in fleet})
+    print(f"\nGenerated {len(fleet)} devices spanning qubit counts {qubit_counts}")
+    averages = sorted(backend.properties.average_two_qubit_error() for backend in fleet)
+    print(f"Average two-qubit error range: {averages[0]:.3f} .. {averages[-1]:.3f}")
+    assert all(backend.properties.is_connected() for backend in fleet)

@@ -1,0 +1,44 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures through the
+``repro.experiments`` drivers and reports the same rows/series the paper
+plots, alongside pytest-benchmark timing of the regeneration itself.
+
+Scale control
+-------------
+The paper's evaluation uses a 100-device fleet; a full-scale regeneration of
+the fidelity experiment (Fig. 7) takes tens of minutes in pure Python, so the
+benchmarks default to a reduced but representative configuration (24 devices
+spanning all qubit counts and connectivities, 256 shots).  Set the
+environment variable ``QRIO_BENCH_SCALE=paper`` to run at the published scale
+or ``QRIO_BENCH_SCALE=quick`` for a smoke-test run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig, default_config, paper_scale_config, quick_config
+
+
+def _select_config() -> ExperimentConfig:
+    scale = os.environ.get("QRIO_BENCH_SCALE", "default").lower()
+    if scale == "paper":
+        return paper_scale_config()
+    if scale == "quick":
+        return quick_config()
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration used by every benchmark."""
+    return _select_config()
+
+
+@pytest.fixture(scope="session")
+def bench_fleet(bench_config):
+    """The (possibly truncated) Table 2 device fleet, generated once."""
+    return bench_config.build_fleet()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Filtering quantum resources by user-specified requirements (use-case 1).
+
+The user bounds the average two-qubit error rate they can tolerate; QRIO's
+filtering stage removes every device whose calibration exceeds the bound
+before any (expensive) ranking work happens.  This reproduces the Fig. 10
+sweep and also shows what happens when the bound is so tight that the job
+becomes unschedulable.
+
+Run with:  python examples/device_filtering.py
+"""
+
+from repro import QRIO, generate_fleet
+from repro.circuits import ghz
+from repro.experiments import PAPER_THRESHOLDS, count_filtered_devices
+
+
+def main() -> None:
+    fleet = generate_fleet(limit=40, seed=9)
+
+    print("Fig. 10 style sweep: surviving devices per two-qubit error bound")
+    print(f"{'max 2q error':>13s} {'devices':>8s}")
+    for threshold in PAPER_THRESHOLDS:
+        survivors = count_filtered_devices(fleet, threshold)
+        bar = "#" * survivors
+        print(f"{threshold:>13.3f} {survivors:>8d}  {bar}")
+    print()
+
+    # End-to-end: a tight bound leaves nothing to schedule on.
+    qrio = QRIO(cluster_name="filtering-demo", canary_shots=128, seed=23)
+    qrio.register_devices(fleet)
+    submitted = qrio.submit_fidelity_job(
+        ghz(3),
+        fidelity_threshold=1.0,
+        job_name="too-strict-job",
+        max_avg_two_qubit_error=0.02,
+    )
+    outcome = qrio.run_job(submitted.job.name)
+    print(f"Job with a 0.02 error bound: phase={outcome.job.phase.value}, "
+          f"feasible devices={outcome.num_filtered}")
+
+    # A looser bound schedules fine and only ranks the surviving devices.
+    submitted = qrio.submit_fidelity_job(
+        ghz(3),
+        fidelity_threshold=1.0,
+        job_name="relaxed-job",
+        max_avg_two_qubit_error=0.3,
+    )
+    outcome = qrio.run_job(submitted.job.name)
+    print(f"Job with a 0.30 error bound: phase={outcome.job.phase.value}, "
+          f"feasible devices={outcome.num_filtered}, chosen={outcome.device}")
+    print()
+    print("Scheduler event log (last 10 events):")
+    print(qrio.cluster.events.render(limit=10))
+
+
+if __name__ == "__main__":
+    main()

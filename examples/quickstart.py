@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up a QRIO cluster and run one quantum job end-to-end.
+
+This walks the full cycle of Fig. 2 of the paper:
+
+1. a vendor registers a fleet of simulated quantum devices as cluster nodes;
+2. a user fills in the three-step submission form (circuit, resources,
+   fidelity requirement);
+3. QRIO containerizes the job, filters and ranks the devices with the
+   Clifford-canary strategy, binds the job to the best device, transpiles the
+   circuit to that device and executes it under its noise model;
+4. the user reads the logs and measurement outcomes from the dashboard.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import QRIO, generate_fleet
+from repro.circuits import ghz
+
+
+def main() -> None:
+    # --- vendor side: build the cluster ------------------------------------
+    qrio = QRIO(cluster_name="quickstart-cluster", canary_shots=256, seed=2024)
+    fleet = generate_fleet(limit=16, seed=7)
+    qrio.register_devices(fleet)
+    print(qrio.render_dashboard())
+    print()
+
+    # --- user side: submit a job through the 3-step form -------------------
+    circuit = ghz(4)
+    form = (
+        qrio.new_submission_form()
+        .choose_circuit(circuit)
+        .set_job_details(
+            job_name="quickstart-ghz",
+            image_name="qrio/quickstart-ghz",
+            num_qubits=circuit.num_qubits,
+            cpu_millicores=500,
+            memory_mb=512,
+            shots=1024,
+        )
+        .set_device_characteristics(max_avg_two_qubit_error=0.5)
+        .request_fidelity(0.9)
+    )
+    outcome = qrio.submit_and_run(form)
+
+    # --- inspect the result --------------------------------------------------
+    print(qrio.render_job("quickstart-ghz"))
+    print()
+    print(f"Chosen device:        {outcome.device}")
+    print(f"Devices after filter: {outcome.num_filtered}")
+    print(f"Meta-server score:    {outcome.score:.4f}")
+    top = sorted(outcome.result.counts.items(), key=lambda kv: -kv[1])[:4]
+    print(f"Top outcomes:         {top}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Vendor operations: onboarding, calibration updates, drains and the fleet report.
+
+The paper's discussion section points out that the published prototype gives
+vendors little tooling (future-work items 1 and 2).  This example walks the
+vendor-side workflow this reproduction adds:
+
+1. onboard devices three ways — a full backend object, a vendor-neutral
+   ``DeviceSpec`` dictionary, and a ``backend.py`` file;
+2. push a calibration update after a (simulated) calibration cycle and watch
+   the scheduler's device choice react;
+3. cordon and decommission a device;
+4. render the vendor fleet report.
+
+Run with:  python examples/vendor_operations.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import QRIO
+from repro.backends import named_topology_device
+from repro.circuits import ghz
+from repro.cloud import CalibrationDriftModel
+from repro.core import DeviceSpec
+
+
+def main() -> None:
+    qrio = QRIO(cluster_name="vendor-demo", canary_shots=256, seed=7)
+    console = qrio.vendor_console()
+
+    # --- onboarding route 1: a fully described backend ----------------------
+    premium = named_topology_device(
+        "grid", 9, two_qubit_error=0.02, one_qubit_error=0.003, readout_error=0.01, name="premium_grid9"
+    )
+    console.register_backend(premium)
+
+    # --- onboarding route 2: a vendor-neutral spec (no Qiskit-style backend) -
+    spec_payload = {
+        "name": "acme_ring8",
+        "num_qubits": 8,
+        "coupling_map": [[i, (i + 1) % 8] for i in range(8)],
+        "two_qubit_error": 0.08,
+        "one_qubit_error": 0.008,
+        "readout_error": 0.04,
+        "t1": 80e3,
+        "t2": 60e3,
+        "extras": {"modality": "trapped-ion"},
+    }
+    console.register_payload(spec_payload)
+
+    # --- onboarding route 3: a backend.py file (Section 3.1 contract) -------
+    budget_device = named_topology_device(
+        "line", 10, two_qubit_error=0.2, one_qubit_error=0.02, readout_error=0.08, name="budget_line10"
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = budget_device.write_backend_py(Path(tmp))
+        console.register_backend_file(path)
+
+    print(console.fleet_report())
+    print()
+
+    # --- a user job lands on the best device --------------------------------
+    first = qrio.submit_and_run(
+        _fidelity_form(qrio, ghz(4), "before-recalibration")
+    )
+    print(f"Before recalibration the job ran on: {first.device}")
+
+    # --- a bad calibration cycle severely degrades the premium device -------
+    drift = CalibrationDriftModel(two_qubit_spread=1.2)
+    drifted = drift.drift_properties(premium.properties, seed=99)
+    payload = drifted.to_dict()
+    payload["two_qubit_error"] = {key: min(0.9, rate * 30.0) for key, rate in payload["two_qubit_error"].items()}
+    payload["readout_error"] = {key: min(0.4, rate * 15.0) for key, rate in payload["readout_error"].items()}
+    degraded = type(drifted).from_dict(payload)
+    console.update_calibration("premium_grid9", degraded)
+    print(
+        f"premium_grid9 average 2q error is now {degraded.average_two_qubit_error():.3f} "
+        f"(readout {degraded.average_readout_error():.3f})"
+    )
+
+    second = qrio.submit_and_run(_fidelity_form(qrio, ghz(4), "after-recalibration"))
+    print(f"After recalibration the job ran on:  {second.device}")
+    print()
+
+    # --- lifecycle: cordon, drain, decommission ------------------------------
+    console.cordon("budget_line10")
+    still_bound = console.drain("budget_line10")
+    if not still_bound:
+        console.decommission("budget_line10")
+    print("After decommissioning budget_line10:")
+    print(console.fleet_report())
+
+
+def _fidelity_form(qrio: QRIO, circuit, job_name: str):
+    return (
+        qrio.new_submission_form()
+        .choose_circuit(circuit)
+        .set_job_details(job_name=job_name, image_name=f"qrio/{job_name}", num_qubits=circuit.num_qubits, shots=512)
+        .request_fidelity(0.9)
+    )
+
+
+if __name__ == "__main__":
+    main()

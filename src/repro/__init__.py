@@ -1,0 +1,46 @@
+"""repro — a reproduction of "Empowering the Quantum Cloud User with QRIO".
+
+The package is organised in layers:
+
+* ``repro.circuits`` / ``repro.qasm`` / ``repro.simulators`` / ``repro.backends``
+  / ``repro.transpiler`` — a self-contained quantum software substrate
+  (circuit IR, OpenQASM 2 front end, statevector/stabilizer/noisy simulators,
+  simulated devices, transpiler);
+* ``repro.matching`` / ``repro.fidelity`` — the scoring engines QRIO relies
+  on (Mapomatic-style subgraph matching and Clifford-canary fidelity
+  estimation);
+* ``repro.cluster`` — a Kubernetes-like cluster substrate (nodes, labels,
+  jobs, scheduling framework, simulated containers);
+* ``repro.core`` — QRIO itself (visualizer, meta server, master server,
+  scheduler, baselines, the :class:`~repro.core.QRIO` facade);
+* ``repro.workloads`` / ``repro.experiments`` — the paper's evaluation
+  workloads and the drivers regenerating every table and figure.
+"""
+
+from repro.backends import Backend, BackendProperties, FleetSpec, generate_fleet, three_device_testbed
+from repro.circuits import QuantumCircuit
+from repro.core import QRIO, JobOutcome, UserRequirements
+from repro.qasm import dump_qasm, parse_qasm
+from repro.simulators import NoiseModel, SimulationResult, hellinger_fidelity
+from repro.transpiler import transpile
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "Backend",
+    "BackendProperties",
+    "FleetSpec",
+    "JobOutcome",
+    "NoiseModel",
+    "QRIO",
+    "QuantumCircuit",
+    "SimulationResult",
+    "UserRequirements",
+    "__version__",
+    "dump_qasm",
+    "generate_fleet",
+    "hellinger_fidelity",
+    "parse_qasm",
+    "three_device_testbed",
+    "transpile",
+]

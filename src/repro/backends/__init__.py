@@ -1,0 +1,59 @@
+"""Quantum device models: calibration properties, executable backends, fleets."""
+
+from repro.backends.backend import DEFAULT_SHOTS, Backend
+from repro.backends.fleet import (
+    FleetSpec,
+    generate_device,
+    generate_fleet,
+    named_topology_device,
+    three_device_testbed,
+    uniform_error_device,
+)
+from repro.backends.properties import DEFAULT_BASIS_GATES, BackendProperties
+from repro.backends.topologies import (
+    MAX_CONNECTIONS_PER_QUBIT,
+    NAMED_TOPOLOGIES,
+    average_degree,
+    coupling_density,
+    coupling_to_graph,
+    fully_connected_topology,
+    grid_topology,
+    heavy_hex_topology,
+    heavy_square_topology,
+    is_connected,
+    line_topology,
+    named_topology,
+    random_coupling_map,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+
+__all__ = [
+    "Backend",
+    "BackendProperties",
+    "DEFAULT_BASIS_GATES",
+    "DEFAULT_SHOTS",
+    "FleetSpec",
+    "MAX_CONNECTIONS_PER_QUBIT",
+    "NAMED_TOPOLOGIES",
+    "average_degree",
+    "coupling_density",
+    "coupling_to_graph",
+    "fully_connected_topology",
+    "generate_device",
+    "generate_fleet",
+    "grid_topology",
+    "heavy_hex_topology",
+    "heavy_square_topology",
+    "is_connected",
+    "line_topology",
+    "named_topology",
+    "named_topology_device",
+    "random_coupling_map",
+    "ring_topology",
+    "star_topology",
+    "three_device_testbed",
+    "tree_topology",
+    "uniform_error_device",
+]

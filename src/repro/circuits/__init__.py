@@ -1,0 +1,65 @@
+"""Quantum circuit intermediate representation and workload library."""
+
+from repro.circuits.algorithms import (
+    deutsch_jozsa,
+    hardware_efficient_ansatz,
+    phase_estimation,
+    qaoa_maxcut,
+    ripple_carry_adder,
+    simon,
+    w_state,
+)
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import (
+    CLIFFORD_GATE_NAMES,
+    GATE_SPECS,
+    GateSpec,
+    gate_matrix,
+    gate_spec,
+    is_directive,
+    is_known_gate,
+)
+from repro.circuits.instruction import Instruction
+from repro.circuits.library import (
+    bernstein_vazirani,
+    ghz,
+    grover_search,
+    hidden_subgroup,
+    qft,
+    repetition_code_encoder,
+)
+from repro.circuits.random_circuits import (
+    circ2_benchmark,
+    circ_benchmark,
+    random_circuit,
+    random_clifford_circuit,
+)
+
+__all__ = [
+    "QuantumCircuit",
+    "Instruction",
+    "GateSpec",
+    "GATE_SPECS",
+    "CLIFFORD_GATE_NAMES",
+    "gate_matrix",
+    "gate_spec",
+    "is_directive",
+    "is_known_gate",
+    "bernstein_vazirani",
+    "ghz",
+    "grover_search",
+    "hidden_subgroup",
+    "qft",
+    "repetition_code_encoder",
+    "circ_benchmark",
+    "circ2_benchmark",
+    "deutsch_jozsa",
+    "hardware_efficient_ansatz",
+    "phase_estimation",
+    "qaoa_maxcut",
+    "random_circuit",
+    "random_clifford_circuit",
+    "ripple_carry_adder",
+    "simon",
+    "w_state",
+]

@@ -1,0 +1,351 @@
+"""Additional algorithm circuits beyond the paper's six evaluation workloads.
+
+The QRIO paper motivates the orchestrator with "diverse, novel real-world
+quantum applications, each of which can have fairly unique requirements"
+(Section 1).  This module provides a representative set of such applications
+so that examples, the cloud-workload generator and the ablation benchmarks
+can exercise the scheduler with realistic circuit mixes: oracle algorithms
+(Deutsch-Jozsa, Simon), variational workloads (QAOA, hardware-efficient VQE
+ansatz), state preparation (W state), arithmetic (Cuccaro ripple-carry adder)
+and quantum phase estimation.
+
+All constructions use only gates known to :mod:`repro.circuits.gates`, so
+every circuit is simulable and transpilable to the paper's
+``{u1, u2, u3, cx}`` device basis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import qft
+from repro.utils.exceptions import CircuitError
+from repro.utils.validation import require_positive_int
+
+
+# --------------------------------------------------------------------------- #
+# Oracle algorithms
+# --------------------------------------------------------------------------- #
+def deutsch_jozsa(num_qubits: int = 4, oracle: str = "balanced", measure: bool = True) -> QuantumCircuit:
+    """Deutsch-Jozsa circuit over ``num_qubits`` data qubits plus one ancilla.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of data (input) qubits.
+    oracle:
+        ``"constant0"``, ``"constant1"`` or ``"balanced"``.  The balanced
+        oracle computes the parity of the input (a CX from every data qubit
+        into the ancilla), which is balanced for any ``num_qubits >= 1``.
+    measure:
+        Measure the data register at the end.
+
+    The ideal outcome is the all-zeros string exactly when the oracle is
+    constant; any other outcome certifies a balanced oracle.
+    """
+    require_positive_int(num_qubits, "num_qubits")
+    if oracle not in ("constant0", "constant1", "balanced"):
+        raise CircuitError("oracle must be 'constant0', 'constant1' or 'balanced'")
+    circuit = QuantumCircuit(num_qubits + 1, num_qubits, name=f"dj_{num_qubits}_{oracle}")
+    ancilla = num_qubits
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    circuit.barrier()
+    if oracle == "constant1":
+        circuit.x(ancilla)
+    elif oracle == "balanced":
+        for qubit in range(num_qubits):
+            circuit.cx(qubit, ancilla)
+    circuit.barrier()
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    if measure:
+        for qubit in range(num_qubits):
+            circuit.measure(qubit, qubit)
+    circuit.metadata["oracle"] = oracle
+    circuit.metadata["ideal_bitstring"] = "0" * num_qubits if oracle.startswith("constant") else None
+    return circuit
+
+
+def simon(secret: str = "110", measure: bool = True) -> QuantumCircuit:
+    """Simon's algorithm circuit for the hidden period ``secret``.
+
+    Uses ``n`` data qubits and ``n`` oracle output qubits, where
+    ``n = len(secret)``.  The oracle copies the input register and, when the
+    secret is non-zero, XORs ``secret`` into the output conditioned on the
+    first set bit of the input — the standard two-to-one construction.  Every
+    measured data-register outcome ``y`` satisfies ``y . secret = 0 (mod 2)``.
+    """
+    if not secret or any(bit not in "01" for bit in secret):
+        raise CircuitError("secret must be a non-empty string of 0s and 1s")
+    num_data = len(secret)
+    circuit = QuantumCircuit(2 * num_data, num_data, name=f"simon_{num_data}")
+    for qubit in range(num_data):
+        circuit.h(qubit)
+    circuit.barrier()
+    # Copy register: |x>|0> -> |x>|x>.
+    for qubit in range(num_data):
+        circuit.cx(qubit, num_data + qubit)
+    # Conditional XOR of the secret, controlled on the first set bit.
+    secret_bits = [index for index, bit in enumerate(reversed(secret)) if bit == "1"]
+    if secret_bits:
+        control = secret_bits[0]
+        for index in secret_bits:
+            circuit.cx(control, num_data + index)
+    circuit.barrier()
+    for qubit in range(num_data):
+        circuit.h(qubit)
+    if measure:
+        for qubit in range(num_data):
+            circuit.measure(qubit, qubit)
+    circuit.metadata["secret"] = secret
+    return circuit
+
+
+# --------------------------------------------------------------------------- #
+# Variational workloads
+# --------------------------------------------------------------------------- #
+def qaoa_maxcut(
+    edges: Iterable[Tuple[int, int]],
+    num_qubits: Optional[int] = None,
+    layers: int = 1,
+    gammas: Optional[Sequence[float]] = None,
+    betas: Optional[Sequence[float]] = None,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """QAOA MaxCut ansatz for the graph given by ``edges``.
+
+    Each layer applies ``rzz(2 * gamma)`` along every edge (the cost
+    Hamiltonian) followed by ``rx(2 * beta)`` on every qubit (the mixer).
+    Default angles ``gamma = pi/4``, ``beta = -pi/8`` solve the single-edge
+    instance exactly under this library's ``rzz``/``rx`` sign conventions and
+    are a reasonable single-layer starting point for sparse graphs.
+    """
+    edge_list = [(int(a), int(b)) for a, b in edges]
+    if not edge_list:
+        raise CircuitError("qaoa_maxcut needs at least one edge")
+    for a, b in edge_list:
+        if a == b:
+            raise CircuitError("qaoa_maxcut edges must connect distinct qubits")
+    require_positive_int(layers, "layers")
+    inferred = max(max(a, b) for a, b in edge_list) + 1
+    num_qubits = num_qubits if num_qubits is not None else inferred
+    require_positive_int(num_qubits, "num_qubits")
+    if num_qubits < inferred:
+        raise CircuitError(f"edges reference qubit {inferred - 1} but num_qubits={num_qubits}")
+    gammas = list(gammas) if gammas is not None else [math.pi / 4.0] * layers
+    betas = list(betas) if betas is not None else [-math.pi / 8.0] * layers
+    if len(gammas) != layers or len(betas) != layers:
+        raise CircuitError("gammas and betas must each have one entry per layer")
+
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"qaoa_{num_qubits}_p{layers}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for layer in range(layers):
+        circuit.barrier()
+        for a, b in edge_list:
+            circuit.rzz(2.0 * gammas[layer], a, b)
+        for qubit in range(num_qubits):
+            circuit.rx(2.0 * betas[layer], qubit)
+    if measure:
+        circuit.measure_all()
+    circuit.metadata["edges"] = tuple(edge_list)
+    circuit.metadata["layers"] = layers
+    return circuit
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int,
+    layers: int = 2,
+    parameters: Optional[Sequence[float]] = None,
+    entangler: str = "linear",
+    measure: bool = False,
+) -> QuantumCircuit:
+    """Hardware-efficient VQE ansatz: RY rotation layers + CX entanglers.
+
+    Parameters
+    ----------
+    num_qubits:
+        Width of the ansatz.
+    layers:
+        Number of (rotation, entangler) repetitions; a final rotation layer
+        is always appended, so the circuit has ``(layers + 1) * num_qubits``
+        parameters.
+    parameters:
+        Flat list of RY angles; defaults to a deterministic spread so the
+        circuit is reproducible without an optimiser in the loop.
+    entangler:
+        ``"linear"`` (CX chain) or ``"ring"`` (CX chain plus a closing CX).
+    """
+    require_positive_int(num_qubits, "num_qubits")
+    require_positive_int(layers, "layers")
+    if entangler not in ("linear", "ring"):
+        raise CircuitError("entangler must be 'linear' or 'ring'")
+    num_parameters = (layers + 1) * num_qubits
+    if parameters is None:
+        parameters = [0.1 * (index + 1) for index in range(num_parameters)]
+    parameters = [float(value) for value in parameters]
+    if len(parameters) != num_parameters:
+        raise CircuitError(
+            f"hardware_efficient_ansatz with {num_qubits} qubits and {layers} layers "
+            f"needs {num_parameters} parameters, got {len(parameters)}"
+        )
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"vqe_{num_qubits}_l{layers}")
+    cursor = 0
+    for layer in range(layers):
+        for qubit in range(num_qubits):
+            circuit.ry(parameters[cursor], qubit)
+            cursor += 1
+        for qubit in range(num_qubits - 1):
+            circuit.cx(qubit, qubit + 1)
+        if entangler == "ring" and num_qubits > 2:
+            circuit.cx(num_qubits - 1, 0)
+        circuit.barrier()
+    for qubit in range(num_qubits):
+        circuit.ry(parameters[cursor], qubit)
+        cursor += 1
+    if measure:
+        circuit.measure_all()
+    circuit.metadata["num_parameters"] = num_parameters
+    circuit.metadata["entangler"] = entangler
+    return circuit
+
+
+# --------------------------------------------------------------------------- #
+# State preparation
+# --------------------------------------------------------------------------- #
+def w_state(num_qubits: int, measure: bool = False) -> QuantumCircuit:
+    """Prepare the ``num_qubits``-qubit W state.
+
+    Uses the standard cascade of controlled rotations (expressed with RY and
+    CZ, no controlled-RY gate needed); the resulting state is the equal
+    superposition of all one-hot basis states with probability
+    ``1 / num_qubits`` each.
+    """
+    require_positive_int(num_qubits, "num_qubits")
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"w_{num_qubits}")
+    if num_qubits == 1:
+        circuit.x(0)
+        if measure:
+            circuit.measure_all()
+        return circuit
+
+    def f_gate(control: int, target: int, k: int) -> None:
+        theta = math.acos(math.sqrt(1.0 / (num_qubits - k + 1)))
+        circuit.ry(-theta, target)
+        circuit.cz(control, target)
+        circuit.ry(theta, target)
+
+    circuit.x(num_qubits - 1)
+    for index in range(num_qubits - 1):
+        f_gate(num_qubits - 1 - index, num_qubits - 2 - index, index + 1)
+    for index in range(num_qubits - 1):
+        circuit.cx(num_qubits - 2 - index, num_qubits - 1 - index)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+# --------------------------------------------------------------------------- #
+# Arithmetic
+# --------------------------------------------------------------------------- #
+def ripple_carry_adder(num_bits: int, a_value: int = 0, b_value: int = 0, measure: bool = True) -> QuantumCircuit:
+    """Cuccaro ripple-carry adder computing ``b := a + b`` on basis inputs.
+
+    Register layout (``2 * num_bits + 2`` qubits):
+
+    * qubit 0 — carry-in (always ``|0>``),
+    * qubits ``1 .. num_bits`` — the ``a`` register (little-endian),
+    * qubits ``num_bits + 1 .. 2 * num_bits`` — the ``b`` register,
+    * the last qubit — carry-out.
+
+    When ``measure`` is set, the ``b`` register and the carry-out are
+    measured, so the ideal outcome encodes ``a_value + b_value``.
+    """
+    require_positive_int(num_bits, "num_bits")
+    if not (0 <= a_value < 2**num_bits) or not (0 <= b_value < 2**num_bits):
+        raise CircuitError("a_value and b_value must fit in num_bits bits")
+    num_qubits = 2 * num_bits + 2
+    circuit = QuantumCircuit(num_qubits, num_bits + 1, name=f"adder_{num_bits}")
+    a_register = [1 + index for index in range(num_bits)]
+    b_register = [1 + num_bits + index for index in range(num_bits)]
+    carry_in = 0
+    carry_out = num_qubits - 1
+
+    for index in range(num_bits):
+        if (a_value >> index) & 1:
+            circuit.x(a_register[index])
+        if (b_value >> index) & 1:
+            circuit.x(b_register[index])
+    circuit.barrier()
+
+    def majority(c: int, b: int, a: int) -> None:
+        circuit.cx(a, b)
+        circuit.cx(a, c)
+        circuit.ccx(c, b, a)
+
+    def unmajority(c: int, b: int, a: int) -> None:
+        circuit.ccx(c, b, a)
+        circuit.cx(a, c)
+        circuit.cx(c, b)
+
+    chain: List[Tuple[int, int, int]] = []
+    previous = carry_in
+    for index in range(num_bits):
+        chain.append((previous, b_register[index], a_register[index]))
+        previous = a_register[index]
+    for c, b, a in chain:
+        majority(c, b, a)
+    circuit.cx(a_register[-1], carry_out)
+    for c, b, a in reversed(chain):
+        unmajority(c, b, a)
+
+    if measure:
+        for index in range(num_bits):
+            circuit.measure(b_register[index], index)
+        circuit.measure(carry_out, num_bits)
+    total = a_value + b_value
+    circuit.metadata["ideal_sum"] = total
+    circuit.metadata["ideal_bitstring"] = format(total, f"0{num_bits + 1}b")
+    return circuit
+
+
+# --------------------------------------------------------------------------- #
+# Phase estimation
+# --------------------------------------------------------------------------- #
+def phase_estimation(num_counting_qubits: int = 3, phase: float = 0.25, measure: bool = True) -> QuantumCircuit:
+    """Quantum phase estimation of a ``u1(2 * pi * phase)`` eigenvalue.
+
+    The eigenstate qubit (the last qubit) is prepared in ``|1>``; the
+    counting register of ``num_counting_qubits`` qubits ideally measures the
+    integer ``round(phase * 2 ** num_counting_qubits)`` (exact when the phase
+    is an exact binary fraction of that precision).
+    """
+    require_positive_int(num_counting_qubits, "num_counting_qubits")
+    if not 0.0 <= phase < 1.0:
+        raise CircuitError("phase must lie in [0, 1)")
+    num_qubits = num_counting_qubits + 1
+    target = num_counting_qubits
+    circuit = QuantumCircuit(num_qubits, num_counting_qubits, name=f"qpe_{num_counting_qubits}")
+    circuit.x(target)
+    for qubit in range(num_counting_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_counting_qubits):
+        angle = 2.0 * math.pi * phase * (2**qubit)
+        circuit.cu1(angle, qubit, target)
+    circuit.barrier()
+    # Inverse QFT on the counting register.
+    inverse_qft = qft(num_counting_qubits, measure=False, do_swaps=True).inverse()
+    for instruction in inverse_qft:
+        circuit.append(instruction)
+    if measure:
+        for qubit in range(num_counting_qubits):
+            circuit.measure(qubit, qubit)
+    circuit.metadata["phase"] = phase
+    circuit.metadata["ideal_value"] = int(round(phase * (2**num_counting_qubits))) % (2**num_counting_qubits)
+    circuit.metadata["ideal_bitstring"] = format(circuit.metadata["ideal_value"], f"0{num_counting_qubits}b")
+    return circuit

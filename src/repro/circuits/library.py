@@ -1,0 +1,191 @@
+"""The evaluation workloads used by the QRIO paper plus common standards.
+
+Fig. 7 of the paper evaluates the fidelity-ranking scheduler on: a 10-qubit
+Bernstein-Vazirani circuit, a 4-qubit Hidden Subgroup Problem circuit, a
+3-qubit Grover search, a 5-qubit repetition-code encoder, and two random
+circuits ("Circ", 7 qubits and "Circ_2", 8 qubits with 12 CX gates).  The
+default-topology experiment of Fig. 6 and the user-topology experiment of
+Figs. 8/9 additionally need topology "pseudo circuits", which live in
+:mod:`repro.workloads.topologies`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.utils.exceptions import CircuitError
+from repro.utils.validation import require_positive_int
+
+
+def bernstein_vazirani(secret: str = "1" * 9, measure: bool = True) -> QuantumCircuit:
+    """Bernstein-Vazirani circuit for the hidden bit-string ``secret``.
+
+    The circuit uses ``len(secret)`` data qubits plus one ancilla, so the
+    paper's "10 qubit" instance corresponds to a 9-bit secret.  The whole
+    circuit is Clifford (H, X, Z, CX only), which is why the paper observes
+    identical oracle and Clifford-canary fidelities for it.
+    """
+    if not secret or any(bit not in "01" for bit in secret):
+        raise CircuitError("secret must be a non-empty string of 0s and 1s")
+    num_data = len(secret)
+    circuit = QuantumCircuit(num_data + 1, num_data, name=f"bv_{num_data + 1}")
+    ancilla = num_data
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for qubit in range(num_data):
+        circuit.h(qubit)
+    circuit.barrier()
+    for qubit, bit in enumerate(reversed(secret)):
+        if bit == "1":
+            circuit.cx(qubit, ancilla)
+    circuit.barrier()
+    for qubit in range(num_data):
+        circuit.h(qubit)
+    if measure:
+        for qubit in range(num_data):
+            circuit.measure(qubit, qubit)
+    circuit.metadata["ideal_bitstring"] = secret
+    return circuit
+
+
+def hidden_subgroup(num_qubits: int = 4, measure: bool = True) -> QuantumCircuit:
+    """A small hidden-subgroup-problem style circuit (Clifford).
+
+    The construction follows the QASMBench/SupermarQ ``hs4`` pattern: a layer
+    of Hadamards, an entangling oracle built from CX and CZ gates encoding the
+    hidden subgroup, and a final interference layer of Hadamards.
+    """
+    require_positive_int(num_qubits, "num_qubits")
+    if num_qubits < 2:
+        raise CircuitError("hidden_subgroup needs at least 2 qubits")
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"hsp_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    circuit.barrier()
+    for qubit in range(0, num_qubits - 1, 2):
+        circuit.cx(qubit, qubit + 1)
+    for qubit in range(1, num_qubits - 1, 2):
+        circuit.cz(qubit, qubit + 1)
+    circuit.x(0)
+    if num_qubits >= 3:
+        circuit.z(num_qubits - 1)
+    circuit.barrier()
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def grover_search(num_qubits: int = 3, marked: Optional[str] = None, measure: bool = True) -> QuantumCircuit:
+    """Single-iteration Grover search over ``num_qubits`` qubits.
+
+    The oracle marks the computational basis state ``marked`` (all-ones by
+    default) with a phase flip; the diffusion operator is the standard
+    H-X-multi-controlled-Z-X-H sandwich.  For two qubits the circuit is
+    Clifford; for three qubits the oracle/diffuser use a ``ccz``.
+    """
+    require_positive_int(num_qubits, "num_qubits")
+    if num_qubits not in (2, 3):
+        raise CircuitError("grover_search supports 2 or 3 qubits")
+    if marked is None:
+        marked = "1" * num_qubits
+    if len(marked) != num_qubits or any(bit not in "01" for bit in marked):
+        raise CircuitError("marked must be a bit-string over the circuit qubits")
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"grover_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+
+    def _phase_flip_on_all_ones() -> None:
+        if num_qubits == 2:
+            circuit.cz(0, 1)
+        else:
+            circuit.ccz(0, 1, 2)
+
+    # Oracle: flip the phase of |marked>.
+    circuit.barrier()
+    for qubit, bit in enumerate(reversed(marked)):
+        if bit == "0":
+            circuit.x(qubit)
+    _phase_flip_on_all_ones()
+    for qubit, bit in enumerate(reversed(marked)):
+        if bit == "0":
+            circuit.x(qubit)
+    # Diffusion operator.
+    circuit.barrier()
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+        circuit.x(qubit)
+    _phase_flip_on_all_ones()
+    for qubit in range(num_qubits):
+        circuit.x(qubit)
+        circuit.h(qubit)
+    if measure:
+        circuit.measure_all()
+    circuit.metadata["marked_state"] = marked
+    return circuit
+
+
+def repetition_code_encoder(num_qubits: int = 5, initial_one: bool = False, measure: bool = True) -> QuantumCircuit:
+    """Encoder for the ``num_qubits``-qubit bit-flip repetition code.
+
+    Qubit 0 carries the logical state; CX gates copy it into the remaining
+    physical qubits.  The circuit is Clifford.
+    """
+    require_positive_int(num_qubits, "num_qubits")
+    if num_qubits < 2:
+        raise CircuitError("A repetition code needs at least 2 qubits")
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"rep_{num_qubits}")
+    if initial_one:
+        circuit.x(0)
+    for qubit in range(1, num_qubits):
+        circuit.cx(0, qubit)
+    if measure:
+        circuit.measure_all()
+    circuit.metadata["ideal_bitstring"] = ("1" * num_qubits) if initial_one else ("0" * num_qubits)
+    return circuit
+
+
+def ghz(num_qubits: int, measure: bool = True) -> QuantumCircuit:
+    """GHZ state preparation (H on qubit 0 followed by a CX chain)."""
+    require_positive_int(num_qubits, "num_qubits")
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def qft(num_qubits: int, measure: bool = False, do_swaps: bool = True) -> QuantumCircuit:
+    """Quantum Fourier transform over ``num_qubits`` qubits."""
+    require_positive_int(num_qubits, "num_qubits")
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"qft_{num_qubits}")
+    for target in reversed(range(num_qubits)):
+        circuit.h(target)
+        for control in reversed(range(target)):
+            angle = math.pi / (2 ** (target - control))
+            circuit.cu1(angle, control, target)
+    if do_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def quantum_volume_layer(num_qubits: int, permutation: Sequence[int]) -> QuantumCircuit:
+    """One layer of nearest-pairing CX gates under a qubit ``permutation``.
+
+    Used by the random workload generator to mimic the structure of quantum
+    volume circuits without needing Haar-random SU(4) synthesis.
+    """
+    if sorted(permutation) != list(range(num_qubits)):
+        raise CircuitError("permutation must be a permutation of the circuit qubits")
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"qv_layer_{num_qubits}")
+    for index in range(0, num_qubits - 1, 2):
+        circuit.cx(permutation[index], permutation[index + 1])
+    return circuit

@@ -1,0 +1,225 @@
+"""Command-line interface for the QRIO reproduction.
+
+The CLI exposes the pieces a new user typically wants without writing Python:
+
+* ``repro-qrio demo`` — run the end-to-end quickstart (register a fleet,
+  submit a GHZ job with a fidelity requirement, print the dashboard views);
+* ``repro-qrio fleet`` — generate the Table 2 fleet and print its summary;
+* ``repro-qrio experiment fig6|fig7|fig8_9|fig10|tables`` — regenerate one of
+  the paper's tables/figures and print the same rows the paper reports;
+* ``repro-qrio extension cloud-policies|calibration-drift|scalable-matching``
+  — run one of the future-work extension experiments;
+* ``repro-qrio submit <circuit.qasm>`` — schedule a QASM file against a
+  generated fleet with either a fidelity or a topology requirement.
+
+Every command accepts ``--seed`` and the experiment commands accept
+``--scale quick|default|paper`` mirroring the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.backends import generate_fleet
+from repro.circuits import ghz
+from repro.core import QRIO
+from repro.experiments import (
+    ExperimentConfig,
+    default_config,
+    paper_scale_config,
+    quick_config,
+    render_calibration_drift,
+    render_cloud_policy_comparison,
+    render_fig10,
+    render_fig6,
+    render_fig7,
+    render_fig8_9,
+    render_rows,
+    render_scalable_matching,
+    run_calibration_drift,
+    run_cloud_policy_comparison,
+    run_fig10,
+    run_fig6,
+    run_fig7,
+    run_fig8_9,
+    run_scalable_matching,
+    table1_rows,
+    table2_rows,
+)
+from repro.qasm import load_qasm_file
+from repro.utils.rng import DEFAULT_SEED
+
+
+def _config_for_scale(scale: str, seed: int) -> ExperimentConfig:
+    if scale == "quick":
+        base = quick_config()
+    elif scale == "paper":
+        base = paper_scale_config()
+    else:
+        base = default_config()
+    return ExperimentConfig(
+        fleet_limit=base.fleet_limit,
+        fig6_repetitions=base.fig6_repetitions,
+        fig8_repetitions=base.fig8_repetitions,
+        shots=base.shots,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Sub-commands
+# --------------------------------------------------------------------------- #
+def _cmd_demo(args: argparse.Namespace) -> int:
+    qrio = QRIO(cluster_name="cli-demo", canary_shots=256, seed=args.seed)
+    qrio.register_devices(generate_fleet(limit=args.devices, seed=args.seed))
+    print(qrio.render_dashboard())
+    print()
+    submitted = qrio.submit_fidelity_job(ghz(4), fidelity_threshold=0.9, job_name="cli-demo-job", shots=512)
+    outcome = qrio.run_job(submitted.job.name)
+    print(qrio.render_job("cli-demo-job"))
+    print()
+    print(f"Chosen device: {outcome.device} (score {outcome.score:.4f}, "
+          f"{outcome.num_filtered} devices passed filtering)")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    fleet = generate_fleet(limit=args.devices, seed=args.seed)
+    print(render_rows("Table 2 — Controllable Backend Parameters", table2_rows()))
+    print()
+    print(f"{'DEVICE':<18s} {'QUBITS':>6s} {'EDGES':>6s} {'AVG 2Q ERR':>11s} {'AVG RO ERR':>11s}")
+    for backend in fleet:
+        properties = backend.properties
+        print(
+            f"{backend.name:<18s} {properties.num_qubits:>6d} {len(properties.coupling_map):>6d} "
+            f"{properties.average_two_qubit_error():>11.4f} {properties.average_readout_error():>11.4f}"
+        )
+    print(f"\n{len(fleet)} devices generated (seed {args.seed}).")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    config = _config_for_scale(args.scale, args.seed)
+    name = args.figure
+    if name == "tables":
+        print(render_rows("Table 1 — Details sent to QRIO Meta Server", table1_rows(),
+                          key_header="User Chosen Option", value_header="Details sent"))
+        print()
+        print(render_rows("Table 2 — Controllable Backend Parameters", table2_rows()))
+        return 0
+    fleet = config.build_fleet()
+    if name == "fig6":
+        print(render_fig6(run_fig6(config, fleet=fleet)))
+    elif name == "fig7":
+        print(render_fig7(run_fig7(config, fleet=fleet)))
+    elif name == "fig8_9":
+        print(render_fig8_9(run_fig8_9(config)))
+    elif name == "fig10":
+        print(render_fig10(run_fig10(config, fleet=fleet)))
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"Unknown experiment '{name}'")
+    return 0
+
+
+def _cmd_extension(args: argparse.Namespace) -> int:
+    config = _config_for_scale(args.scale, args.seed)
+    name = args.experiment
+    if name == "cloud-policies":
+        result = run_cloud_policy_comparison(config, num_jobs=args.jobs, num_devices=args.devices)
+        print(render_cloud_policy_comparison(result))
+    elif name == "calibration-drift":
+        print(render_calibration_drift(run_calibration_drift(config, num_cycles=args.cycles)))
+    elif name == "scalable-matching":
+        print(render_scalable_matching(run_scalable_matching(config)))
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"Unknown extension experiment '{name}'")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    circuit = load_qasm_file(args.circuit)
+    qrio = QRIO(cluster_name="cli-submit", canary_shots=args.shots, seed=args.seed)
+    qrio.register_devices(generate_fleet(limit=args.devices, seed=args.seed))
+    if args.topology:
+        edges = []
+        for chunk in args.topology.split(","):
+            a, b = chunk.split("-")
+            edges.append((int(a), int(b)))
+        submitted = qrio.submit_topology_job(
+            circuit, topology_edges=edges, job_name="cli-submitted-job", shots=args.shots
+        )
+    else:
+        submitted = qrio.submit_fidelity_job(
+            circuit,
+            fidelity_threshold=args.fidelity,
+            job_name="cli-submitted-job",
+            shots=args.shots,
+            max_avg_two_qubit_error=args.max_two_qubit_error,
+        )
+    outcome = qrio.run_job(submitted.job.name)
+    print(qrio.render_job("cli-submitted-job"))
+    if not outcome.succeeded:
+        print("\nThe job could not be scheduled with the given requirements.")
+        return 1
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-qrio",
+        description="QRIO reproduction: quantum cloud resource orchestration on simulated devices.",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="base random seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run the end-to-end quickstart demo")
+    demo.add_argument("--devices", type=int, default=16, help="number of fleet devices to register")
+    demo.set_defaults(handler=_cmd_demo)
+
+    fleet = subparsers.add_parser("fleet", help="generate and summarise the Table 2 fleet")
+    fleet.add_argument("--devices", type=int, default=None, help="truncate the fleet to this many devices")
+    fleet.set_defaults(handler=_cmd_fleet)
+
+    experiment = subparsers.add_parser("experiment", help="regenerate one of the paper's tables/figures")
+    experiment.add_argument("figure", choices=["fig6", "fig7", "fig8_9", "fig10", "tables"])
+    experiment.add_argument("--scale", choices=["quick", "default", "paper"], default="default")
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    extension = subparsers.add_parser(
+        "extension", help="run one of the future-work extension experiments"
+    )
+    extension.add_argument(
+        "experiment", choices=["cloud-policies", "calibration-drift", "scalable-matching"]
+    )
+    extension.add_argument("--scale", choices=["quick", "default", "paper"], default="default")
+    extension.add_argument("--jobs", type=int, default=60, help="trace length for cloud-policies")
+    extension.add_argument("--devices", type=int, default=8, help="fleet size for cloud-policies")
+    extension.add_argument("--cycles", type=int, default=8, help="calibration cycles for calibration-drift")
+    extension.set_defaults(handler=_cmd_extension)
+
+    submit = subparsers.add_parser("submit", help="schedule a QASM circuit against a generated fleet")
+    submit.add_argument("circuit", help="path to an OpenQASM 2.0 file")
+    submit.add_argument("--fidelity", type=float, default=1.0, help="requested fidelity (default 1.0)")
+    submit.add_argument("--topology", default=None,
+                        help="topology request as edge list, e.g. '0-1,1-2,2-3' (overrides --fidelity)")
+    submit.add_argument("--max-two-qubit-error", type=float, default=None, dest="max_two_qubit_error",
+                        help="maximum tolerable average two-qubit error")
+    submit.add_argument("--shots", type=int, default=512)
+    submit.add_argument("--devices", type=int, default=20)
+    submit.set_defaults(handler=_cmd_submit)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

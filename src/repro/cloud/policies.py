@@ -1,0 +1,226 @@
+"""Device-allocation policies for the multi-job cloud simulation.
+
+Each policy answers one question per arriving job: *which device should run
+it?*  The roster spans the space the paper and its cited prior work discuss:
+
+* :class:`RandomPolicy` — the paper's own baseline scheduler;
+* :class:`RoundRobinPolicy` — naive load spreading;
+* :class:`LeastLoadedPolicy` — queue-aware but fidelity-blind;
+* :class:`FidelityPolicy` — fidelity-aware but queue-blind (QRIO's
+  single-job behaviour applied to every arrival);
+* :class:`QueueAwareFidelityPolicy` — the adaptive combination of fidelity
+  and queueing delay in the spirit of Ravi et al. (the QCE'21 scheduler the
+  related-work section contrasts QRIO against).
+
+Fidelity estimates are cached per (workload, device, calibration epoch), so
+policies remain cheap even for long traces that repeat circuit families.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backends.backend import Backend
+from repro.cloud.arrivals import JobRequest
+from repro.cloud.queueing import DeviceQueue, ExecutionTimeModel
+from repro.fidelity.canary import CliffordCanaryEstimator
+from repro.fidelity.estimator import ESPEstimator
+from repro.utils.exceptions import SchedulingError
+from repro.utils.rng import SeedLike, ensure_generator
+
+
+@dataclass
+class AllocationContext:
+    """Everything a policy may consult when routing one job."""
+
+    fleet: List[Backend]
+    queues: Dict[str, DeviceQueue]
+    time_model: ExecutionTimeModel
+    #: Monotonically increasing counter bumped whenever calibration changes;
+    #: part of the fidelity-estimate cache key.
+    calibration_epoch: int = 0
+    #: Shared cache of fidelity estimates keyed by (workload, device, epoch).
+    fidelity_cache: Dict[Tuple[str, str, int], float] = field(default_factory=dict)
+
+    def device(self, name: str) -> Backend:
+        """Look up a fleet device by name."""
+        for backend in self.fleet:
+            if backend.name == name:
+                return backend
+        raise SchedulingError(f"Unknown device '{name}'")
+
+    def feasible_devices(self, request: JobRequest) -> List[Backend]:
+        """Devices with enough qubits for the request, in stable name order."""
+        feasible = [
+            backend
+            for backend in self.fleet
+            if backend.num_qubits >= request.circuit.num_qubits
+        ]
+        return sorted(feasible, key=lambda backend: backend.name)
+
+    def invalidate_fidelity_cache(self) -> None:
+        """Advance the calibration epoch (used after calibration drift)."""
+        self.calibration_epoch += 1
+
+
+class AllocationPolicy(abc.ABC):
+    """Interface of a device-allocation policy."""
+
+    @property
+    def name(self) -> str:
+        """Short policy name used in reports."""
+        return type(self).__name__
+
+    @abc.abstractmethod
+    def select(self, request: JobRequest, context: AllocationContext) -> str:
+        """Return the name of the device ``request`` should run on."""
+
+    # ------------------------------------------------------------------ #
+    def _require_feasible(self, request: JobRequest, context: AllocationContext) -> List[Backend]:
+        feasible = context.feasible_devices(request)
+        if not feasible:
+            raise SchedulingError(
+                f"No device in the fleet can host job '{request.name}' "
+                f"({request.circuit.num_qubits} qubits)"
+            )
+        return feasible
+
+
+class RandomPolicy(AllocationPolicy):
+    """Uniformly random choice among feasible devices (the paper's baseline)."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = ensure_generator(seed)
+
+    def select(self, request: JobRequest, context: AllocationContext) -> str:
+        feasible = self._require_feasible(request, context)
+        return feasible[int(self._rng.integers(0, len(feasible)))].name
+
+
+class RoundRobinPolicy(AllocationPolicy):
+    """Cycle through feasible devices in name order."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(self, request: JobRequest, context: AllocationContext) -> str:
+        feasible = self._require_feasible(request, context)
+        choice = feasible[self._cursor % len(feasible)]
+        self._cursor += 1
+        return choice.name
+
+
+class LeastLoadedPolicy(AllocationPolicy):
+    """Route to the feasible device with the smallest predicted wait."""
+
+    def select(self, request: JobRequest, context: AllocationContext) -> str:
+        feasible = self._require_feasible(request, context)
+        return min(
+            feasible,
+            key=lambda backend: (
+                context.queues[backend.name].predicted_wait(request.arrival_time),
+                backend.name,
+            ),
+        ).name
+
+
+class FidelityPolicy(AllocationPolicy):
+    """Route every job to the device with the best estimated fidelity.
+
+    ``estimator`` selects how fidelity is estimated: ``"esp"`` uses the
+    analytic product formula (fast — the default for long traces) and
+    ``"canary"`` runs the Clifford-canary protocol QRIO's meta server uses,
+    which is slower but matches the paper's single-job behaviour exactly.
+    """
+
+    def __init__(self, estimator: str = "esp", canary_shots: int = 256, seed: SeedLike = None) -> None:
+        if estimator not in ("esp", "canary"):
+            raise SchedulingError("estimator must be 'esp' or 'canary'")
+        self._kind = estimator
+        self._seed = seed
+        self._esp = ESPEstimator(seed=seed)
+        self._canary = CliffordCanaryEstimator(shots=canary_shots, seed=seed)
+
+    @property
+    def name(self) -> str:
+        return f"{type(self).__name__}[{self._kind}]"
+
+    # ------------------------------------------------------------------ #
+    def estimated_fidelity(self, request: JobRequest, backend: Backend, context: AllocationContext) -> float:
+        """Cached fidelity estimate of the request's circuit on ``backend``."""
+        key = (request.workload_key, backend.name, context.calibration_epoch)
+        if key in context.fidelity_cache:
+            return context.fidelity_cache[key]
+        if self._kind == "esp":
+            value = self._esp.estimate(request.circuit, backend).esp
+        else:
+            value = self._canary.estimate(request.circuit, backend).canary_fidelity
+        context.fidelity_cache[key] = value
+        return value
+
+    def select(self, request: JobRequest, context: AllocationContext) -> str:
+        feasible = self._require_feasible(request, context)
+        return max(
+            feasible,
+            key=lambda backend: (self.estimated_fidelity(request, backend, context), backend.name),
+        ).name
+
+
+class QueueAwareFidelityPolicy(FidelityPolicy):
+    """Trade estimated fidelity against predicted queueing delay.
+
+    The utility of routing a job to device *d* is::
+
+        fidelity(d) - wait_weight * predicted_wait(d) / wait_scale_s
+
+    With ``wait_weight = 0`` the policy degenerates to :class:`FidelityPolicy`;
+    large weights approach :class:`LeastLoadedPolicy`.  This is the
+    fidelity/queue trade-off of the adaptive quantum-cloud scheduler in the
+    paper's related work.
+    """
+
+    def __init__(
+        self,
+        wait_weight: float = 0.3,
+        wait_scale_s: float = 600.0,
+        estimator: str = "esp",
+        canary_shots: int = 256,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(estimator=estimator, canary_shots=canary_shots, seed=seed)
+        if wait_weight < 0:
+            raise SchedulingError("wait_weight must be non-negative")
+        if wait_scale_s <= 0:
+            raise SchedulingError("wait_scale_s must be positive")
+        self._wait_weight = wait_weight
+        self._wait_scale = wait_scale_s
+
+    @property
+    def name(self) -> str:
+        return f"QueueAwareFidelityPolicy[{self._kind}, w={self._wait_weight}]"
+
+    def utility(self, request: JobRequest, backend: Backend, context: AllocationContext) -> float:
+        """The combined fidelity/wait utility of one device for one request."""
+        fidelity = self.estimated_fidelity(request, backend, context)
+        wait = context.queues[backend.name].predicted_wait(request.arrival_time)
+        return fidelity - self._wait_weight * wait / self._wait_scale
+
+    def select(self, request: JobRequest, context: AllocationContext) -> str:
+        feasible = self._require_feasible(request, context)
+        return max(
+            feasible,
+            key=lambda backend: (self.utility(request, backend, context), backend.name),
+        ).name
+
+
+def builtin_policies(seed: SeedLike = None) -> List[AllocationPolicy]:
+    """The standard policy roster used by the comparison experiment."""
+    return [
+        RandomPolicy(seed=seed),
+        RoundRobinPolicy(),
+        LeastLoadedPolicy(),
+        FidelityPolicy(estimator="esp", seed=seed),
+        QueueAwareFidelityPolicy(estimator="esp", seed=seed),
+    ]

@@ -1,0 +1,241 @@
+"""The discrete-event quantum-cloud simulator.
+
+Jobs arrive according to a trace, a policy routes each arrival to a device,
+and every device works through its own first-come-first-served queue with
+deterministic service times.  Because routing happens at arrival time and
+queues are single-server FCFS, processing arrivals in order is an exact
+discrete-event simulation — no future event can change a decision already
+made, which mirrors how today's quantum clouds commit jobs to a machine at
+submission time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.backends.backend import Backend
+from repro.cloud.arrivals import JobRequest
+from repro.cloud.metrics import render_metric_table, summarise_waits, wait_fairness
+from repro.cloud.policies import AllocationContext, AllocationPolicy, FidelityPolicy
+from repro.cloud.queueing import DeviceQueue, ExecutionTimeModel, QueueSlot, build_queues
+from repro.fidelity.canary import achieved_fidelity
+from repro.fidelity.estimator import ESPEstimator
+from repro.utils.exceptions import ClusterError, SchedulingError
+from repro.utils.rng import SeedLike, derive_seed
+
+
+@dataclass(frozen=True)
+class CloudSimulationConfig:
+    """Knobs of one cloud-simulation run."""
+
+    #: Service-time model shared by all devices.
+    time_model: ExecutionTimeModel = field(default_factory=ExecutionTimeModel)
+    #: How to report per-job fidelity: ``"none"`` (skip), ``"esp"`` (analytic
+    #: estimate on the chosen device) or ``"execute"`` (noisy execution vs the
+    #: ideal reference — accurate but slow, intended for small traces).
+    fidelity_report: str = "esp"
+    #: Shots used when ``fidelity_report == "execute"``.
+    execution_shots: int = 256
+    #: Base seed for fidelity execution and estimator tie-breaking.
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.fidelity_report not in ("none", "esp", "execute"):
+            raise ClusterError("fidelity_report must be 'none', 'esp' or 'execute'")
+        if self.execution_shots <= 0:
+            raise ClusterError("execution_shots must be positive")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Outcome of one job in the simulation."""
+
+    request: JobRequest
+    device: str
+    slot: QueueSlot
+    fidelity: Optional[float] = None
+
+    @property
+    def wait_time(self) -> float:
+        """Seconds spent queued."""
+        return self.slot.wait_time
+
+    @property
+    def turnaround_time(self) -> float:
+        """Seconds from submission to completion."""
+        return self.slot.turnaround_time
+
+    @property
+    def user(self) -> str:
+        """Submitting user."""
+        return self.request.user
+
+
+@dataclass
+class CloudSimulationResult:
+    """All job records of one run plus the final queue state."""
+
+    policy_name: str
+    records: List[JobRecord]
+    queues: Dict[str, DeviceQueue]
+
+    # ------------------------------------------------------------------ #
+    # Wait / turnaround metrics
+    # ------------------------------------------------------------------ #
+    def waits(self) -> List[float]:
+        """Per-job wait times in arrival order."""
+        return [record.wait_time for record in self.records]
+
+    def mean_wait(self) -> float:
+        """Average queueing delay in seconds."""
+        waits = self.waits()
+        return sum(waits) / len(waits) if waits else 0.0
+
+    def wait_summary(self) -> Dict[str, float]:
+        """Mean / median / p95 / max wait."""
+        return summarise_waits(self.waits())
+
+    def mean_turnaround(self) -> float:
+        """Average submission-to-completion latency in seconds."""
+        if not self.records:
+            return 0.0
+        return sum(record.turnaround_time for record in self.records) / len(self.records)
+
+    def makespan(self) -> float:
+        """Completion time of the last job."""
+        return max((record.slot.finish_time for record in self.records), default=0.0)
+
+    # ------------------------------------------------------------------ #
+    # Fidelity, fairness, utilisation
+    # ------------------------------------------------------------------ #
+    def mean_fidelity(self) -> Optional[float]:
+        """Average reported fidelity (``None`` when fidelity reporting was off)."""
+        values = [record.fidelity for record in self.records if record.fidelity is not None]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def fairness(self) -> float:
+        """Jain fairness over users' inverse mean waits."""
+        by_user: Dict[str, List[float]] = {}
+        for record in self.records:
+            by_user.setdefault(record.user, []).append(record.wait_time)
+        return wait_fairness(by_user)
+
+    def jobs_per_device(self) -> Dict[str, int]:
+        """Number of jobs each device received."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.device] = counts.get(record.device, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def device_utilisation(self) -> Dict[str, float]:
+        """Busy fraction of every device over the simulation makespan."""
+        horizon = self.makespan()
+        return {
+            name: queue.utilisation(horizon=horizon) if horizon > 0 else 0.0
+            for name, queue in sorted(self.queues.items())
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """One row of the policy-comparison table."""
+        waits = self.wait_summary()
+        return {
+            "policy": self.policy_name,
+            "jobs": len(self.records),
+            "mean_wait_s": waits["mean"],
+            "p95_wait_s": waits["p95"],
+            "mean_turnaround_s": self.mean_turnaround(),
+            "makespan_s": self.makespan(),
+            "mean_fidelity": self.mean_fidelity() if self.mean_fidelity() is not None else float("nan"),
+            "fairness": self.fairness(),
+        }
+
+
+class CloudSimulator:
+    """Run one policy over one arrival trace on one fleet."""
+
+    def __init__(
+        self,
+        fleet: Sequence[Backend],
+        policy: AllocationPolicy,
+        config: Optional[CloudSimulationConfig] = None,
+    ) -> None:
+        if not fleet:
+            raise ClusterError("The cloud simulation needs at least one device")
+        self._fleet = list(fleet)
+        self._policy = policy
+        self._config = config or CloudSimulationConfig()
+        self._esp = ESPEstimator(seed=derive_seed(self._config.seed, "cloud-esp"))
+
+    # ------------------------------------------------------------------ #
+    def run(self, trace: Sequence[JobRequest]) -> CloudSimulationResult:
+        """Simulate the whole trace and return per-job records."""
+        queues = build_queues(self._fleet)
+        context = AllocationContext(
+            fleet=self._fleet,
+            queues=queues,
+            time_model=self._config.time_model,
+        )
+        records: List[JobRecord] = []
+        for request in sorted(trace, key=lambda item: item.arrival_time):
+            device_name = self._policy.select(request, context)
+            backend = context.device(device_name)
+            if backend.num_qubits < request.circuit.num_qubits:
+                raise SchedulingError(
+                    f"Policy '{self._policy.name}' routed job '{request.name}' to "
+                    f"'{device_name}', which is too small for it"
+                )
+            service = self._config.time_model.service_time_s(request.circuit, backend, request.shots)
+            slot = queues[device_name].enqueue(request.name, request.arrival_time, service)
+            fidelity = self._job_fidelity(request, backend, context)
+            records.append(JobRecord(request=request, device=device_name, slot=slot, fidelity=fidelity))
+        return CloudSimulationResult(policy_name=self._policy.name, records=records, queues=queues)
+
+    # ------------------------------------------------------------------ #
+    def _job_fidelity(
+        self,
+        request: JobRequest,
+        backend: Backend,
+        context: AllocationContext,
+    ) -> Optional[float]:
+        mode = self._config.fidelity_report
+        if mode == "none":
+            return None
+        if mode == "execute":
+            return achieved_fidelity(
+                request.circuit,
+                backend,
+                shots=self._config.execution_shots,
+                seed=derive_seed(self._config.seed, "cloud-execute", request.name, backend.name),
+            )
+        # "esp": reuse the policy's cache when the policy is fidelity-aware so
+        # the report does not re-transpile what the policy already scored.
+        if isinstance(self._policy, FidelityPolicy):
+            return self._policy.estimated_fidelity(request, backend, context)
+        key = (request.workload_key, backend.name, context.calibration_epoch)
+        if key not in context.fidelity_cache:
+            context.fidelity_cache[key] = self._esp.estimate(request.circuit, backend).esp
+        return context.fidelity_cache[key]
+
+
+def compare_policies(
+    fleet: Sequence[Backend],
+    trace: Sequence[JobRequest],
+    policies: Iterable[AllocationPolicy],
+    config: Optional[CloudSimulationConfig] = None,
+) -> Dict[str, CloudSimulationResult]:
+    """Run every policy on the same fleet and trace; results keyed by policy name."""
+    results: Dict[str, CloudSimulationResult] = {}
+    for policy in policies:
+        simulator = CloudSimulator(fleet, policy, config=config)
+        results[policy.name] = simulator.run(trace)
+    return results
+
+
+def render_policy_comparison(results: Dict[str, CloudSimulationResult]) -> str:
+    """Text table comparing the policies of one :func:`compare_policies` run."""
+    rows = [result.summary() for result in results.values()]
+    columns = ["policy", "jobs", "mean_wait_s", "p95_wait_s", "mean_fidelity", "fairness", "makespan_s"]
+    return render_metric_table(rows, columns, title="Cloud policy comparison")

@@ -1,0 +1,96 @@
+"""Job queue for multi-job scheduling (the paper's future-work item 4).
+
+The published QRIO prototype handles one scheduling request at a time; the
+authors list a job queue and multi-job scheduling as future work (Section 5).
+This module implements that extension: a priority queue with pluggable
+ordering policies and a draining loop that schedules queued jobs in policy
+order, so the ablation benchmark can compare FIFO against smarter orderings.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.job import Job, JobSpec
+from repro.utils.exceptions import ClusterError
+
+
+class QueuePolicy(str, Enum):
+    """Ordering policies for the job queue."""
+
+    #: First in, first out (submission order).
+    FIFO = "fifo"
+    #: Smallest circuits first (by requested qubit count) — reduces head-of-line
+    #: blocking when large jobs can only run on a few devices.
+    SMALLEST_FIRST = "smallest_first"
+    #: Jobs with the tightest fidelity requirement first, so the scarce
+    #: high-fidelity devices are assigned before being consumed by lax jobs.
+    TIGHTEST_FIDELITY_FIRST = "tightest_fidelity_first"
+
+
+def _priority(policy: QueuePolicy, spec: JobSpec, sequence: int) -> Tuple:
+    if policy == QueuePolicy.FIFO:
+        return (sequence,)
+    if policy == QueuePolicy.SMALLEST_FIRST:
+        return (spec.resources.qubits, sequence)
+    if policy == QueuePolicy.TIGHTEST_FIDELITY_FIRST:
+        requirement = spec.metadata.get("fidelity_threshold")
+        tightness = -float(requirement) if requirement is not None else 0.0
+        return (tightness, sequence)
+    raise ClusterError(f"Unknown queue policy {policy}")
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    priority: Tuple
+    sequence: int
+    spec: JobSpec = field(compare=False)
+
+
+class JobQueue:
+    """A policy-ordered queue of job specifications awaiting scheduling."""
+
+    def __init__(self, policy: QueuePolicy = QueuePolicy.FIFO) -> None:
+        self.policy = policy
+        self._heap: List[_QueueEntry] = []
+        self._sequence = itertools.count()
+        self._names: set = set()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def enqueue(self, spec: JobSpec) -> None:
+        """Add a job specification to the queue."""
+        if spec.name in self._names:
+            raise ClusterError(f"Job '{spec.name}' is already queued")
+        sequence = next(self._sequence)
+        entry = _QueueEntry(priority=_priority(self.policy, spec, sequence), sequence=sequence, spec=spec)
+        heapq.heappush(self._heap, entry)
+        self._names.add(spec.name)
+
+    def dequeue(self) -> JobSpec:
+        """Remove and return the highest-priority job specification."""
+        if not self._heap:
+            raise ClusterError("The job queue is empty")
+        entry = heapq.heappop(self._heap)
+        self._names.discard(entry.spec.name)
+        return entry.spec
+
+    def peek(self) -> Optional[JobSpec]:
+        """The next job to be dequeued, without removing it."""
+        return self._heap[0].spec if self._heap else None
+
+    def drain(self) -> List[JobSpec]:
+        """Remove and return every queued spec in policy order."""
+        specs = []
+        while self._heap:
+            specs.append(self.dequeue())
+        return specs
+
+    def pending_names(self) -> List[str]:
+        """Names of queued jobs (unordered)."""
+        return sorted(self._names)

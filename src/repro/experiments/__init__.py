@@ -1,0 +1,86 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Modules named ``figN``/``tables`` regenerate the paper's own evaluation;
+``cloud_policies``, ``calibration_drift`` and ``scalable_matching`` are
+extension experiments for the future-work directions this reproduction
+implements (multi-job scheduling, calibration-aware re-scoring and budgeted
+topology scoring).
+"""
+
+from repro.experiments.calibration_drift import (
+    CalibrationDriftResult,
+    DriftCycleRow,
+    drift_testbed_fleet,
+    render_calibration_drift,
+    run_calibration_drift,
+)
+from repro.experiments.cloud_policies import (
+    CloudPolicyComparisonResult,
+    CloudPolicyRow,
+    cloud_testbed_fleet,
+    render_cloud_policy_comparison,
+    run_cloud_policy_comparison,
+)
+from repro.experiments.config import (
+    ExperimentConfig,
+    default_config,
+    paper_scale_config,
+    quick_config,
+)
+from repro.experiments.fig6 import Fig6Result, Fig6Row, run_fig6
+from repro.experiments.fig7 import Fig7Result, Fig7Row, run_fig7
+from repro.experiments.fig8_9 import Fig89Result, run_fig8_9, user_topology_canvas
+from repro.experiments.fig10 import PAPER_THRESHOLDS, Fig10Result, Fig10Row, count_filtered_devices, run_fig10
+from repro.experiments.report import render_fig6, render_fig7, render_fig8_9, render_fig10
+from repro.experiments.scalable_matching import (
+    ScalableMatchingResult,
+    ScalableMatchingRow,
+    ablation_devices,
+    render_scalable_matching,
+    run_scalable_matching,
+)
+from repro.experiments.tables import TableRow, render_rows, table1_rows, table2_rows
+
+__all__ = [
+    "CalibrationDriftResult",
+    "CloudPolicyComparisonResult",
+    "CloudPolicyRow",
+    "DriftCycleRow",
+    "ExperimentConfig",
+    "Fig10Result",
+    "Fig10Row",
+    "Fig6Result",
+    "Fig6Row",
+    "Fig7Result",
+    "Fig7Row",
+    "Fig89Result",
+    "PAPER_THRESHOLDS",
+    "ScalableMatchingResult",
+    "ScalableMatchingRow",
+    "TableRow",
+    "ablation_devices",
+    "cloud_testbed_fleet",
+    "count_filtered_devices",
+    "default_config",
+    "drift_testbed_fleet",
+    "paper_scale_config",
+    "quick_config",
+    "render_calibration_drift",
+    "render_cloud_policy_comparison",
+    "render_fig10",
+    "render_fig6",
+    "render_fig7",
+    "render_fig8_9",
+    "render_rows",
+    "render_scalable_matching",
+    "run_calibration_drift",
+    "run_cloud_policy_comparison",
+    "run_fig10",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8_9",
+    "run_scalable_matching",
+    "table1_rows",
+    "table2_rows",
+    "user_topology_canvas",
+]

@@ -1,0 +1,154 @@
+"""Extension experiment — does re-scoring after each calibration cycle matter?
+
+Section 2.2 of the paper stresses that device error characteristics swing by
+2-3x between calibration cycles, which is the core argument for automated,
+calibration-aware resource selection.  This experiment quantifies that
+argument: a user's circuit is scheduled once on day 0 ("stale" policy) or
+re-scored against fresh calibration data every cycle ("fresh" policy, what
+QRIO does because the meta server always reads the vendor's current backend
+file).  The gap between the two is the value of calibration-aware scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.backends.backend import Backend
+from repro.backends.fleet import generate_device
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import ghz
+from repro.cloud.calibration import CalibrationDriftModel, drift_fleet
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.fidelity.estimator import ESPEstimator
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class DriftCycleRow:
+    """Outcome of one calibration cycle."""
+
+    cycle: int
+    fresh_choice: str
+    stale_choice: str
+    fresh_estimate: float
+    stale_estimate: float
+
+    @property
+    def gap(self) -> float:
+        """Fidelity estimate forfeited by sticking with the day-0 choice."""
+        return self.fresh_estimate - self.stale_estimate
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serialisable form used by reports."""
+        return {
+            "cycle": self.cycle,
+            "fresh_choice": self.fresh_choice,
+            "stale_choice": self.stale_choice,
+            "fresh_estimate": self.fresh_estimate,
+            "stale_estimate": self.stale_estimate,
+            "gap": self.gap,
+        }
+
+
+@dataclass
+class CalibrationDriftResult:
+    """All cycles of the drift experiment."""
+
+    rows: List[DriftCycleRow]
+    circuit_name: str
+    num_devices: int
+    config_description: str
+
+    def switch_fraction(self) -> float:
+        """Fraction of cycles on which the fresh choice differs from day 0."""
+        if not self.rows:
+            return 0.0
+        switches = sum(1 for row in self.rows if row.fresh_choice != row.stale_choice)
+        return switches / len(self.rows)
+
+    def mean_gap(self) -> float:
+        """Average fidelity-estimate gap between fresh and stale choices."""
+        if not self.rows:
+            return 0.0
+        return sum(row.gap for row in self.rows) / len(self.rows)
+
+    def max_gap(self) -> float:
+        """Worst-cycle fidelity-estimate gap."""
+        return max((row.gap for row in self.rows), default=0.0)
+
+
+def drift_testbed_fleet(num_devices: int = 6, seed=None) -> List[Backend]:
+    """A handful of mid-size devices whose quality ordering can plausibly flip."""
+    fleet = []
+    for index in range(num_devices):
+        fleet.append(
+            generate_device(
+                12,
+                0.3 + 0.1 * (index % 3),
+                seed=derive_seed(seed, "drift-fleet", index),
+                name=f"drift_dev_{index:02d}",
+            )
+        )
+    return fleet
+
+
+def run_calibration_drift(
+    config: Optional[ExperimentConfig] = None,
+    fleet: Optional[Sequence[Backend]] = None,
+    circuit: Optional[QuantumCircuit] = None,
+    num_cycles: int = 8,
+    drift_model: Optional[CalibrationDriftModel] = None,
+) -> CalibrationDriftResult:
+    """Compare re-scoring each cycle against sticking with the day-0 device."""
+    config = config or default_config()
+    fleet = list(fleet) if fleet is not None else drift_testbed_fleet(seed=config.seed)
+    circuit = circuit if circuit is not None else ghz(6)
+    drift_model = drift_model or CalibrationDriftModel()
+    estimator = ESPEstimator(seed=derive_seed(config.seed, "drift-esp"))
+
+    day_zero = estimator.rank_backends(circuit, fleet)
+    stale_choice = day_zero[0].device
+
+    rows: List[DriftCycleRow] = []
+    current = fleet
+    for cycle in range(1, num_cycles + 1):
+        current = drift_fleet(current, model=drift_model, seed=derive_seed(config.seed, "drift-cycle", cycle))
+        ranking = estimator.rank_backends(circuit, current)
+        by_device = {report.device: report.esp for report in ranking}
+        fresh = ranking[0]
+        rows.append(
+            DriftCycleRow(
+                cycle=cycle,
+                fresh_choice=fresh.device,
+                stale_choice=stale_choice,
+                fresh_estimate=fresh.esp,
+                stale_estimate=by_device[stale_choice],
+            )
+        )
+    return CalibrationDriftResult(
+        rows=rows,
+        circuit_name=circuit.name,
+        num_devices=len(fleet),
+        config_description=config.describe(),
+    )
+
+
+def render_calibration_drift(result: CalibrationDriftResult) -> str:
+    """Text report of the drift experiment."""
+    lines = [
+        f"Calibration drift — circuit {result.circuit_name} on {result.num_devices} devices "
+        f"({result.config_description})",
+        f"{'cycle':>5} {'fresh choice':>16} {'stale choice':>16} {'fresh est':>10} {'stale est':>10} {'gap':>8}",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for row in result.rows:
+        lines.append(
+            f"{row.cycle:>5} {row.fresh_choice:>16} {row.stale_choice:>16} "
+            f"{row.fresh_estimate:>10.4f} {row.stale_estimate:>10.4f} {row.gap:>8.4f}"
+        )
+    lines.append(
+        f"switch fraction = {result.switch_fraction():.2f}, mean gap = {result.mean_gap():.4f}, "
+        f"max gap = {result.max_gap():.4f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Fidelity estimation: Clifford canaries and the analytic ESP baselines."""
+
+from repro.fidelity.analytic import DecoherenceAwareESPEstimator, DecoherenceAwareReport
+from repro.fidelity.canary import (
+    DEFAULT_CANARY_SHOTS,
+    CanaryReport,
+    CliffordCanaryEstimator,
+    achieved_fidelity,
+)
+from repro.fidelity.clifford import (
+    cliffordize,
+    closest_single_qubit_clifford,
+    is_clifford_circuit,
+    is_clifford_instruction,
+)
+from repro.fidelity.estimator import ESPEstimator, ESPReport
+
+__all__ = [
+    "DEFAULT_CANARY_SHOTS",
+    "CanaryReport",
+    "CliffordCanaryEstimator",
+    "DecoherenceAwareESPEstimator",
+    "DecoherenceAwareReport",
+    "ESPEstimator",
+    "ESPReport",
+    "achieved_fidelity",
+    "cliffordize",
+    "closest_single_qubit_clifford",
+    "is_clifford_circuit",
+    "is_clifford_instruction",
+]

@@ -1,0 +1,65 @@
+"""Interaction graphs: the circuit-side object topology matching works on."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import networkx as nx
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def interaction_graph(circuit: QuantumCircuit, include_isolated: bool = False) -> nx.Graph:
+    """Undirected graph whose edges are the circuit's two-qubit interactions.
+
+    Edge weights carry the interaction multiplicity (how many two-qubit gates
+    act on that pair), which the scorer uses so that heavily used pairs land
+    on the lowest-error device edges.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to analyse.
+    include_isolated:
+        When ``True`` the graph also contains qubits that never participate
+        in a two-qubit gate; matching normally ignores them because they can
+        be placed anywhere.
+    """
+    graph = nx.Graph()
+    if include_isolated:
+        graph.add_nodes_from(range(circuit.num_qubits))
+    for (a, b), multiplicity in circuit.interaction_pairs().items():
+        graph.add_edge(a, b, weight=multiplicity)
+    return graph
+
+
+def interaction_edge_list(circuit: QuantumCircuit) -> List[Tuple[int, int, int]]:
+    """The interaction graph as ``(qubit_a, qubit_b, multiplicity)`` triples."""
+    return [
+        (a, b, multiplicity)
+        for (a, b), multiplicity in sorted(circuit.interaction_pairs().items())
+    ]
+
+
+def topology_as_graph(num_qubits: int, edges: Iterable[Tuple[int, int]]) -> nx.Graph:
+    """Build a graph directly from a user-specified topology (canvas edges)."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_qubits))
+    for a, b in edges:
+        if a == b:
+            continue
+        graph.add_edge(int(a), int(b), weight=graph.get_edge_data(int(a), int(b), {}).get("weight", 0) + 1)
+    return graph
+
+
+def graph_summary(graph: nx.Graph) -> Dict[str, float]:
+    """Small structural summary used in experiment reports and logs."""
+    num_nodes = graph.number_of_nodes()
+    num_edges = graph.number_of_edges()
+    degrees = [degree for _, degree in graph.degree()]
+    return {
+        "nodes": float(num_nodes),
+        "edges": float(num_edges),
+        "max_degree": float(max(degrees) if degrees else 0),
+        "avg_degree": float(sum(degrees) / num_nodes) if num_nodes else 0.0,
+    }

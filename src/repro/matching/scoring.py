@@ -1,0 +1,124 @@
+"""Error-aware scoring of embeddings (Mapomatic's second step).
+
+"each identified subgraph is scored using a cost function that incorporates
+device error characteristics to estimate the amount of error the circuit
+might suffer if it is mapped to that particular subgraph.  Finally, the
+subgraph for which the score is the lowest is considered the most suitable
+location for the target quantum circuit."  — paper, Section 3.4.2
+
+The cost of an embedding is the expected accumulated error of running the
+pattern on the chosen qubits:
+
+* each two-qubit interaction contributes the calibrated error of the device
+  edge it lands on, weighted by its multiplicity;
+* interactions that land on *uncoupled* qubits (greedy fallback embeddings)
+  are charged the error of the cheapest connecting path plus a SWAP overhead
+  of three CX per missing hop — this is what routing would actually cost;
+* every mapped qubit contributes its readout error once (the pattern is
+  assumed to be measured, as QRIO jobs always are).
+
+Lower scores are better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.backends.properties import BackendProperties
+from repro.matching.subgraph import DEFAULT_MAX_EMBEDDINGS, Embedding, find_embeddings
+from repro.utils.exceptions import MatchingError
+from repro.utils.rng import SeedLike
+
+#: Number of CX gates needed to bridge one missing hop between uncoupled qubits.
+SWAPS_CX_OVERHEAD = 3.0
+
+
+@dataclass(frozen=True)
+class ScoredEmbedding:
+    """An embedding together with its error score (lower is better)."""
+
+    embedding: Embedding
+    score: float
+    device: str
+
+    @property
+    def exact(self) -> bool:
+        """``True`` when every pattern edge landed on a device coupling."""
+        return self.embedding.exact
+
+
+def embedding_cost(
+    pattern: nx.Graph,
+    embedding: Embedding,
+    properties: BackendProperties,
+    include_readout: bool = True,
+) -> float:
+    """Error cost of running ``pattern`` under ``embedding`` on the device."""
+    device_graph = properties.graph()
+    distances: Optional[Dict[int, Dict[int, int]]] = None
+    cost = 0.0
+    for a, b, data in pattern.edges(data=True):
+        multiplicity = float(data.get("weight", 1))
+        physical_a = embedding.physical(a)
+        physical_b = embedding.physical(b)
+        if device_graph.has_edge(physical_a, physical_b):
+            cost += multiplicity * properties.edge_error(physical_a, physical_b)
+            continue
+        if distances is None:
+            distances = dict(nx.all_pairs_shortest_path_length(device_graph))
+        hops = distances[physical_a].get(physical_b)
+        if hops is None:
+            raise MatchingError(
+                f"Device '{properties.name}' cannot connect qubits {physical_a} and {physical_b}"
+            )
+        worst_edge = max(properties.two_qubit_error.values()) if properties.two_qubit_error else 0.0
+        # One direct CX plus three CX per extra hop, charged at the device's
+        # worst edge error (pessimistic, as routing paths are not yet known).
+        cost += multiplicity * worst_edge * (1.0 + SWAPS_CX_OVERHEAD * (hops - 1))
+    if include_readout:
+        for pattern_node in pattern.nodes:
+            if pattern_node in embedding.mapping:
+                physical = embedding.physical(pattern_node)
+                cost += properties.readout_error.get(physical, 0.0)
+    return cost
+
+
+def evaluate_embeddings(
+    pattern: nx.Graph,
+    properties: BackendProperties,
+    max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
+    include_readout: bool = True,
+    seed: SeedLike = None,
+) -> List[ScoredEmbedding]:
+    """Score every candidate embedding of ``pattern`` on one device, best first."""
+    embeddings = find_embeddings(pattern, properties, max_embeddings=max_embeddings, seed=seed)
+    scored = [
+        ScoredEmbedding(
+            embedding=embedding,
+            score=embedding_cost(pattern, embedding, properties, include_readout=include_readout),
+            device=properties.name,
+        )
+        for embedding in embeddings
+    ]
+    return sorted(scored, key=lambda item: item.score)
+
+
+def best_embedding(
+    pattern: nx.Graph,
+    properties: BackendProperties,
+    max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
+    include_readout: bool = True,
+    seed: SeedLike = None,
+) -> Optional[ScoredEmbedding]:
+    """The lowest-cost embedding of ``pattern`` on one device (or ``None``)."""
+    scored = evaluate_embeddings(
+        pattern,
+        properties,
+        max_embeddings=max_embeddings,
+        include_readout=include_readout,
+        seed=seed,
+    )
+    return scored[0] if scored else None

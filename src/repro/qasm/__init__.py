@@ -1,0 +1,16 @@
+"""OpenQASM 2.0 front end: tokenizer, parser and exporter."""
+
+from repro.qasm.exporter import dump_qasm, write_qasm_file
+from repro.qasm.parser import QASMParser, load_qasm_file, parse_qasm
+from repro.qasm.tokenizer import Token, TokenStream, tokenize
+
+__all__ = [
+    "QASMParser",
+    "Token",
+    "TokenStream",
+    "dump_qasm",
+    "load_qasm_file",
+    "parse_qasm",
+    "tokenize",
+    "write_qasm_file",
+]

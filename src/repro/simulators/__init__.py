@@ -1,0 +1,78 @@
+"""Simulation engines: statevector, stabilizer (CHP) and noisy Monte-Carlo."""
+
+from repro.simulators.channels import (
+    PAULI_LABELS,
+    ThermalRelaxation,
+    amplitude_damping_probability,
+    combine_error_probabilities,
+    depolarizing_probabilities,
+    thermal_relaxation_error,
+)
+from repro.simulators.durations import (
+    GateDurations,
+    circuit_duration,
+    qubit_busy_times,
+    qubit_finish_times,
+    qubit_idle_times,
+)
+from repro.simulators.mitigation import MAX_MITIGATED_BITS, ReadoutMitigator
+from repro.simulators.noise import NoiseModel
+from repro.simulators.noisy import (
+    BATCHED_STATEVECTOR_LIMIT,
+    NoisyStabilizerSimulator,
+    NoisyStatevectorSimulator,
+    execute_with_noise,
+    is_clifford_circuit,
+)
+from repro.simulators.result import (
+    SimulationResult,
+    counts_to_probabilities,
+    hellinger_fidelity,
+    marginal_counts,
+    success_probability,
+    total_variation_distance,
+    uniform_counts,
+)
+from repro.simulators.stabilizer import StabilizerSimulator, StabilizerState, is_stabilizer_gate
+from repro.simulators.statevector import (
+    MAX_STATEVECTOR_QUBITS,
+    StatevectorSimulator,
+    apply_matrix,
+    compact_circuit,
+)
+
+__all__ = [
+    "BATCHED_STATEVECTOR_LIMIT",
+    "GateDurations",
+    "MAX_MITIGATED_BITS",
+    "MAX_STATEVECTOR_QUBITS",
+    "NoiseModel",
+    "NoisyStabilizerSimulator",
+    "NoisyStatevectorSimulator",
+    "PAULI_LABELS",
+    "ReadoutMitigator",
+    "SimulationResult",
+    "StabilizerSimulator",
+    "StabilizerState",
+    "StatevectorSimulator",
+    "ThermalRelaxation",
+    "amplitude_damping_probability",
+    "apply_matrix",
+    "circuit_duration",
+    "combine_error_probabilities",
+    "compact_circuit",
+    "counts_to_probabilities",
+    "depolarizing_probabilities",
+    "execute_with_noise",
+    "hellinger_fidelity",
+    "is_clifford_circuit",
+    "is_stabilizer_gate",
+    "marginal_counts",
+    "qubit_busy_times",
+    "qubit_finish_times",
+    "qubit_idle_times",
+    "success_probability",
+    "thermal_relaxation_error",
+    "total_variation_distance",
+    "uniform_counts",
+]

@@ -1,0 +1,109 @@
+"""Error-channel primitives: depolarizing and Pauli-twirled thermal relaxation.
+
+The executable noise engines (:mod:`repro.simulators.noisy`) draw uniform
+random Paulis after each gate; this module provides the probability
+bookkeeping around that abstraction — how a depolarizing parameter splits
+over Pauli labels, how T1/T2 decay over a time window maps onto Pauli-twirl
+probabilities, and how independent error sources combine — so the analytic
+estimators and the calibration-drift tooling can reason about noise without
+running a simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.utils.exceptions import SimulationError
+from repro.utils.validation import require_probability
+
+#: Single-qubit Pauli error labels.
+PAULI_LABELS: Tuple[str, str, str] = ("x", "y", "z")
+
+
+def depolarizing_probabilities(error_probability: float, num_qubits: int = 1) -> Dict[str, float]:
+    """Split a depolarizing error probability uniformly over non-identity Paulis.
+
+    Returns a mapping from Pauli label strings (``"x"``, ``"zz"``, ``"ix"``,
+    ...) to their individual probabilities; the identity label is omitted.
+    """
+    require_probability(error_probability, "error_probability")
+    if num_qubits not in (1, 2):
+        raise SimulationError("depolarizing_probabilities supports 1 or 2 qubits")
+    if num_qubits == 1:
+        labels = list(PAULI_LABELS)
+    else:
+        labels = [
+            a + b
+            for a in ("i", "x", "y", "z")
+            for b in ("i", "x", "y", "z")
+            if not (a == "i" and b == "i")
+        ]
+    share = error_probability / len(labels)
+    return {label: share for label in labels}
+
+
+@dataclass(frozen=True)
+class ThermalRelaxation:
+    """Pauli-twirled thermal relaxation over a fixed time window.
+
+    The exact amplitude-damping + dephasing channel is approximated by its
+    Pauli twirl, the standard trick that keeps Clifford/stabilizer simulation
+    applicable: ``p_x = p_y = (1 - exp(-t/T1)) / 4`` and
+    ``p_z = (1 - exp(-t/T2)) / 2 - p_x`` (clamped at zero when T2 is long
+    compared to T1).
+    """
+
+    t1: float
+    t2: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.t1 <= 0 or self.t2 <= 0:
+            raise SimulationError("T1 and T2 must be positive")
+        if self.duration < 0:
+            raise SimulationError("duration must be non-negative")
+        # Physicality: T2 can be at most 2 * T1.
+        if self.t2 > 2.0 * self.t1 + 1e-9:
+            raise SimulationError("T2 cannot exceed 2 * T1")
+
+    def pauli_probabilities(self) -> Dict[str, float]:
+        """The ``{x, y, z}`` Pauli-twirl probabilities for this window."""
+        relax = 1.0 - math.exp(-self.duration / self.t1)
+        dephase = 1.0 - math.exp(-self.duration / self.t2)
+        p_x = relax / 4.0
+        p_y = relax / 4.0
+        p_z = max(0.0, dephase / 2.0 - relax / 4.0)
+        return {"x": p_x, "y": p_y, "z": p_z}
+
+    def error_probability(self) -> float:
+        """Total probability of any Pauli error during the window."""
+        return min(1.0, sum(self.pauli_probabilities().values()))
+
+    def survival_probability(self) -> float:
+        """Probability the qubit emerges without a Pauli error."""
+        return 1.0 - self.error_probability()
+
+
+def thermal_relaxation_error(t1: float, t2: float, duration: float) -> float:
+    """Shorthand for ``ThermalRelaxation(t1, t2, duration).error_probability()``."""
+    return ThermalRelaxation(t1=t1, t2=t2, duration=duration).error_probability()
+
+
+def combine_error_probabilities(*probabilities: float) -> float:
+    """Probability that at least one of several independent errors fires."""
+    survival = 1.0
+    for probability in probabilities:
+        require_probability(probability, "probability")
+        survival *= 1.0 - probability
+    return 1.0 - survival
+
+
+def amplitude_damping_probability(t1: float, duration: float) -> float:
+    """Probability of a T1 relaxation event (|1> decaying to |0>) in ``duration``."""
+    if t1 <= 0:
+        raise SimulationError("T1 must be positive")
+    if duration < 0:
+        raise SimulationError("duration must be non-negative")
+    return 1.0 - math.exp(-duration / t1)

@@ -1,0 +1,188 @@
+"""Measurement-error mitigation under the tensor-product readout model.
+
+QRIO devices carry per-qubit readout assignment errors (Table 2); a user who
+knows those rates can partially undo their effect classically.  This module
+implements the standard tensor-product mitigation: each qubit's 2x2
+assignment matrix is inverted independently and applied to the measured
+distribution, followed by clipping negative quasi-probabilities and
+renormalising.  It is exposed through the library (and the vendor tooling)
+because resource selection and error mitigation are complementary halves of
+the "give the user the fidelity they asked for" story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.simulators.noise import NoiseModel
+from repro.simulators.result import SimulationResult, counts_to_probabilities
+from repro.utils.exceptions import SimulationError
+from repro.utils.validation import require_probability
+
+#: Widest register the dense mitigation matrix will be built for.
+MAX_MITIGATED_BITS = 16
+
+
+def _assignment_matrix(flip_probability: float) -> np.ndarray:
+    """The 2x2 column-stochastic assignment matrix for a symmetric flip."""
+    p = flip_probability
+    return np.array([[1.0 - p, p], [p, 1.0 - p]], dtype=float)
+
+
+@dataclass
+class ReadoutMitigator:
+    """Tensor-product readout-error mitigator for one device.
+
+    Parameters
+    ----------
+    flip_probabilities:
+        Readout flip probability per *classical bit position* (bit 0 is the
+        rightmost character of a counts key).
+    """
+
+    flip_probabilities: Dict[int, float]
+
+    def __post_init__(self) -> None:
+        if not self.flip_probabilities:
+            raise SimulationError("ReadoutMitigator needs at least one bit's flip probability")
+        for bit, probability in self.flip_probabilities.items():
+            require_probability(probability, f"flip_probabilities[{bit}]")
+            if probability >= 0.5:
+                raise SimulationError(
+                    f"Readout flip probability for bit {bit} is {probability}; rates >= 0.5 "
+                    "make the assignment matrix non-invertible in any useful sense"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_noise_model(cls, noise_model: NoiseModel, qubits: Sequence[int]) -> "ReadoutMitigator":
+        """Build a mitigator for measurements of ``qubits`` (bit ``i`` reads ``qubits[i]``)."""
+        flips = {
+            bit: noise_model.measurement_error(qubit)
+            for bit, qubit in enumerate(qubits)
+        }
+        return cls(flip_probabilities=flips)
+
+    @classmethod
+    def from_backend_properties(cls, properties, qubits: Sequence[int]) -> "ReadoutMitigator":
+        """Build a mitigator from a device's calibrated readout errors.
+
+        ``properties`` is a :class:`repro.backends.BackendProperties` (typed
+        loosely here to keep the simulator layer free of backend imports).
+        """
+        flips = {
+            bit: properties.readout_error.get(int(qubit), 0.0)
+            for bit, qubit in enumerate(qubits)
+        }
+        return cls(flip_probabilities=flips)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_bits(self) -> int:
+        """Number of classical bits the mitigator covers."""
+        return max(self.flip_probabilities) + 1
+
+    def _check_width(self, width: int) -> None:
+        if width > MAX_MITIGATED_BITS:
+            raise SimulationError(
+                f"Cannot mitigate {width}-bit counts; the dense correction matrix is limited "
+                f"to {MAX_MITIGATED_BITS} bits"
+            )
+
+    def _bit_matrix(self, bit: int) -> np.ndarray:
+        return _assignment_matrix(self.flip_probabilities.get(bit, 0.0))
+
+    def _probability_vector(self, counts: Mapping[str, int], width: int) -> np.ndarray:
+        vector = np.zeros(2**width, dtype=float)
+        total = sum(counts.values())
+        if total <= 0:
+            raise SimulationError("Cannot mitigate empty counts")
+        for bitstring, count in counts.items():
+            if len(bitstring) != width:
+                raise SimulationError(
+                    f"Counts key '{bitstring}' does not match the expected width {width}"
+                )
+            vector[int(bitstring, 2)] = count / total
+        return vector
+
+    def _apply_per_bit(self, vector: np.ndarray, width: int, invert: bool) -> np.ndarray:
+        """Apply each bit's (possibly inverted) assignment matrix to the distribution."""
+        result = vector.copy()
+        for bit in range(width):
+            matrix = self._bit_matrix(bit)
+            if invert:
+                matrix = np.linalg.inv(matrix)
+            # Index of a counts key maps bit `bit` to the 2^bit place value.
+            stride = 2**bit
+            reshaped = result.reshape(-1, 2 * stride)
+            lower = reshaped[:, :stride].copy()
+            upper = reshaped[:, stride:].copy()
+            reshaped[:, :stride] = matrix[0, 0] * lower + matrix[0, 1] * upper
+            reshaped[:, stride:] = matrix[1, 0] * lower + matrix[1, 1] * upper
+            result = reshaped.reshape(-1)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def expected_distribution(self, ideal_counts: Mapping[str, int]) -> Dict[str, float]:
+        """Forward-apply the assignment errors to an ideal distribution."""
+        width = len(next(iter(ideal_counts)))
+        self._check_width(width)
+        vector = self._probability_vector(ideal_counts, width)
+        noisy = self._apply_per_bit(vector, width, invert=False)
+        return {
+            format(index, f"0{width}b"): float(probability)
+            for index, probability in enumerate(noisy)
+            if probability > 1e-12
+        }
+
+    def mitigate_probabilities(self, counts: Mapping[str, int]) -> Dict[str, float]:
+        """Invert the assignment errors and return a clipped, renormalised distribution."""
+        width = len(next(iter(counts)))
+        self._check_width(width)
+        vector = self._probability_vector(counts, width)
+        corrected = self._apply_per_bit(vector, width, invert=True)
+        clipped = np.clip(corrected, 0.0, None)
+        total = clipped.sum()
+        if total <= 0:
+            raise SimulationError("Mitigation produced an empty distribution")
+        clipped /= total
+        return {
+            format(index, f"0{width}b"): float(probability)
+            for index, probability in enumerate(clipped)
+            if probability > 1e-12
+        }
+
+    def mitigate_counts(self, counts: Mapping[str, int], shots: Optional[int] = None) -> Dict[str, int]:
+        """Mitigated integer counts (rounded back onto ``shots`` total shots)."""
+        shots = shots if shots is not None else sum(counts.values())
+        probabilities = self.mitigate_probabilities(counts)
+        mitigated = {bitstring: int(round(probability * shots)) for bitstring, probability in probabilities.items()}
+        return {bitstring: count for bitstring, count in mitigated.items() if count > 0}
+
+    def mitigate_result(self, result: SimulationResult) -> SimulationResult:
+        """Return a new :class:`SimulationResult` with mitigated counts."""
+        counts = self.mitigate_counts(result.counts, shots=result.shots)
+        metadata = dict(result.metadata)
+        metadata["readout_mitigated"] = True
+        return SimulationResult(counts=counts, shots=result.shots, metadata=metadata)
+
+    def improvement(self, noisy_counts: Mapping[str, int], ideal_counts: Mapping[str, int]) -> float:
+        """Hellinger-fidelity gain of mitigation against an ideal reference.
+
+        Positive values mean mitigation moved the distribution closer to the
+        ideal one; values near zero mean readout error was not the dominant
+        noise source.
+        """
+        from repro.simulators.result import hellinger_fidelity
+
+        before = hellinger_fidelity(noisy_counts, ideal_counts)
+        mitigated = self.mitigate_counts(noisy_counts)
+        after = hellinger_fidelity(mitigated, ideal_counts)
+        return after - before

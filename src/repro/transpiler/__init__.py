@@ -1,0 +1,20 @@
+"""Quantum circuit transpiler: layout, routing, basis translation, optimisation."""
+
+from repro.transpiler.context import TranspileContext
+from repro.transpiler.decompositions import decompose_instruction, resynthesise_single_qubit, zyz_angles
+from repro.transpiler.layout import Layout
+from repro.transpiler.passes.base import PassManager, TranspilerPass
+from repro.transpiler.preset import TranspileResult, build_preset_pass_manager, transpile
+
+__all__ = [
+    "Layout",
+    "PassManager",
+    "TranspileContext",
+    "TranspileResult",
+    "TranspilerPass",
+    "build_preset_pass_manager",
+    "decompose_instruction",
+    "resynthesise_single_qubit",
+    "transpile",
+    "zyz_angles",
+]

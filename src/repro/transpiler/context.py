@@ -1,0 +1,51 @@
+"""Shared state threaded through a transpiler pass pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.backends.properties import BackendProperties
+from repro.transpiler.layout import Layout
+from repro.utils.rng import SeedLike, ensure_generator
+
+
+@dataclass
+class TranspileContext:
+    """Mutable context object passed to every pass in a pipeline.
+
+    Attributes
+    ----------
+    target:
+        Calibration properties of the device being compiled for (``None`` for
+        device-independent optimisation pipelines).
+    initial_layout:
+        Layout chosen by the layout-selection pass (virtual -> physical).
+    final_layout:
+        Layout after routing; records where each virtual qubit ended up once
+        all inserted SWAPs are accounted for.
+    rng:
+        Random generator shared by stochastic passes (SABRE tie-breaking).
+    properties:
+        Free-form scratch space for passes to communicate (e.g. the routing
+        pass records how many SWAPs it inserted).
+    """
+
+    target: Optional[BackendProperties] = None
+    initial_layout: Optional[Layout] = None
+    final_layout: Optional[Layout] = None
+    rng: np.random.Generator = field(default_factory=lambda: ensure_generator(None))
+    properties: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def for_target(cls, target: Optional[BackendProperties], seed: SeedLike = None) -> "TranspileContext":
+        """Build a context for compiling towards ``target``."""
+        return cls(target=target, rng=ensure_generator(seed))
+
+    def require_target(self) -> BackendProperties:
+        """Return the target properties, raising if the pipeline has none."""
+        if self.target is None:
+            raise ValueError("This pass requires a target backend")
+        return self.target

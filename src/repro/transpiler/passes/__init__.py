@@ -1,0 +1,43 @@
+"""Individual transpiler passes."""
+
+from repro.transpiler.passes.base import AnalysisPass, PassManager, TranspilerPass
+from repro.transpiler.passes.cleanup import MergeAdjacentRotations, RemoveDiagonalGatesBeforeMeasure
+from repro.transpiler.passes.decompose import BasisTranslation, DecomposeMultiQubitGates
+from repro.transpiler.passes.layout_selection import (
+    DenseLayoutPass,
+    SetLayoutPass,
+    TrivialLayoutPass,
+    VF2PerfectLayoutPass,
+)
+from repro.transpiler.passes.optimize import (
+    CancelAdjacentInverses,
+    Optimize1QubitGates,
+    RemoveBarriers,
+)
+from repro.transpiler.passes.routing import (
+    BasicRoutingPass,
+    CheckMapPass,
+    GatesInBasisPass,
+    SabreRoutingPass,
+)
+
+__all__ = [
+    "AnalysisPass",
+    "BasicRoutingPass",
+    "BasisTranslation",
+    "CancelAdjacentInverses",
+    "CheckMapPass",
+    "DecomposeMultiQubitGates",
+    "DenseLayoutPass",
+    "GatesInBasisPass",
+    "MergeAdjacentRotations",
+    "Optimize1QubitGates",
+    "PassManager",
+    "RemoveBarriers",
+    "RemoveDiagonalGatesBeforeMeasure",
+    "SabreRoutingPass",
+    "SetLayoutPass",
+    "TranspilerPass",
+    "TrivialLayoutPass",
+    "VF2PerfectLayoutPass",
+]

@@ -1,0 +1,122 @@
+"""Additional physical-optimisation passes: rotation merging and pre-measure cleanup.
+
+These passes complement :mod:`repro.transpiler.passes.optimize`: where
+``CancelAdjacentInverses`` only removes pairs that multiply to the identity,
+``MergeAdjacentRotations`` folds runs of same-axis rotations into a single
+gate, and ``RemoveDiagonalGatesBeforeMeasure`` drops phase-only gates that
+cannot influence a computational-basis measurement.  Both reduce the gate
+count the noise channel charges without changing measured distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+from repro.transpiler.context import TranspileContext
+from repro.transpiler.passes.base import TranspilerPass
+
+#: Rotation gates that merge by summing their single angle parameter.
+_MERGEABLE_ROTATIONS = {"rx", "ry", "rz", "u1", "p"}
+#: Angle below which a merged rotation is dropped entirely.
+_ANGLE_ATOL = 1e-10
+#: Gates that are diagonal in the computational basis (phase-only).
+_DIAGONAL_GATES = {"z", "s", "sdg", "t", "tdg", "rz", "u1", "p", "id"}
+
+
+def _wrap_angle(angle: float) -> float:
+    wrapped = math.fmod(angle, 4.0 * math.pi)
+    return wrapped
+
+
+class MergeAdjacentRotations(TranspilerPass):
+    """Fold consecutive same-axis rotations on the same qubit into one gate.
+
+    Runs until a fixed point so that chains like ``rz(a) rz(b) rz(-a-b)``
+    collapse completely.  Rotations whose merged angle is (numerically) zero
+    are removed.
+    """
+
+    def run(self, circuit: QuantumCircuit, context: TranspileContext) -> QuantumCircuit:
+        instructions = list(circuit)
+        changed = True
+        while changed:
+            instructions, changed = self._single_sweep(instructions)
+        result = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        result.metadata = dict(circuit.metadata)
+        for instruction in instructions:
+            result.append(instruction)
+        return result
+
+    def _single_sweep(self, instructions: List[Instruction]):
+        result: List[Instruction] = []
+        changed = False
+        #: Index in ``result`` of the last pending rotation per (gate, qubit).
+        pending: Dict[int, int] = {}
+        for instruction in instructions:
+            if instruction.name in _MERGEABLE_ROTATIONS and len(instruction.qubits) == 1:
+                qubit = instruction.qubits[0]
+                partner_index = pending.get(qubit)
+                partner = result[partner_index] if partner_index is not None else None
+                if partner is not None and partner.name == instruction.name:
+                    merged_angle = _wrap_angle(partner.params[0] + instruction.params[0])
+                    changed = True
+                    if abs(merged_angle) < _ANGLE_ATOL:
+                        result.pop(partner_index)
+                        pending = {q: (i if i < partner_index else i - 1) for q, i in pending.items() if i != partner_index}
+                    else:
+                        result[partner_index] = Instruction(
+                            instruction.name, instruction.qubits, params=(merged_angle,)
+                        )
+                    continue
+                result.append(instruction)
+                pending[qubit] = len(result) - 1
+                continue
+            # Any other operation touching a qubit (gate, measure, reset or
+            # barrier) invalidates that qubit's pending rotation: merging
+            # across it would not be a legal rewrite in general.
+            for qubit in instruction.qubits:
+                pending.pop(qubit, None)
+            if instruction.name == "barrier" and not instruction.qubits:
+                pending.clear()
+            result.append(instruction)
+        return result, changed
+
+
+class RemoveDiagonalGatesBeforeMeasure(TranspilerPass):
+    """Drop phase-only gates whose qubit is measured before any further gate.
+
+    A gate diagonal in the computational basis commutes with the measurement
+    projector, so removing it cannot change the counts — but it does remove
+    one noise-channel application, which is why real transpilers perform the
+    same cleanup.
+    """
+
+    def run(self, circuit: QuantumCircuit, context: TranspileContext) -> QuantumCircuit:
+        instructions = list(circuit)
+        keep = [True] * len(instructions)
+        #: For each qubit, what the *next* non-directive operation is.
+        for index, instruction in enumerate(instructions):
+            if instruction.name not in _DIAGONAL_GATES or len(instruction.qubits) != 1:
+                continue
+            qubit = instruction.qubits[0]
+            next_use = self._next_operation(instructions, index + 1, qubit)
+            if next_use is not None and next_use.is_measurement:
+                keep[index] = False
+        result = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        result.metadata = dict(circuit.metadata)
+        for index, instruction in enumerate(instructions):
+            if keep[index]:
+                result.append(instruction)
+        return result
+
+    @staticmethod
+    def _next_operation(instructions: List[Instruction], start: int, qubit: int) -> Optional[Instruction]:
+        for instruction in instructions[start:]:
+            if instruction.name == "barrier":
+                continue
+            if qubit in instruction.qubits:
+                return instruction
+        return None

@@ -1,0 +1,168 @@
+"""Circuit optimisation passes: gate cancellation and 1-qubit resynthesis."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+from repro.transpiler.context import TranspileContext
+from repro.transpiler.decompositions import resynthesise_single_qubit, zyz_angles
+from repro.transpiler.passes.base import TranspilerPass
+
+#: Pairs of gates that cancel when adjacent on identical operands.
+_SELF_INVERSE = {"x", "y", "z", "h", "cx", "cz", "cy", "swap", "ccx", "ccz", "id"}
+_INVERSE_PAIRS = {("s", "sdg"), ("sdg", "s"), ("t", "tdg"), ("tdg", "t")}
+
+
+class CancelAdjacentInverses(TranspilerPass):
+    """Remove adjacent gate pairs that multiply to the identity.
+
+    Runs repeatedly until a fixed point: cancelling one pair can expose
+    another (e.g. ``h x x h``).  This is the core of the paper's "Virtual
+    Circuit Optimization" and "Physical Circuit Optimization" stages.
+    """
+
+    def run(self, circuit: QuantumCircuit, context: TranspileContext) -> QuantumCircuit:
+        instructions = list(circuit)
+        changed = True
+        while changed:
+            instructions, changed = self._single_sweep(instructions)
+        result = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        result.metadata = dict(circuit.metadata)
+        for instruction in instructions:
+            result.append(instruction)
+        return result
+
+    @staticmethod
+    def _cancels(first: Instruction, second: Instruction) -> bool:
+        if first.qubits != second.qubits:
+            return False
+        if first.name in _SELF_INVERSE and first.name == second.name:
+            return True
+        if (first.name, second.name) in _INVERSE_PAIRS:
+            return True
+        if first.name == second.name and first.name in ("rz", "rx", "ry", "u1", "p", "crz", "cu1", "cp", "rzz"):
+            return abs(first.params[0] + second.params[0]) < 1e-12
+        return False
+
+    def _single_sweep(self, instructions: List[Instruction]):
+        result: List[Instruction] = []
+        changed = False
+        index = 0
+        while index < len(instructions):
+            current = instructions[index]
+            if current.is_directive:
+                result.append(current)
+                index += 1
+                continue
+            partner_index = self._find_adjacent_partner(instructions, index)
+            if partner_index is not None and self._cancels(current, instructions[partner_index]):
+                del instructions[partner_index]
+                del instructions[index]
+                changed = True
+                continue
+            result.append(current)
+            index += 1
+        return (instructions if changed else result), changed
+
+    @staticmethod
+    def _find_adjacent_partner(instructions: List[Instruction], index: int) -> Optional[int]:
+        """Find the next instruction touching the same qubits with nothing in between."""
+        current = instructions[index]
+        blocked = set(current.qubits)
+        for later in range(index + 1, len(instructions)):
+            candidate = instructions[later]
+            if candidate.is_directive and candidate.name == "barrier":
+                if blocked.intersection(candidate.qubits):
+                    return None
+                continue
+            overlap = blocked.intersection(candidate.qubits)
+            if overlap:
+                if set(candidate.qubits) == blocked:
+                    return later
+                return None
+        return None
+
+
+class Optimize1QubitGates(TranspilerPass):
+    """Merge runs of adjacent single-qubit gates into a single ``u``-gate.
+
+    Consecutive one-qubit gates on the same wire are multiplied together and
+    resynthesised via ZYZ decomposition; runs that multiply to (a phase times)
+    the identity disappear entirely.
+    """
+
+    def __init__(self, basis_gates: Sequence[str] = ("u1", "u2", "u3")) -> None:
+        self._basis_gates = tuple(basis_gates)
+
+    def run(self, circuit: QuantumCircuit, context: TranspileContext) -> QuantumCircuit:
+        basis = self._basis_gates
+        if context.target is not None:
+            target_basis = tuple(g for g in context.target.basis_gates if g not in ("cx",))
+            if target_basis:
+                basis = target_basis
+        result = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        result.metadata = dict(circuit.metadata)
+        pending: Dict[int, List[Instruction]] = {}
+
+        def flush(qubit: int) -> None:
+            run = pending.pop(qubit, [])
+            if not run:
+                return
+            if len(run) == 1 and run[0].name in basis:
+                result.append(run[0])
+                return
+            matrix = np.eye(2, dtype=complex)
+            for gate in run:
+                matrix = gate.matrix() @ matrix
+            if _is_identity(matrix):
+                return
+            merged = Instruction("u3", (qubit,), params=zyz_angles(matrix))
+            for piece in resynthesise_single_qubit(merged, self._basis_gates_for(basis)):
+                result.append(piece)
+
+        def flush_all() -> None:
+            for qubit in list(pending):
+                flush(qubit)
+
+        for instruction in circuit:
+            if not instruction.is_directive and len(instruction.qubits) == 1:
+                pending.setdefault(instruction.qubits[0], []).append(instruction)
+                continue
+            for qubit in instruction.qubits:
+                flush(qubit)
+            if instruction.name == "barrier":
+                flush_all()
+            result.append(instruction)
+        flush_all()
+        return result
+
+    @staticmethod
+    def _basis_gates_for(basis: Sequence[str]) -> Sequence[str]:
+        allowed = {"u1", "u2", "u3", "u"}
+        filtered = [gate for gate in basis if gate in allowed]
+        return filtered or ("u3",)
+
+
+def _is_identity(matrix: np.ndarray, atol: float = 1e-9) -> bool:
+    """``True`` when ``matrix`` is the identity up to global phase."""
+    phase = matrix[0, 0]
+    if abs(abs(phase) - 1.0) > atol:
+        return False
+    return bool(np.allclose(matrix, phase * np.eye(2), atol=atol))
+
+
+class RemoveBarriers(TranspilerPass):
+    """Strip barrier directives (used before executing on the simulators)."""
+
+    def run(self, circuit: QuantumCircuit, context: TranspileContext) -> QuantumCircuit:
+        result = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        result.metadata = dict(circuit.metadata)
+        for instruction in circuit:
+            if instruction.name == "barrier":
+                continue
+            result.append(instruction)
+        return result

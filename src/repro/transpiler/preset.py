@@ -1,0 +1,139 @@
+"""The preset transpilation pipeline and the public :func:`transpile` entry.
+
+The stage order follows the paper's description of the Qiskit transpiler
+(Section 2.3): virtual circuit optimisation, 3+ qubit gate decomposition,
+placement on physical qubits, routing on the restricted topology, translation
+to basis gates and physical circuit optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.backends.backend import Backend
+from repro.backends.properties import BackendProperties
+from repro.circuits.circuit import QuantumCircuit
+from repro.transpiler.context import TranspileContext
+from repro.transpiler.layout import Layout
+from repro.transpiler.passes.base import PassManager, TranspilerPass
+from repro.transpiler.passes.decompose import BasisTranslation, DecomposeMultiQubitGates
+from repro.transpiler.passes.layout_selection import (
+    DenseLayoutPass,
+    SetLayoutPass,
+    TrivialLayoutPass,
+    VF2PerfectLayoutPass,
+)
+from repro.transpiler.passes.cleanup import MergeAdjacentRotations, RemoveDiagonalGatesBeforeMeasure
+from repro.transpiler.passes.optimize import CancelAdjacentInverses, Optimize1QubitGates
+from repro.transpiler.passes.routing import (
+    BasicRoutingPass,
+    CheckMapPass,
+    GatesInBasisPass,
+    SabreRoutingPass,
+)
+from repro.utils.exceptions import TranspilerError
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class TranspileResult:
+    """A transpiled circuit together with its compilation metadata."""
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    swaps_inserted: int
+    target_name: str
+    properties: Dict[str, object] = field(default_factory=dict)
+
+    def two_qubit_gate_count(self) -> int:
+        """Number of two-qubit gates in the compiled circuit."""
+        return self.circuit.num_two_qubit_gates()
+
+
+def build_preset_pass_manager(
+    target: BackendProperties,
+    optimization_level: int = 2,
+    initial_layout: Optional[Layout] = None,
+    routing_method: str = "sabre",
+) -> PassManager:
+    """Construct the preset pipeline for ``target``.
+
+    Optimisation levels:
+
+    * ``0`` — trivial layout, basic routing, basis translation only;
+    * ``1`` — adds inverse-cancellation and 1-qubit resynthesis;
+    * ``2`` (default) — adds VF2 perfect-layout search before the dense
+      fallback and a final physical optimisation sweep;
+    * ``3`` — adds rotation merging and removal of diagonal gates before
+      measurements to the physical optimisation sweep.
+    """
+    if optimization_level not in (0, 1, 2, 3):
+        raise TranspilerError("optimization_level must be 0, 1, 2 or 3")
+    if routing_method not in ("sabre", "basic"):
+        raise TranspilerError("routing_method must be 'sabre' or 'basic'")
+
+    passes: List[TranspilerPass] = []
+    if optimization_level >= 1:
+        passes.append(CancelAdjacentInverses())
+        passes.append(Optimize1QubitGates())
+    passes.append(DecomposeMultiQubitGates())
+
+    if initial_layout is not None:
+        passes.append(SetLayoutPass(initial_layout))
+    elif optimization_level == 0:
+        passes.append(TrivialLayoutPass())
+    else:
+        if optimization_level >= 2:
+            passes.append(VF2PerfectLayoutPass())
+        passes.append(DenseLayoutPass())
+
+    passes.append(SabreRoutingPass() if routing_method == "sabre" else BasicRoutingPass())
+    passes.append(BasisTranslation())
+    if optimization_level >= 1:
+        passes.append(CancelAdjacentInverses())
+    if optimization_level >= 2:
+        passes.append(Optimize1QubitGates())
+    if optimization_level >= 3:
+        passes.append(MergeAdjacentRotations())
+        passes.append(RemoveDiagonalGatesBeforeMeasure())
+    passes.append(CheckMapPass())
+    passes.append(GatesInBasisPass())
+    return PassManager(passes)
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    target,
+    optimization_level: int = 2,
+    initial_layout: Optional[Layout] = None,
+    routing_method: str = "sabre",
+    seed: SeedLike = None,
+) -> TranspileResult:
+    """Compile ``circuit`` for ``target`` (a :class:`Backend` or properties).
+
+    Returns a :class:`TranspileResult` whose circuit acts on the device's
+    physical qubits, respects its coupling map and uses only its basis gates.
+    """
+    properties = target.properties if isinstance(target, Backend) else target
+    if not isinstance(properties, BackendProperties):
+        raise TranspilerError("target must be a Backend or BackendProperties")
+    context = TranspileContext.for_target(properties, seed=seed)
+    manager = build_preset_pass_manager(
+        properties,
+        optimization_level=optimization_level,
+        initial_layout=initial_layout,
+        routing_method=routing_method,
+    )
+    compiled = manager.run(circuit, context)
+    initial = context.initial_layout or Layout.trivial(circuit.num_qubits)
+    final = context.final_layout or initial
+    return TranspileResult(
+        circuit=compiled,
+        initial_layout=initial,
+        final_layout=final,
+        swaps_inserted=int(context.properties.get("swaps_inserted", 0)),
+        target_name=properties.name,
+        properties=dict(context.properties),
+    )

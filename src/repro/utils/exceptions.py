@@ -1,0 +1,88 @@
+"""Exception hierarchy shared by every ``repro`` subpackage.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+one base class at an API boundary.  Each substrate narrows the base class
+further (circuit construction, QASM parsing, transpilation, simulation,
+cluster orchestration and scheduling), which keeps error handling explicit
+without forcing callers to import deep module paths.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class CircuitError(ReproError):
+    """Raised when a quantum circuit is constructed or mutated illegally."""
+
+
+class GateError(CircuitError):
+    """Raised when a gate definition or gate application is invalid."""
+
+
+class QASMError(ReproError):
+    """Raised when OpenQASM source cannot be lexed, parsed or exported."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator cannot execute the supplied circuit."""
+
+
+class StabilizerError(SimulationError):
+    """Raised when a non-Clifford operation reaches the stabilizer simulator."""
+
+
+class BackendError(ReproError):
+    """Raised when backend properties are malformed or inconsistent."""
+
+
+class TranspilerError(ReproError):
+    """Raised when a transpiler pass cannot produce a legal circuit."""
+
+
+class LayoutError(TranspilerError):
+    """Raised when a layout cannot be constructed for a circuit/device pair."""
+
+
+class MatchingError(ReproError):
+    """Raised by the subgraph-matching (Mapomatic-style) engine."""
+
+
+class FidelityEstimationError(ReproError):
+    """Raised when a fidelity estimate cannot be produced."""
+
+
+class ClusterError(ReproError):
+    """Raised by the cluster substrate (nodes, jobs, binding, containers)."""
+
+
+class SchedulingError(ClusterError):
+    """Raised when a job cannot be scheduled onto any node."""
+
+
+class NoFeasibleNodeError(SchedulingError):
+    """Raised when filtering leaves zero nodes for a job.
+
+    The paper describes this situation explicitly for Fig. 10: a maximum
+    two-qubit error bound of 0.07 filters out the entire 100-device cluster,
+    which "would simply mean that the user's job is not fit for scheduling in
+    the cluster".
+    """
+
+
+class RequirementsError(ReproError):
+    """Raised when user-supplied job requirements are invalid."""
+
+
+class MetaServerError(ReproError):
+    """Raised by the QRIO meta server (unknown job, unknown backend, ...)."""
+
+
+class MasterServerError(ReproError):
+    """Raised by the QRIO master server (containerization, submission)."""
+
+
+class VisualizerError(ReproError):
+    """Raised by the programmatic visualizer (form validation, canvas)."""

@@ -1,0 +1,35 @@
+"""Evaluation workloads: the paper's circuits, default topologies and suites."""
+
+from repro.workloads.default_topologies import DefaultTopology, default_topologies, default_topology
+from repro.workloads.evaluation_circuits import (
+    EvaluationWorkload,
+    evaluation_workload,
+    evaluation_workloads,
+    workload_circuits,
+)
+from repro.workloads.suites import (
+    SuiteEntry,
+    WorkloadSuite,
+    available_suites,
+    clifford_suite,
+    nisq_mix_suite,
+    paper_evaluation_suite,
+    workload_suite,
+)
+
+__all__ = [
+    "DefaultTopology",
+    "EvaluationWorkload",
+    "SuiteEntry",
+    "WorkloadSuite",
+    "available_suites",
+    "clifford_suite",
+    "default_topologies",
+    "default_topology",
+    "evaluation_workload",
+    "evaluation_workloads",
+    "nisq_mix_suite",
+    "paper_evaluation_suite",
+    "workload_circuits",
+    "workload_suite",
+]

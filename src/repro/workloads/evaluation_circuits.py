@@ -1,0 +1,60 @@
+"""The user-circuit workloads of the Fig. 7 experiment.
+
+Section 4.3 evaluates the fidelity-ranking scheduler on six circuits, each
+submitted with a demanded fidelity of 100%: Bernstein-Vazirani (10 qubits),
+Hidden Subgroup Problem (4 qubits), Grover search (3 qubits), a repetition
+code encoder (5 qubits), ``Circ`` (a random 7-qubit circuit) and ``Circ_2``
+(a random 8-qubit circuit with 12 CX gates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import (
+    bernstein_vazirani,
+    grover_search,
+    hidden_subgroup,
+    repetition_code_encoder,
+)
+from repro.circuits.random_circuits import circ2_benchmark, circ_benchmark
+
+
+@dataclass(frozen=True)
+class EvaluationWorkload:
+    """One Fig. 7 workload: a label plus a circuit factory."""
+
+    key: str
+    label: str
+    factory: Callable[[], QuantumCircuit]
+
+    def circuit(self) -> QuantumCircuit:
+        """Build a fresh instance of the workload circuit."""
+        return self.factory()
+
+
+def evaluation_workloads() -> List[EvaluationWorkload]:
+    """The six Fig. 7 workloads in the paper's plotting order."""
+    return [
+        EvaluationWorkload("bv", "Bv", lambda: bernstein_vazirani("1" * 9)),
+        EvaluationWorkload("hsp", "Hsp", lambda: hidden_subgroup(4)),
+        EvaluationWorkload("rep", "Rep", lambda: repetition_code_encoder(5)),
+        EvaluationWorkload("grover", "Grover", lambda: grover_search(3)),
+        EvaluationWorkload("circ", "Circ", lambda: circ_benchmark()),
+        EvaluationWorkload("circ_2", "Circ_2", lambda: circ2_benchmark()),
+    ]
+
+
+def evaluation_workload(key: str) -> EvaluationWorkload:
+    """Look up one workload by key."""
+    for workload in evaluation_workloads():
+        if workload.key == key:
+            return workload
+    raise KeyError(f"Unknown evaluation workload '{key}'")
+
+
+def workload_circuits() -> Dict[str, QuantumCircuit]:
+    """All Fig. 7 circuits keyed by workload key."""
+    return {workload.key: workload.circuit() for workload in evaluation_workloads()}

@@ -1,0 +1,51 @@
+"""Tests for the executable Backend object."""
+
+import pytest
+
+from repro.backends import Backend, named_topology_device
+from repro.circuits import ghz
+from repro.transpiler import transpile
+from repro.utils.exceptions import BackendError
+
+
+class TestExecution:
+    def test_run_requires_fitting_circuit(self, noisy_line_device):
+        with pytest.raises(BackendError):
+            noisy_line_device.run(ghz(20))
+
+    def test_ideal_run_matches_expected_outcomes(self, line_device):
+        compiled = transpile(ghz(4), line_device, seed=1)
+        result = line_device.run(compiled.circuit, shots=300, seed=2)
+        assert set(result.counts) <= {"0000", "1111"}
+
+    def test_noisy_run_produces_other_outcomes(self, noisy_line_device):
+        compiled = transpile(ghz(4), noisy_line_device, seed=1)
+        result = noisy_line_device.run(compiled.circuit, shots=500, seed=2)
+        assert len(result.counts) > 2
+
+    def test_noiseless_override(self, noisy_line_device):
+        compiled = transpile(ghz(4), noisy_line_device, seed=1)
+        result = noisy_line_device.run(compiled.circuit, shots=300, seed=2, noisy=False)
+        assert set(result.counts) <= {"0000", "1111"}
+
+    def test_summary_keys(self, noisy_line_device):
+        assert "avg_two_qubit_error" in noisy_line_device.summary()
+
+
+class TestBackendFile:
+    def test_render_contains_backend_variable(self, noisy_line_device):
+        source = noisy_line_device.render_backend_py()
+        assert "backend = json.loads(BACKEND_JSON)" in source
+
+    def test_write_and_reload(self, tmp_path, noisy_line_device):
+        path = noisy_line_device.write_backend_py(tmp_path)
+        assert path.name == "backend.py"
+        reloaded = Backend.from_backend_py(path)
+        assert reloaded.name == noisy_line_device.name
+        assert reloaded.properties.to_dict() == noisy_line_device.properties.to_dict()
+
+    def test_reject_non_backend_file(self, tmp_path):
+        path = tmp_path / "backend.py"
+        path.write_text("print('not a backend')\n")
+        with pytest.raises(BackendError):
+            Backend.from_backend_py(path)

@@ -1,0 +1,83 @@
+"""Tests for the Table 2 fleet generator."""
+
+import pytest
+
+from repro.backends import FleetSpec, generate_device, generate_fleet, three_device_testbed, uniform_error_device, line_topology
+from repro.utils.exceptions import BackendError
+
+
+class TestFleetSpec:
+    def test_default_fleet_size_is_100(self):
+        assert FleetSpec().fleet_size() == 100
+
+    def test_rows_cover_table2_parameters(self):
+        keys = [key for key, _ in FleetSpec().rows()]
+        assert "Number of qubits" in keys
+        assert "Edge connects probabilities" in keys
+        assert "Basis gates" in keys
+        assert len(keys) == 9
+
+
+class TestGenerateDevice:
+    def test_device_respects_parameter_ranges(self):
+        device = generate_device(27, 0.45, seed=5)
+        properties = device.properties
+        assert properties.num_qubits == 27
+        assert properties.basis_gates == ("u1", "u2", "u3", "cx")
+        for rate in properties.two_qubit_error.values():
+            assert 0.01 <= rate <= 0.7
+        for rate in properties.one_qubit_error.values():
+            assert 0.01 <= rate <= 0.7
+        for rate in properties.readout_error.values():
+            assert rate in (0.05, 0.15)
+        for value in properties.t1.values():
+            assert value in (500e3, 100e3)
+        for value in properties.readout_length.values():
+            assert value == 30.0
+
+    def test_device_is_connected(self):
+        assert generate_device(35, 0.15, seed=8).properties.is_connected()
+
+    def test_reproducible_generation(self):
+        a = generate_device(20, 0.3, seed=4).properties.to_dict()
+        b = generate_device(20, 0.3, seed=4).properties.to_dict()
+        assert a == b
+
+
+class TestGenerateFleet:
+    def test_full_fleet_has_100_devices_with_unique_names(self):
+        fleet = generate_fleet(seed=3)
+        assert len(fleet) == 100
+        assert len({backend.name for backend in fleet}) == 100
+
+    def test_limit_truncates_but_spans_sizes(self):
+        fleet = generate_fleet(limit=12, seed=3)
+        assert len(fleet) == 12
+        sizes = {backend.num_qubits for backend in fleet}
+        assert len(sizes) > 3
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(BackendError):
+            generate_fleet(limit=0)
+
+    def test_average_errors_span_a_wide_range(self):
+        fleet = generate_fleet(seed=3)
+        averages = [backend.properties.average_two_qubit_error() for backend in fleet]
+        assert min(averages) < 0.1
+        assert max(averages) > 0.5
+
+
+class TestSpecialTestbeds:
+    def test_three_device_testbed_names_and_size(self):
+        devices = three_device_testbed()
+        assert [d.name for d in devices] == ["device_tree", "device_ring", "device_line"]
+        assert all(d.num_qubits == 10 for d in devices)
+
+    def test_three_device_testbed_has_identical_error_rates(self):
+        devices = three_device_testbed()
+        averages = {round(d.properties.average_two_qubit_error(), 9) for d in devices}
+        assert len(averages) == 1
+
+    def test_uniform_error_device(self):
+        device = uniform_error_device("uni", line_topology(4), 4, two_qubit_error=0.2)
+        assert device.properties.average_two_qubit_error() == pytest.approx(0.2)

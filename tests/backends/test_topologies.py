@@ -1,0 +1,108 @@
+"""Tests for coupling-map builders."""
+
+import networkx as nx
+import pytest
+
+from repro.backends import (
+    MAX_CONNECTIONS_PER_QUBIT,
+    NAMED_TOPOLOGIES,
+    average_degree,
+    coupling_density,
+    coupling_to_graph,
+    fully_connected_topology,
+    grid_topology,
+    heavy_hex_topology,
+    heavy_square_topology,
+    is_connected,
+    line_topology,
+    named_topology,
+    random_coupling_map,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.utils.exceptions import BackendError
+
+
+class TestNamedTopologies:
+    def test_line_edge_count(self):
+        assert len(line_topology(6)) == 5
+
+    def test_ring_edge_count(self):
+        assert len(ring_topology(7)) == 7
+
+    def test_small_ring_degenerates_to_line(self):
+        assert ring_topology(2) == [(0, 1)]
+
+    def test_grid_edge_count(self):
+        assert len(grid_topology(2, 3)) == 7  # 3 horizontal + 4 vertical
+
+    def test_fully_connected_edge_count(self):
+        assert len(fully_connected_topology(6)) == 15
+
+    def test_star_degrees(self):
+        graph = coupling_to_graph(5, star_topology(5))
+        assert graph.degree(0) == 4
+
+    def test_tree_is_acyclic_and_connected(self):
+        edges = tree_topology(10)
+        graph = coupling_to_graph(10, edges)
+        assert nx.is_tree(graph)
+
+    def test_heavy_square_six_qubits(self):
+        edges = heavy_square_topology(6)
+        assert len(edges) == 6
+        assert is_connected(6, edges)
+
+    def test_heavy_hex_is_connected(self):
+        edges = heavy_hex_topology(3)
+        num_nodes = max(max(edge) for edge in edges) + 1
+        assert is_connected(num_nodes, edges)
+
+    def test_named_topology_registry(self):
+        for name in NAMED_TOPOLOGIES:
+            edges = named_topology(name, 6)
+            assert all(0 <= a < 6 and 0 <= b < 6 for a, b in edges)
+
+    def test_unknown_named_topology(self):
+        with pytest.raises(BackendError):
+            named_topology("torus", 6)
+
+    def test_all_named_topologies_are_connected(self):
+        for name in NAMED_TOPOLOGIES:
+            assert is_connected(8, named_topology(name, 8)), name
+
+
+class TestRandomCouplingMap:
+    def test_connectivity_guaranteed(self):
+        for probability in (0.1, 0.5, 0.98):
+            edges = random_coupling_map(30, probability, seed=1)
+            assert is_connected(30, edges)
+
+    def test_degree_cap_respected(self):
+        edges = random_coupling_map(50, 0.98, seed=2)
+        graph = coupling_to_graph(50, edges)
+        assert max(degree for _, degree in graph.degree()) <= MAX_CONNECTIONS_PER_QUBIT
+
+    def test_higher_probability_gives_more_edges(self):
+        sparse = random_coupling_map(40, 0.1, seed=3)
+        dense = random_coupling_map(40, 0.9, seed=3)
+        assert len(dense) > len(sparse)
+
+    def test_reproducible_for_same_seed(self):
+        assert random_coupling_map(20, 0.4, seed=9) == random_coupling_map(20, 0.4, seed=9)
+
+    def test_self_loops_rejected_by_graph_builder(self):
+        with pytest.raises(BackendError):
+            coupling_to_graph(3, [(1, 1)])
+
+
+class TestMetrics:
+    def test_average_degree(self):
+        assert average_degree(4, line_topology(4)) == pytest.approx(1.5)
+
+    def test_coupling_density_of_complete_graph(self):
+        assert coupling_density(5, fully_connected_topology(5)) == pytest.approx(1.0)
+
+    def test_density_of_empty_topology(self):
+        assert coupling_density(1, []) == 0.0

@@ -1,0 +1,230 @@
+"""Tests for the extended algorithm library (repro.circuits.algorithms)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    deutsch_jozsa,
+    hardware_efficient_ansatz,
+    phase_estimation,
+    qaoa_maxcut,
+    ripple_carry_adder,
+    simon,
+    w_state,
+)
+from repro.fidelity import is_clifford_circuit
+from repro.transpiler import transpile
+from repro.utils.exceptions import CircuitError
+
+
+class TestDeutschJozsa:
+    def test_constant_oracle_measures_all_zeros(self, statevector_simulator):
+        circuit = deutsch_jozsa(4, "constant0")
+        result = statevector_simulator.run(circuit, shots=256)
+        assert result.most_frequent() == "0000"
+        assert result.counts["0000"] == 256
+
+    def test_constant1_oracle_measures_all_zeros(self, statevector_simulator):
+        circuit = deutsch_jozsa(3, "constant1")
+        result = statevector_simulator.run(circuit, shots=128)
+        assert result.most_frequent() == "000"
+
+    def test_balanced_oracle_never_measures_all_zeros(self, statevector_simulator):
+        circuit = deutsch_jozsa(4, "balanced")
+        result = statevector_simulator.run(circuit, shots=256)
+        assert "0000" not in result.counts
+
+    def test_balanced_oracle_is_clifford(self):
+        assert is_clifford_circuit(deutsch_jozsa(5, "balanced"))
+
+    def test_rejects_unknown_oracle(self):
+        with pytest.raises(CircuitError):
+            deutsch_jozsa(3, "sideways")
+
+    def test_metadata_records_oracle_type(self):
+        circuit = deutsch_jozsa(4, "balanced")
+        assert circuit.metadata["oracle"] == "balanced"
+        assert circuit.metadata["ideal_bitstring"] is None
+
+
+class TestSimon:
+    def test_all_outcomes_orthogonal_to_secret(self, statevector_simulator):
+        secret = "110"
+        circuit = simon(secret)
+        result = statevector_simulator.run(circuit, shots=512)
+        secret_bits = [int(bit) for bit in secret]
+        for bitstring in result.counts:
+            outcome_bits = [int(bit) for bit in bitstring]
+            parity = sum(s * y for s, y in zip(secret_bits, outcome_bits)) % 2
+            assert parity == 0, f"outcome {bitstring} not orthogonal to secret {secret}"
+
+    def test_zero_secret_gives_uniform_support(self, statevector_simulator):
+        circuit = simon("00")
+        result = statevector_simulator.run(circuit, shots=512)
+        # With a zero secret the function is a bijection; every y is allowed.
+        assert set(result.counts) == {"00", "01", "10", "11"}
+
+    def test_uses_two_registers(self):
+        circuit = simon("1011")
+        assert circuit.num_qubits == 8
+        assert circuit.num_clbits == 4
+
+    def test_is_clifford(self):
+        assert is_clifford_circuit(simon("101"))
+
+    def test_rejects_bad_secret(self):
+        with pytest.raises(CircuitError):
+            simon("1a0")
+        with pytest.raises(CircuitError):
+            simon("")
+
+
+class TestQAOAMaxcut:
+    def test_single_edge_default_angles_solve_maxcut(self, statevector_simulator):
+        circuit = qaoa_maxcut([(0, 1)], layers=1)
+        result = statevector_simulator.run(circuit, shots=512)
+        probabilities = result.probabilities()
+        cut_probability = probabilities.get("01", 0.0) + probabilities.get("10", 0.0)
+        assert cut_probability > 0.95
+
+    def test_structure_counts(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        circuit = qaoa_maxcut(edges, layers=2, gammas=[0.3, 0.5], betas=[0.2, 0.4], measure=False)
+        ops = circuit.count_ops()
+        assert ops["rzz"] == len(edges) * 2
+        assert ops["rx"] == 4 * 2
+        assert ops["h"] == 4
+
+    def test_infers_qubit_count_from_edges(self):
+        circuit = qaoa_maxcut([(0, 3)], measure=False)
+        assert circuit.num_qubits == 4
+
+    def test_transpiles_to_device(self, grid_device):
+        circuit = qaoa_maxcut([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], layers=1)
+        compiled = transpile(circuit, grid_device)
+        basis = set(grid_device.properties.basis_gates) | {"measure", "barrier"}
+        assert all(inst.name in basis for inst in compiled.circuit)
+
+    def test_rejects_self_loop_and_mismatched_angles(self):
+        with pytest.raises(CircuitError):
+            qaoa_maxcut([(1, 1)])
+        with pytest.raises(CircuitError):
+            qaoa_maxcut([(0, 1)], layers=2, gammas=[0.1], betas=[0.1, 0.2])
+        with pytest.raises(CircuitError):
+            qaoa_maxcut([(0, 5)], num_qubits=3)
+        with pytest.raises(CircuitError):
+            qaoa_maxcut([])
+
+
+class TestHardwareEfficientAnsatz:
+    def test_parameter_count(self):
+        circuit = hardware_efficient_ansatz(4, layers=3)
+        assert circuit.metadata["num_parameters"] == 16
+        assert circuit.count_ops()["ry"] == 16
+
+    def test_linear_vs_ring_entanglers(self):
+        linear = hardware_efficient_ansatz(4, layers=1, entangler="linear")
+        ring = hardware_efficient_ansatz(4, layers=1, entangler="ring")
+        assert ring.count_ops()["cx"] == linear.count_ops()["cx"] + 1
+
+    def test_explicit_parameters_roundtrip(self):
+        params = [0.5] * 8
+        circuit = hardware_efficient_ansatz(4, layers=1, parameters=params)
+        angles = [inst.params[0] for inst in circuit if inst.name == "ry"]
+        assert angles == params
+
+    def test_rejects_wrong_parameter_count(self):
+        with pytest.raises(CircuitError):
+            hardware_efficient_ansatz(3, layers=1, parameters=[0.1, 0.2])
+
+    def test_rejects_unknown_entangler(self):
+        with pytest.raises(CircuitError):
+            hardware_efficient_ansatz(3, entangler="all-to-some")
+
+    def test_statevector_is_normalised(self, statevector_simulator):
+        circuit = hardware_efficient_ansatz(4, layers=2, measure=False)
+        state = statevector_simulator.statevector(circuit)
+        assert abs(sum(abs(amplitude) ** 2 for amplitude in state) - 1.0) < 1e-9
+
+
+class TestWState:
+    @pytest.mark.parametrize("num_qubits", [2, 3, 4, 5])
+    def test_equal_one_hot_probabilities(self, statevector_simulator, num_qubits):
+        circuit = w_state(num_qubits, measure=True)
+        result = statevector_simulator.run(circuit, shots=4096)
+        probabilities = result.probabilities()
+        one_hot = [format(1 << index, f"0{num_qubits}b") for index in range(num_qubits)]
+        # Only one-hot outcomes appear...
+        assert set(result.counts) <= set(one_hot)
+        # ...and each appears with probability close to 1/n.
+        for outcome in one_hot:
+            assert probabilities.get(outcome, 0.0) == pytest.approx(1.0 / num_qubits, abs=0.06)
+
+    def test_single_qubit_w_state_is_x(self, statevector_simulator):
+        circuit = w_state(1, measure=True)
+        result = statevector_simulator.run(circuit, shots=64)
+        assert result.most_frequent() == "1"
+
+    def test_transpiles_to_device(self, grid_device):
+        compiled = transpile(w_state(4, measure=True), grid_device)
+        assert compiled.circuit.num_two_qubit_gates() >= 3
+
+
+class TestRippleCarryAdder:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 2), (3, 3), (2, 1)])
+    def test_adds_basis_inputs(self, statevector_simulator, a, b):
+        circuit = ripple_carry_adder(2, a, b)
+        result = statevector_simulator.run(circuit, shots=64)
+        assert result.most_frequent() == format(a + b, "03b")
+        assert circuit.metadata["ideal_sum"] == a + b
+
+    def test_three_bit_addition_with_carry(self, statevector_simulator):
+        circuit = ripple_carry_adder(3, 5, 6)
+        result = statevector_simulator.run(circuit, shots=64)
+        assert result.most_frequent() == format(11, "04b")
+
+    def test_rejects_values_out_of_range(self):
+        with pytest.raises(CircuitError):
+            ripple_carry_adder(2, 4, 0)
+        with pytest.raises(CircuitError):
+            ripple_carry_adder(2, 0, -1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=st.integers(min_value=0, max_value=3), b=st.integers(min_value=0, max_value=3))
+    def test_property_two_bit_sums(self, a, b):
+        from repro.simulators import StatevectorSimulator
+
+        circuit = ripple_carry_adder(2, a, b)
+        result = StatevectorSimulator(seed=7).run(circuit, shots=32)
+        assert result.most_frequent() == format(a + b, "03b")
+
+
+class TestPhaseEstimation:
+    @pytest.mark.parametrize("phase,expected", [(0.25, "010"), (0.5, "100"), (0.125, "001")])
+    def test_exact_binary_phases(self, statevector_simulator, phase, expected):
+        circuit = phase_estimation(3, phase)
+        result = statevector_simulator.run(circuit, shots=256)
+        assert result.most_frequent() == expected
+        assert circuit.metadata["ideal_bitstring"] == expected
+
+    def test_inexact_phase_concentrates_near_truth(self, statevector_simulator):
+        circuit = phase_estimation(4, 0.3)
+        result = statevector_simulator.run(circuit, shots=2048)
+        best = int(result.most_frequent(), 2)
+        assert abs(best / 16.0 - 0.3) <= 1.0 / 16.0
+
+    def test_rejects_phase_outside_unit_interval(self):
+        with pytest.raises(CircuitError):
+            phase_estimation(3, 1.2)
+        with pytest.raises(CircuitError):
+            phase_estimation(3, -0.1)
+
+    def test_transpiles_to_device(self, grid_device):
+        compiled = transpile(phase_estimation(3, 0.25), grid_device)
+        basis = set(grid_device.properties.basis_gates) | {"measure", "barrier"}
+        assert all(inst.name in basis for inst in compiled.circuit)

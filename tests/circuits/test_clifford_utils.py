@@ -1,0 +1,73 @@
+"""Tests for the shared single-qubit Clifford utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.clifford_utils import (
+    clifford_sequence_for,
+    closest_single_qubit_clifford,
+    single_qubit_clifford_library,
+)
+from repro.circuits.gates import gate_matrix
+from repro.circuits.instruction import Instruction
+from repro.utils.linalg import allclose_up_to_global_phase
+
+
+class TestLibrary:
+    def test_library_has_24_elements(self):
+        assert len(single_qubit_clifford_library()) == 24
+
+    def test_library_elements_are_distinct(self):
+        matrices = [matrix for _, matrix in single_qubit_clifford_library()]
+        for i, a in enumerate(matrices):
+            for b in matrices[i + 1:]:
+                assert abs(np.trace(a.conj().T @ b)) / 2.0 < 1.0 - 1e-9
+
+    def test_sequences_reproduce_matrices(self):
+        for sequence, matrix in single_qubit_clifford_library():
+            product = np.eye(2, dtype=complex)
+            for name in sequence:
+                product = gate_matrix(name) @ product
+            assert allclose_up_to_global_phase(product, matrix)
+
+
+class TestClosestClifford:
+    def test_exact_clifford_maps_to_itself(self):
+        sequence, overlap = closest_single_qubit_clifford(gate_matrix("h"))
+        assert overlap > 1 - 1e-9
+        assert sequence == ("h",)
+
+    def test_rz_quarter_turn_is_s(self):
+        sequence, overlap = closest_single_qubit_clifford(gate_matrix("rz", (math.pi / 2,)))
+        assert overlap > 1 - 1e-9
+        product = np.eye(2, dtype=complex)
+        for name in sequence:
+            product = gate_matrix(name) @ product
+        assert allclose_up_to_global_phase(product, gate_matrix("s"))
+
+    def test_t_gate_is_not_exactly_clifford(self):
+        _, overlap = closest_single_qubit_clifford(gate_matrix("t"))
+        assert overlap < 1 - 1e-6
+        assert overlap > 0.9
+
+
+class TestCliffordSequenceFor:
+    def test_named_native_gate(self):
+        assert clifford_sequence_for(Instruction("cx", (0, 1))) == ("cx",)
+
+    def test_parameterised_clifford_gate(self):
+        sequence = clifford_sequence_for(Instruction("u2", (0,), params=(0.0, math.pi)))
+        assert sequence is not None
+
+    def test_non_clifford_returns_none(self):
+        assert clifford_sequence_for(Instruction("t", (0,))) is None
+        assert clifford_sequence_for(Instruction("rz", (0,), params=(0.3,))) is None
+
+    def test_measure_and_barrier_pass_through(self):
+        assert clifford_sequence_for(Instruction("measure", (0,), clbits=(0,))) == ("measure",)
+        assert clifford_sequence_for(Instruction("barrier", (0, 1))) == ("barrier",)
+
+    def test_non_native_two_qubit_gate_returns_none(self):
+        assert clifford_sequence_for(Instruction("cu1", (0, 1), params=(math.pi,))) is None

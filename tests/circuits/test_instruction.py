@@ -1,0 +1,78 @@
+"""Tests for the Instruction model."""
+
+import pytest
+
+from repro.circuits.instruction import Instruction
+from repro.utils.exceptions import CircuitError
+
+
+class TestConstruction:
+    def test_basic_gate(self):
+        inst = Instruction("h", (0,))
+        assert inst.name == "h"
+        assert inst.num_qubits == 1
+        assert not inst.is_directive
+
+    def test_canonicalises_name_case(self):
+        assert Instruction("CX", (0, 1)).name == "cx"
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(CircuitError):
+            Instruction("cx", (0,))
+
+    def test_duplicate_operands_raise(self):
+        with pytest.raises(CircuitError):
+            Instruction("cx", (1, 1))
+
+    def test_wrong_parameter_count_raises(self):
+        with pytest.raises(CircuitError):
+            Instruction("rz", (0,))
+
+    def test_measure_requires_one_clbit(self):
+        with pytest.raises(CircuitError):
+            Instruction("measure", (0,))
+        inst = Instruction("measure", (0,), clbits=(2,))
+        assert inst.clbits == (2,)
+        assert inst.is_measurement
+
+    def test_non_measure_cannot_write_clbits(self):
+        with pytest.raises(CircuitError):
+            Instruction("h", (0,), clbits=(0,))
+
+    def test_barrier_needs_at_least_one_qubit(self):
+        with pytest.raises(CircuitError):
+            Instruction("barrier", ())
+
+    def test_barrier_spans_arbitrary_qubits(self):
+        inst = Instruction("barrier", (0, 3, 5))
+        assert inst.is_directive
+
+
+class TestBehaviour:
+    def test_two_qubit_flag(self):
+        assert Instruction("cx", (0, 1)).is_two_qubit_gate
+        assert not Instruction("h", (0,)).is_two_qubit_gate
+        assert not Instruction("measure", (0,), clbits=(0,)).is_two_qubit_gate
+
+    def test_matrix_shape(self):
+        assert Instruction("swap", (0, 1)).matrix().shape == (4, 4)
+
+    def test_remap(self):
+        inst = Instruction("cx", (0, 2), params=())
+        remapped = inst.remap([5, 6, 7])
+        assert remapped.qubits == (5, 7)
+        assert remapped.name == "cx"
+
+    def test_with_qubits(self):
+        inst = Instruction("rz", (1,), params=(0.5,))
+        moved = inst.with_qubits((4,))
+        assert moved.qubits == (4,)
+        assert moved.params == (0.5,)
+
+    def test_params_are_floats(self):
+        inst = Instruction("rz", (0,), params=(1,))
+        assert isinstance(inst.params[0], float)
+
+    def test_equality(self):
+        assert Instruction("h", (0,)) == Instruction("h", (0,))
+        assert Instruction("h", (0,)) != Instruction("h", (1,))

@@ -1,0 +1,96 @@
+"""Tests for the workload circuit library."""
+
+import pytest
+
+from repro.circuits import (
+    bernstein_vazirani,
+    ghz,
+    grover_search,
+    hidden_subgroup,
+    qft,
+    repetition_code_encoder,
+)
+from repro.circuits.library import quantum_volume_layer
+from repro.simulators import StatevectorSimulator
+from repro.utils.exceptions import CircuitError
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return StatevectorSimulator(seed=5)
+
+
+class TestBernsteinVazirani:
+    def test_size_matches_secret(self):
+        circuit = bernstein_vazirani("10110")
+        assert circuit.num_qubits == 6  # data qubits + ancilla
+
+    def test_recovers_secret_exactly(self, simulator):
+        secret = "10110"
+        result = simulator.run(bernstein_vazirani(secret), shots=256)
+        assert result.most_frequent() == secret
+        assert result.counts[secret] == 256
+
+    def test_is_clifford(self):
+        ops = set(bernstein_vazirani("1011").count_ops())
+        assert ops <= {"h", "x", "cx", "barrier", "measure"}
+
+    def test_rejects_bad_secret(self):
+        with pytest.raises(CircuitError):
+            bernstein_vazirani("10a1")
+
+    def test_unmeasured_variant(self):
+        assert bernstein_vazirani("101", measure=False).num_measurements() == 0
+
+
+class TestGrover:
+    def test_marked_state_is_most_likely(self, simulator):
+        result = simulator.run(grover_search(3, marked="101"), shots=512)
+        assert result.most_frequent() == "101"
+
+    def test_two_qubit_grover_is_deterministic(self, simulator):
+        result = simulator.run(grover_search(2, marked="11"), shots=128)
+        assert result.counts["11"] == 128
+
+    def test_rejects_unsupported_width(self):
+        with pytest.raises(CircuitError):
+            grover_search(5)
+
+    def test_rejects_bad_marked_string(self):
+        with pytest.raises(CircuitError):
+            grover_search(3, marked="01")
+
+
+class TestOtherWorkloads:
+    def test_hidden_subgroup_is_clifford(self):
+        ops = set(hidden_subgroup(4).count_ops())
+        assert ops <= {"h", "x", "z", "cx", "cz", "barrier", "measure"}
+
+    def test_hidden_subgroup_minimum_width(self):
+        with pytest.raises(CircuitError):
+            hidden_subgroup(1)
+
+    def test_repetition_code_zero_state(self, simulator):
+        result = simulator.run(repetition_code_encoder(5), shots=64)
+        assert result.most_frequent() == "00000"
+
+    def test_repetition_code_one_state(self, simulator):
+        result = simulator.run(repetition_code_encoder(5, initial_one=True), shots=64)
+        assert result.most_frequent() == "11111"
+
+    def test_ghz_two_outcomes(self, simulator):
+        counts = simulator.run(ghz(4), shots=1000).counts
+        assert set(counts) == {"0000", "1111"}
+
+    def test_qft_on_zero_state_is_uniform(self, simulator):
+        probabilities = simulator.probabilities(qft(3, measure=True))
+        assert all(abs(p - 1 / 8) < 1e-9 for p in probabilities.values())
+
+    def test_qft_gate_count_grows_quadratically(self):
+        assert qft(5).count_ops()["cu1"] == 10
+
+    def test_quantum_volume_layer_validates_permutation(self):
+        with pytest.raises(CircuitError):
+            quantum_volume_layer(4, [0, 1, 1, 3])
+        layer = quantum_volume_layer(4, [2, 0, 3, 1])
+        assert layer.num_two_qubit_gates() == 2

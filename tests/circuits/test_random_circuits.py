@@ -1,0 +1,54 @@
+"""Tests for random circuit generation (including Circ and Circ_2)."""
+
+import pytest
+
+from repro.circuits import circ2_benchmark, circ_benchmark, random_circuit, random_clifford_circuit
+from repro.fidelity import is_clifford_circuit
+
+
+class TestRandomCircuit:
+    def test_reproducible_for_same_seed(self):
+        a = random_circuit(5, 4, seed=3)
+        b = random_circuit(5, 4, seed=3)
+        assert a.data == b.data
+
+    def test_different_seeds_differ(self):
+        a = random_circuit(5, 4, seed=3)
+        b = random_circuit(5, 4, seed=4)
+        assert a.data != b.data
+
+    def test_requested_width(self):
+        assert random_circuit(6, 3, seed=0).num_qubits == 6
+
+    def test_measure_flag(self):
+        assert random_circuit(4, 2, seed=0, measure=False).num_measurements() == 0
+        assert random_circuit(4, 2, seed=0, measure=True).num_measurements() == 4
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            random_circuit(4, 2, two_qubit_probability=1.5)
+
+    def test_clifford_only_flag(self):
+        circuit = random_clifford_circuit(5, 6, seed=11)
+        assert is_clifford_circuit(circuit)
+
+
+class TestPaperWorkloads:
+    def test_circ_has_seven_qubits(self):
+        assert circ_benchmark().num_qubits == 7
+
+    def test_circ_contains_non_clifford_gates(self):
+        circuit = circ_benchmark()
+        assert not is_clifford_circuit(circuit.without_measurements())
+
+    def test_circ2_has_eight_qubits_and_twelve_cx(self):
+        circuit = circ2_benchmark()
+        assert circuit.num_qubits == 8
+        assert circuit.count_ops()["cx"] == 12
+
+    def test_circ2_is_reproducible(self):
+        assert circ2_benchmark().data == circ2_benchmark().data
+
+    def test_circ_and_circ2_are_measured(self):
+        assert circ_benchmark().num_measurements() == 7
+        assert circ2_benchmark().num_measurements() == 8

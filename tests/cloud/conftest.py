@@ -1,0 +1,27 @@
+"""Shared fixtures for the cloud-simulation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import Backend, named_topology_device
+from repro.cloud import ArrivalSpec, generate_trace
+from repro.workloads import clifford_suite
+
+
+@pytest.fixture(scope="session")
+def small_cloud_fleet() -> list:
+    """Four small devices with clearly different noise levels."""
+    return [
+        named_topology_device("grid", 9, two_qubit_error=0.02, one_qubit_error=0.002, readout_error=0.01, name="cloud_good"),
+        named_topology_device("grid", 9, two_qubit_error=0.10, one_qubit_error=0.010, readout_error=0.05, name="cloud_mid"),
+        named_topology_device("line", 9, two_qubit_error=0.30, one_qubit_error=0.030, readout_error=0.10, name="cloud_bad"),
+        named_topology_device("ring", 12, two_qubit_error=0.15, one_qubit_error=0.015, readout_error=0.08, name="cloud_wide"),
+    ]
+
+
+@pytest.fixture(scope="session")
+def short_trace() -> list:
+    """A 30-job trace drawn from the Clifford suite (fast to estimate)."""
+    spec = ArrivalSpec(rate_per_hour=240.0, num_jobs=30, num_users=4, shots=256, suite=clifford_suite())
+    return generate_trace(spec, seed=2024)

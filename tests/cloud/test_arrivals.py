@@ -1,0 +1,93 @@
+"""Tests for the arrival-trace generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import ArrivalSpec, generate_trace, trace_summary
+from repro.utils.exceptions import ClusterError
+from repro.workloads import clifford_suite, paper_evaluation_suite
+
+
+class TestArrivalSpec:
+    def test_defaults_use_the_nisq_mix(self):
+        spec = ArrivalSpec()
+        assert spec.workload_suite().name == "nisq_mix"
+
+    def test_explicit_suite_is_used(self):
+        spec = ArrivalSpec(suite=paper_evaluation_suite())
+        assert spec.workload_suite().name == "paper_eval"
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ClusterError):
+            ArrivalSpec(rate_per_hour=0.0)
+        with pytest.raises(ClusterError):
+            ArrivalSpec(diurnal_amplitude=1.0)
+        with pytest.raises(Exception):
+            ArrivalSpec(num_jobs=0)
+
+
+class TestTraceGeneration:
+    def test_trace_has_requested_length_and_monotonic_times(self):
+        spec = ArrivalSpec(num_jobs=50, suite=clifford_suite())
+        trace = generate_trace(spec, seed=7)
+        assert len(trace) == 50
+        times = [request.arrival_time for request in trace]
+        assert all(later >= earlier for earlier, later in zip(times, times[1:]))
+        assert times[0] > 0.0
+
+    def test_trace_is_deterministic_for_a_seed(self):
+        spec = ArrivalSpec(num_jobs=20, suite=clifford_suite())
+        first = generate_trace(spec, seed=11)
+        second = generate_trace(spec, seed=11)
+        assert [r.name for r in first] == [r.name for r in second]
+        assert [r.arrival_time for r in first] == [r.arrival_time for r in second]
+
+    def test_different_seeds_give_different_traces(self):
+        spec = ArrivalSpec(num_jobs=20, suite=clifford_suite())
+        first = generate_trace(spec, seed=1)
+        second = generate_trace(spec, seed=2)
+        assert [r.arrival_time for r in first] != [r.arrival_time for r in second]
+
+    def test_jobs_come_from_the_suite_and_users_from_the_population(self):
+        suite = clifford_suite()
+        spec = ArrivalSpec(num_jobs=40, num_users=3, suite=suite)
+        trace = generate_trace(spec, seed=3)
+        keys = set(suite.keys())
+        for request in trace:
+            assert request.workload_key in keys
+            assert request.user in {f"user-{i:02d}" for i in range(3)}
+            assert request.circuit.num_qubits >= 2
+            assert request.strategy in ("fidelity", "topology")
+
+    def test_mean_interarrival_tracks_the_rate(self):
+        spec = ArrivalSpec(rate_per_hour=3600.0, num_jobs=400, suite=clifford_suite())
+        trace = generate_trace(spec, seed=5)
+        duration = trace[-1].arrival_time
+        # 3600 jobs/hour = 1 job/second; 400 jobs should take roughly 400 s.
+        assert 300.0 < duration < 520.0
+
+    def test_diurnal_modulation_changes_the_trace(self):
+        flat = generate_trace(ArrivalSpec(num_jobs=30, suite=clifford_suite()), seed=9)
+        wavy = generate_trace(
+            ArrivalSpec(num_jobs=30, diurnal_amplitude=0.8, suite=clifford_suite()), seed=9
+        )
+        assert [r.arrival_time for r in flat] != [r.arrival_time for r in wavy]
+
+    def test_job_names_are_unique(self):
+        trace = generate_trace(ArrivalSpec(num_jobs=60, suite=clifford_suite()), seed=13)
+        names = [request.name for request in trace]
+        assert len(names) == len(set(names))
+
+
+class TestTraceSummary:
+    def test_summary_counts_mix_and_users(self):
+        trace = generate_trace(ArrivalSpec(num_jobs=25, num_users=5, suite=clifford_suite()), seed=17)
+        summary = trace_summary(trace)
+        assert summary["num_jobs"] == 25
+        assert sum(summary["workload_mix"].values()) == 25
+        assert 1 <= summary["num_users"] <= 5
+        assert summary["duration_s"] == pytest.approx(trace[-1].arrival_time)
+
+    def test_summary_of_empty_trace(self):
+        assert trace_summary([]) == {"num_jobs": 0, "duration_s": 0.0, "workload_mix": {}, "num_users": 0}

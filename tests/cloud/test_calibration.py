@@ -1,0 +1,91 @@
+"""Tests for the calibration-drift model (temporal variability, Section 2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import generate_device
+from repro.cloud import CalibrationDriftModel, drift_fleet, drift_history
+from repro.utils.exceptions import BackendError
+
+
+@pytest.fixture(scope="module")
+def device():
+    return generate_device(12, 0.4, seed=31)
+
+
+class TestDriftProperties:
+    def test_structure_is_preserved(self, device):
+        model = CalibrationDriftModel()
+        drifted = model.drift_properties(device.properties, seed=1)
+        assert drifted.name == device.properties.name
+        assert drifted.num_qubits == device.properties.num_qubits
+        assert drifted.coupling_map == device.properties.coupling_map
+        assert drifted.basis_gates == device.properties.basis_gates
+        assert drifted.t1 == device.properties.t1
+
+    def test_error_rates_change_but_stay_bounded(self, device):
+        model = CalibrationDriftModel()
+        drifted = model.drift_properties(device.properties, seed=2)
+        assert drifted.two_qubit_error != device.properties.two_qubit_error
+        for rate in drifted.two_qubit_error.values():
+            assert model.error_floor <= rate <= model.error_ceiling
+        for rate in drifted.readout_error.values():
+            assert model.error_floor <= rate <= model.error_ceiling
+
+    def test_zero_spread_is_identity_up_to_clamping(self, device):
+        model = CalibrationDriftModel(two_qubit_spread=0.0, one_qubit_spread=0.0, readout_spread=0.0)
+        drifted = model.drift_properties(device.properties, seed=3)
+        for edge, rate in device.properties.two_qubit_error.items():
+            expected = min(model.error_ceiling, max(model.error_floor, rate))
+            assert drifted.two_qubit_error[edge] == pytest.approx(expected)
+
+    def test_deterministic_for_a_seed(self, device):
+        model = CalibrationDriftModel()
+        first = model.drift_properties(device.properties, seed=5)
+        second = model.drift_properties(device.properties, seed=5)
+        assert first.two_qubit_error == second.two_qubit_error
+
+    def test_typical_ratio_grows_with_spread(self):
+        assert CalibrationDriftModel(two_qubit_spread=0.6).typical_ratio() > CalibrationDriftModel(
+            two_qubit_spread=0.2
+        ).typical_ratio()
+        assert CalibrationDriftModel(two_qubit_spread=0.0).typical_ratio() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(BackendError):
+            CalibrationDriftModel(two_qubit_spread=-0.1)
+        with pytest.raises(BackendError):
+            CalibrationDriftModel(error_floor=0.5, error_ceiling=0.4)
+
+
+class TestCyclesAndFleet:
+    def test_cycles_yields_requested_number(self, device):
+        model = CalibrationDriftModel()
+        cycles = list(model.cycles(device.properties, 5, seed=7))
+        assert len(cycles) == 5
+        # Successive cycles build on each other, so they differ from the original.
+        assert cycles[-1].two_qubit_error != device.properties.two_qubit_error
+
+    def test_drift_fleet_preserves_order_and_names(self, device):
+        other = generate_device(8, 0.3, seed=33)
+        drifted = drift_fleet([device, other], seed=9)
+        assert [backend.name for backend in drifted] == [device.name, other.name]
+        assert drifted[0].properties.two_qubit_error != device.properties.two_qubit_error
+
+    def test_drift_history_starts_at_cycle_zero(self, device):
+        history = drift_history(device, num_cycles=4, seed=11)
+        assert len(history) == 5
+        assert history[0] == (0, pytest.approx(device.properties.average_two_qubit_error()))
+        assert all(cycle == index for index, (cycle, _) in enumerate(history))
+
+    def test_multi_cycle_variability_reaches_paper_scale(self, device):
+        # Over several cycles the cumulative swing of individual edges should
+        # reach the 2-3x the paper reports for real hardware.
+        model = CalibrationDriftModel()
+        final = list(model.cycles(device.properties, 6, seed=13))[-1]
+        ratios = [
+            max(final.two_qubit_error[edge], rate) / max(1e-9, min(final.two_qubit_error[edge], rate))
+            for edge, rate in device.properties.two_qubit_error.items()
+        ]
+        assert max(ratios) > 2.0

@@ -1,0 +1,124 @@
+"""Tests for device queues and the execution-time model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import named_topology_device
+from repro.circuits import ghz
+from repro.cloud import DeviceQueue, ExecutionTimeModel, build_queues
+from repro.utils.exceptions import ClusterError
+
+
+@pytest.fixture(scope="module")
+def grid_backend():
+    return named_topology_device("grid", 9, two_qubit_error=0.02, one_qubit_error=0.002, readout_error=0.01, name="etm_grid")
+
+
+@pytest.fixture(scope="module")
+def line_backend():
+    return named_topology_device("line", 9, two_qubit_error=0.02, one_qubit_error=0.002, readout_error=0.01, name="etm_line")
+
+
+class TestExecutionTimeModel:
+    def test_service_time_is_positive_and_grows_with_shots(self, grid_backend):
+        model = ExecutionTimeModel()
+        circuit = ghz(5)
+        small = model.service_time_s(circuit, grid_backend, shots=100)
+        large = model.service_time_s(circuit, grid_backend, shots=10_000)
+        assert 0.0 < small < large
+
+    def test_sparser_topologies_pay_a_routing_penalty(self, grid_backend, line_backend):
+        model = ExecutionTimeModel()
+        circuit = ghz(5)
+        assert model.shot_duration_s(circuit, line_backend) > model.shot_duration_s(circuit, grid_backend)
+
+    def test_deeper_circuits_take_longer(self, grid_backend):
+        model = ExecutionTimeModel()
+        shallow = model.service_time_s(ghz(3), grid_backend, shots=1000)
+        deep = model.service_time_s(ghz(9), grid_backend, shots=1000)
+        assert deep > shallow
+
+    def test_overheads_are_charged_once_per_job(self, grid_backend):
+        model = ExecutionTimeModel(job_overhead_s=5.0, transpile_overhead_per_qubit_s=0.0)
+        tiny = model.service_time_s(ghz(2), grid_backend, shots=1)
+        assert tiny >= 5.0
+
+    def test_validation(self, grid_backend):
+        with pytest.raises(ClusterError):
+            ExecutionTimeModel(job_overhead_s=-1.0)
+        with pytest.raises(ClusterError):
+            ExecutionTimeModel().service_time_s(ghz(2), grid_backend, shots=0)
+
+
+class TestDeviceQueue:
+    def test_fcfs_back_to_back_scheduling(self):
+        queue = DeviceQueue("dev")
+        first = queue.enqueue("job-a", arrival_time=0.0, service_time=10.0)
+        second = queue.enqueue("job-b", arrival_time=1.0, service_time=5.0)
+        assert first.wait_time == 0.0
+        assert second.start_time == 10.0
+        assert second.wait_time == 9.0
+        assert second.finish_time == 15.0
+        assert queue.next_free_time == 15.0
+
+    def test_idle_gap_when_arrivals_are_sparse(self):
+        queue = DeviceQueue("dev")
+        queue.enqueue("job-a", arrival_time=0.0, service_time=2.0)
+        slot = queue.enqueue("job-b", arrival_time=100.0, service_time=2.0)
+        assert slot.wait_time == 0.0
+        assert slot.start_time == 100.0
+
+    def test_predicted_wait_and_backlog(self):
+        queue = DeviceQueue("dev")
+        queue.enqueue("job-a", arrival_time=0.0, service_time=30.0)
+        assert queue.predicted_wait(10.0) == pytest.approx(20.0)
+        assert queue.backlog(10.0) == pytest.approx(20.0)
+        assert queue.predicted_wait(50.0) == 0.0
+
+    def test_utilisation_accounts_for_idle_time(self):
+        queue = DeviceQueue("dev")
+        queue.enqueue("job-a", arrival_time=0.0, service_time=10.0)
+        queue.enqueue("job-b", arrival_time=30.0, service_time=10.0)
+        # 20 s busy over a 40 s makespan.
+        assert queue.utilisation() == pytest.approx(0.5)
+        assert queue.utilisation(horizon=80.0) == pytest.approx(0.25)
+        assert DeviceQueue("empty").utilisation() == 0.0
+
+    def test_slot_turnaround_is_wait_plus_service(self):
+        queue = DeviceQueue("dev")
+        queue.enqueue("job-a", arrival_time=0.0, service_time=7.0)
+        slot = queue.enqueue("job-b", arrival_time=2.0, service_time=3.0)
+        assert slot.turnaround_time == pytest.approx(slot.wait_time + slot.service_time)
+
+    def test_rejects_negative_inputs(self):
+        queue = DeviceQueue("dev")
+        with pytest.raises(ClusterError):
+            queue.enqueue("job-a", arrival_time=-1.0, service_time=1.0)
+        with pytest.raises(ClusterError):
+            queue.enqueue("job-a", arrival_time=0.0, service_time=-1.0)
+
+    def test_build_queues_indexes_by_device_name(self, grid_backend, line_backend):
+        queues = build_queues([grid_backend, line_backend])
+        assert set(queues) == {"etm_grid", "etm_line"}
+        assert all(len(queue) == 0 for queue in queues.values())
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        arrivals=st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=20),
+        service=st.floats(min_value=0.1, max_value=50.0),
+    )
+    def test_property_fcfs_invariants(self, arrivals, service):
+        queue = DeviceQueue("dev")
+        slots = [
+            queue.enqueue(f"job-{index}", arrival_time=arrival, service_time=service)
+            for index, arrival in enumerate(sorted(arrivals))
+        ]
+        for earlier, later in zip(slots, slots[1:]):
+            # FCFS: a later submission never starts before an earlier one finishes.
+            assert later.start_time >= earlier.finish_time - 1e-9
+        for slot in slots:
+            assert slot.start_time >= slot.arrival_time
+            assert slot.finish_time == pytest.approx(slot.start_time + service)

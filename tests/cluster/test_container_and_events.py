@@ -1,0 +1,92 @@
+"""Tests for the simulated container pipeline and the event log."""
+
+import pytest
+
+from repro.circuits import ghz
+from repro.cluster import CONTAINER_REQUIREMENTS, EventLog, ImageBuilder, ImageRegistry
+from repro.qasm import parse_qasm
+from repro.utils.exceptions import ClusterError
+
+
+class TestImageBuilder:
+    def test_image_contains_all_artefacts(self):
+        image = ImageBuilder().build("demo-job", "qrio/demo", ghz(3), shots=256)
+        assert set(image.files) == {"demo-job.qasm", "run_job.py", "requirements.txt", "Dockerfile"}
+
+    def test_qasm_artefact_parses_back(self):
+        image = ImageBuilder().build("demo-job", "qrio/demo", ghz(3))
+        circuit = parse_qasm(image.file("demo-job.qasm"))
+        assert circuit.num_qubits == 3
+
+    def test_requirements_match_paper_packages(self):
+        image = ImageBuilder().build("demo-job", "qrio/demo", ghz(2))
+        listed = image.file("requirements.txt").split()
+        assert listed == list(CONTAINER_REQUIREMENTS)
+
+    def test_run_script_references_backend_and_shots(self):
+        image = ImageBuilder().build("demo-job", "qrio/demo", ghz(2), shots=777)
+        script = image.file("run_job.py")
+        assert "from backend import backend" in script
+        assert "SHOTS = 777" in script
+
+    def test_dockerfile_copies_artefacts(self):
+        image = ImageBuilder().build("demo-job", "qrio/demo", ghz(2))
+        dockerfile = image.file("Dockerfile")
+        assert "COPY demo-job.qasm" in dockerfile
+        assert "pip install -r requirements.txt" in dockerfile
+
+    def test_workspace_materialisation(self, tmp_path):
+        ImageBuilder(workspace=tmp_path).build("disk-job", "qrio/disk", ghz(2))
+        job_dir = tmp_path / "disk-job"
+        assert (job_dir / "Dockerfile").exists()
+        assert (job_dir / "disk-job.qasm").exists()
+
+    def test_missing_file_raises(self):
+        image = ImageBuilder().build("demo-job", "qrio/demo", ghz(2))
+        with pytest.raises(ClusterError):
+            image.file("nonexistent.txt")
+
+
+class TestImageRegistry:
+    def test_push_and_pull(self):
+        registry = ImageRegistry()
+        image = ImageBuilder().build("job", "qrio/job", ghz(2))
+        reference = registry.push(image)
+        assert reference == "qrio/job:latest"
+        assert registry.pull(reference).job_name == "job"
+        assert registry.exists(reference)
+        assert len(registry) == 1
+
+    def test_pull_unknown_reference(self):
+        with pytest.raises(ClusterError):
+            ImageRegistry().pull("ghost:latest")
+
+    def test_references_sorted(self):
+        registry = ImageRegistry()
+        registry.push(ImageBuilder().build("b", "qrio/b", ghz(2)))
+        registry.push(ImageBuilder().build("a", "qrio/a", ghz(2)))
+        assert registry.references() == ["qrio/a:latest", "qrio/b:latest"]
+
+
+class TestEventLog:
+    def test_record_and_query(self):
+        log = EventLog()
+        log.record("JobSubmitted", "job-a", "submitted")
+        log.record("Bound", "job-a", "bound to node-1")
+        log.record("JobSubmitted", "job-b", "submitted")
+        assert len(log) == 3
+        assert len(log.for_subject("job-a")) == 2
+        assert len(log.of_kind("JobSubmitted")) == 2
+
+    def test_sequence_is_monotonic(self):
+        log = EventLog()
+        first = log.record("A", "x", "1")
+        second = log.record("B", "x", "2")
+        assert second.sequence > first.sequence
+
+    def test_render_limits_output(self):
+        log = EventLog()
+        for index in range(5):
+            log.record("K", f"subject-{index}", "msg")
+        rendered = log.render(limit=2)
+        assert len(rendered.splitlines()) == 2

@@ -1,0 +1,98 @@
+"""Tests for node labels and worker nodes."""
+
+import pytest
+
+from repro.cluster import Node, NodeCapacity, NodeLabels, NodeStatus
+from repro.circuits import ghz
+from repro.transpiler import transpile
+from repro.utils.exceptions import ClusterError
+
+
+class TestNodeLabels:
+    def test_from_backend_reflects_calibration(self, noisy_line_device):
+        labels = NodeLabels.from_backend(noisy_line_device)
+        assert labels.qubits == 8
+        assert labels.avg_two_qubit_error == pytest.approx(0.05)
+
+    def test_dict_roundtrip(self, noisy_line_device):
+        labels = NodeLabels.from_backend(noisy_line_device)
+        recovered = NodeLabels.from_dict(labels.as_dict())
+        assert recovered.qubits == labels.qubits
+        assert recovered.avg_two_qubit_error == pytest.approx(labels.avg_two_qubit_error)
+        assert recovered.cpu_millicores == labels.cpu_millicores
+
+    def test_extra_labels_preserved(self, noisy_line_device):
+        labels = NodeLabels.from_backend(noisy_line_device)
+        labels.extra["vendor"] = "acme"
+        recovered = NodeLabels.from_dict(labels.as_dict())
+        assert recovered.extra["vendor"] == "acme"
+
+
+class TestNodeLifecycle:
+    def test_default_node_is_ready(self, noisy_line_device):
+        node = Node(noisy_line_device)
+        assert node.status == NodeStatus.READY
+        assert node.is_schedulable()
+
+    def test_cordon_and_uncordon(self, noisy_line_device):
+        node = Node(noisy_line_device)
+        node.cordon()
+        assert not node.is_schedulable()
+        node.uncordon()
+        assert node.is_schedulable()
+
+    def test_not_ready_and_recovery(self, noisy_line_device):
+        node = Node(noisy_line_device)
+        node.mark_not_ready()
+        assert node.status == NodeStatus.NOT_READY
+        node.mark_ready()
+        assert node.is_schedulable()
+
+
+class TestNodeResources:
+    def test_allocate_and_release(self, noisy_line_device):
+        node = Node(noisy_line_device, capacity=NodeCapacity(cpu_millicores=1000, memory_mb=1000))
+        node.allocate("job-a", 400, 500)
+        assert node.available_cpu == 600
+        assert node.bound_jobs == ["job-a"]
+        node.release("job-a", 400, 500)
+        assert node.available_cpu == 1000
+        assert node.bound_jobs == []
+
+    def test_over_allocation_rejected(self, noisy_line_device):
+        node = Node(noisy_line_device, capacity=NodeCapacity(cpu_millicores=100, memory_mb=100))
+        with pytest.raises(ClusterError):
+            node.allocate("job-big", 200, 50)
+
+    def test_allocate_on_cordoned_node_rejected(self, noisy_line_device):
+        node = Node(noisy_line_device)
+        node.cordon()
+        with pytest.raises(ClusterError):
+            node.allocate("job", 10, 10)
+
+    def test_release_unknown_job_rejected(self, noisy_line_device):
+        node = Node(noisy_line_device)
+        with pytest.raises(ClusterError):
+            node.release("ghost", 10, 10)
+
+    def test_can_host(self, noisy_line_device):
+        node = Node(noisy_line_device, capacity=NodeCapacity(cpu_millicores=500, memory_mb=256))
+        assert node.can_host(500, 256)
+        assert not node.can_host(501, 256)
+
+
+class TestNodeExecution:
+    def test_execute_runs_transpiled_circuit(self, noisy_line_device):
+        node = Node(noisy_line_device)
+        compiled = transpile(ghz(3), noisy_line_device, seed=1)
+        result = node.execute(compiled.circuit, shots=128, seed=2)
+        assert sum(result.counts.values()) == 128
+
+    def test_execute_requires_measurements(self, noisy_line_device):
+        node = Node(noisy_line_device)
+        with pytest.raises(ClusterError):
+            node.execute(ghz(3, measure=False), shots=16)
+
+    def test_describe_structure(self, noisy_line_device):
+        description = Node(noisy_line_device).describe()
+        assert {"name", "status", "backend", "labels", "capacity", "allocated", "bound_jobs"} <= set(description)

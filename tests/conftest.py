@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (device fleets, simulators) are session-scoped so the suite
+stays fast; anything a test mutates is function-scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    Backend,
+    generate_device,
+    generate_fleet,
+    named_topology_device,
+    three_device_testbed,
+)
+from repro.circuits import bernstein_vazirani, ghz, grover_search, hidden_subgroup, qft, repetition_code_encoder
+from repro.simulators import StabilizerSimulator, StatevectorSimulator
+
+
+@pytest.fixture(scope="session")
+def statevector_simulator() -> StatevectorSimulator:
+    """A seeded statevector simulator shared across tests."""
+    return StatevectorSimulator(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def stabilizer_simulator() -> StabilizerSimulator:
+    """A seeded stabilizer simulator shared across tests."""
+    return StabilizerSimulator(seed=4321)
+
+
+@pytest.fixture(scope="session")
+def line_device() -> Backend:
+    """An 8-qubit noiseless line device (useful for transpiler equivalence)."""
+    return named_topology_device(
+        "line", 8, two_qubit_error=0.0, one_qubit_error=0.0, readout_error=0.0, name="line8_ideal"
+    )
+
+
+@pytest.fixture(scope="session")
+def noisy_line_device() -> Backend:
+    """An 8-qubit line device with moderate uniform noise."""
+    return named_topology_device(
+        "line", 8, two_qubit_error=0.05, one_qubit_error=0.01, readout_error=0.02, name="line8_noisy"
+    )
+
+
+@pytest.fixture(scope="session")
+def grid_device() -> Backend:
+    """A 3x3 grid device with uniform noise."""
+    return named_topology_device(
+        "grid", 9, two_qubit_error=0.03, one_qubit_error=0.005, readout_error=0.01, name="grid9"
+    )
+
+
+@pytest.fixture(scope="session")
+def random_device() -> Backend:
+    """A mid-size random device from the Table 2 generator."""
+    return generate_device(20, 0.3, seed=77)
+
+
+@pytest.fixture(scope="session")
+def small_fleet() -> list:
+    """A 10-device truncation of the Table 2 fleet (interleaved sizes)."""
+    return generate_fleet(limit=10, seed=99)
+
+
+@pytest.fixture(scope="session")
+def testbed_devices() -> list:
+    """The three-device (tree/ring/line) testbed of Figs. 8/9."""
+    return three_device_testbed()
+
+
+@pytest.fixture(scope="session")
+def workload_circuits() -> dict:
+    """A dictionary of the paper's evaluation circuits (built once)."""
+    return {
+        "bv": bernstein_vazirani("1" * 9),
+        "bv_small": bernstein_vazirani("101"),
+        "ghz4": ghz(4),
+        "grover": grover_search(3),
+        "hsp": hidden_subgroup(4),
+        "rep": repetition_code_encoder(5),
+        "qft4": qft(4, measure=True),
+    }

@@ -1,0 +1,148 @@
+"""Tests for the meta server and the two ranking strategies."""
+
+import pytest
+
+from repro.backends import line_topology, three_device_testbed, uniform_error_device
+from repro.circuits import ghz
+from repro.core import FidelityRankingStrategy, MetaServer, TopologyRankingStrategy
+from repro.core.strategies import INFEASIBLE_SCORE
+from repro.core.visualizer import MetaServerPayload, TopologyCanvas
+from repro.qasm import dump_qasm
+from repro.utils.exceptions import MetaServerError
+
+
+@pytest.fixture(scope="module")
+def clean_and_dirty():
+    clean = uniform_error_device("meta_clean", line_topology(6), 6, two_qubit_error=0.01,
+                                 one_qubit_error=0.002, readout_error=0.01)
+    dirty = uniform_error_device("meta_dirty", line_topology(6), 6, two_qubit_error=0.35,
+                                 one_qubit_error=0.05, readout_error=0.1)
+    return clean, dirty
+
+
+class TestFidelityRankingStrategy:
+    def test_lower_score_for_better_device(self, clean_and_dirty):
+        clean, dirty = clean_and_dirty
+        strategy = FidelityRankingStrategy(ghz(4), fidelity_threshold=1.0, shots=128, seed=3)
+        assert strategy.score(clean) < strategy.score(dirty)
+
+    def test_breakdown_recorded(self, clean_and_dirty):
+        clean, _ = clean_and_dirty
+        strategy = FidelityRankingStrategy(ghz(4), fidelity_threshold=1.0, shots=128, seed=3)
+        strategy.score(clean)
+        breakdown = strategy.breakdown(clean.name)
+        assert breakdown is not None
+        assert breakdown.required_fidelity == 1.0
+        assert 0.0 <= breakdown.canary_fidelity <= 1.0
+
+    def test_small_device_scores_infinite(self, clean_and_dirty):
+        clean, _ = clean_and_dirty
+        strategy = FidelityRankingStrategy(ghz(10), fidelity_threshold=1.0, shots=64, seed=3)
+        assert strategy.score(clean) == INFEASIBLE_SCORE
+
+    def test_moderate_threshold_prefers_closest_match(self, clean_and_dirty):
+        clean, dirty = clean_and_dirty
+        # With a lax requirement the clean device over-provisions but is still
+        # penalised less heavily than a device that misses the requirement.
+        strategy = FidelityRankingStrategy(ghz(4), fidelity_threshold=0.5, shots=128, seed=3)
+        assert strategy.score(dirty) > strategy.score(clean)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            FidelityRankingStrategy(ghz(2), fidelity_threshold=1.5)
+
+
+class TestTopologyRankingStrategy:
+    def test_tree_request_prefers_tree_device(self, testbed_devices):
+        canvas = TopologyCanvas(10)
+        canvas.load_edges([(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (3, 7), (3, 8), (4, 9)])
+        strategy = TopologyRankingStrategy(canvas.to_topology_circuit(), seed=1)
+        scores = {backend.name: strategy.score(backend) for backend in testbed_devices}
+        assert min(scores, key=scores.get) == "device_tree"
+        assert strategy.was_exact("device_tree") is True
+        assert strategy.layout_for("device_tree")
+
+    def test_oversized_topology_is_infeasible(self, testbed_devices):
+        canvas = TopologyCanvas(12).load_edges([(i, i + 1) for i in range(11)])
+        strategy = TopologyRankingStrategy(canvas.to_topology_circuit())
+        assert strategy.score(testbed_devices[0]) == INFEASIBLE_SCORE
+
+    def test_empty_topology_rejected(self):
+        from repro.circuits import QuantumCircuit
+
+        with pytest.raises(MetaServerError):
+            TopologyRankingStrategy(QuantumCircuit(3))
+
+
+class TestMetaServer:
+    def _fidelity_payload(self, name="meta-job", threshold=1.0):
+        return MetaServerPayload(
+            job_name=name,
+            strategy="fidelity",
+            fidelity_threshold=threshold,
+            circuit_qasm=dump_qasm(ghz(4)),
+        )
+
+    def test_backend_registration_and_lookup(self, clean_and_dirty):
+        clean, dirty = clean_and_dirty
+        server = MetaServer(canary_shots=64, seed=1)
+        server.register_backends([clean, dirty])
+        assert server.backend_names() == ["meta_clean", "meta_dirty"]
+        assert server.backend("meta_clean") is clean
+        with pytest.raises(MetaServerError):
+            server.backend("ghost")
+
+    def test_fidelity_metadata_and_scoring(self, clean_and_dirty):
+        clean, dirty = clean_and_dirty
+        server = MetaServer(canary_shots=64, seed=1)
+        server.register_backends([clean, dirty])
+        server.upload_job_metadata(self._fidelity_payload())
+        assert server.has_fidelity_threshold("meta-job")
+        assert server.scoring_strategy_name("meta-job") == "fidelity"
+        assert server.score("meta-job", "meta_clean") < server.score("meta-job", "meta_dirty")
+
+    def test_score_cache_returns_same_value(self, clean_and_dirty):
+        clean, _ = clean_and_dirty
+        server = MetaServer(canary_shots=64, seed=1)
+        server.register_backend(clean)
+        server.upload_job_metadata(self._fidelity_payload())
+        first = server.score("meta-job", "meta_clean")
+        second = server.score("meta-job", "meta_clean")
+        assert first == second
+
+    def test_topology_metadata_and_scoring(self, testbed_devices):
+        server = MetaServer(seed=2)
+        server.register_backends(testbed_devices)
+        canvas = TopologyCanvas(10).load_edges([(0, 1), (0, 2), (1, 3), (1, 4)])
+        payload = MetaServerPayload(
+            job_name="topo-job",
+            strategy="topology",
+            topology_qasm=dump_qasm(canvas.to_topology_circuit()),
+        )
+        server.upload_job_metadata(payload)
+        assert not server.has_fidelity_threshold("topo-job")
+        scores = {name: server.score("topo-job", name) for name in server.backend_names()}
+        assert min(scores, key=scores.get) == "device_tree"
+
+    def test_incomplete_payloads_rejected(self):
+        server = MetaServer()
+        with pytest.raises(MetaServerError):
+            server.upload_job_metadata(MetaServerPayload(job_name="x", strategy="fidelity"))
+        with pytest.raises(MetaServerError):
+            server.upload_job_metadata(MetaServerPayload(job_name="x", strategy="topology"))
+        with pytest.raises(MetaServerError):
+            server.upload_job_metadata(MetaServerPayload(job_name="x", strategy="psychic"))
+
+    def test_unknown_job_metadata_raises(self):
+        with pytest.raises(MetaServerError):
+            MetaServer().job_metadata("ghost")
+
+    def test_clear_job(self, clean_and_dirty):
+        clean, _ = clean_and_dirty
+        server = MetaServer(canary_shots=64, seed=1)
+        server.register_backend(clean)
+        server.upload_job_metadata(self._fidelity_payload())
+        server.score("meta-job", "meta_clean")
+        server.clear_job("meta-job")
+        with pytest.raises(MetaServerError):
+            server.job_metadata("meta-job")

@@ -1,0 +1,124 @@
+"""Tests for the table/figure experiment drivers (run at reduced scale)."""
+
+import pytest
+
+from repro.backends import three_device_testbed
+from repro.experiments import (
+    ExperimentConfig,
+    count_filtered_devices,
+    quick_config,
+    render_fig10,
+    render_fig6,
+    render_fig7,
+    render_fig8_9,
+    render_rows,
+    run_fig10,
+    run_fig6,
+    run_fig7,
+    run_fig8_9,
+    table1_rows,
+    table2_rows,
+)
+from repro.workloads import evaluation_workloads
+
+
+@pytest.fixture(scope="module")
+def config():
+    return quick_config()
+
+
+@pytest.fixture(scope="module")
+def fleet(config):
+    return config.build_fleet()
+
+
+class TestConfig:
+    def test_quick_config_builds_small_fleet(self, config, fleet):
+        assert len(fleet) == 10
+        assert "fleet=10" in config.describe()
+
+    def test_paper_scale_config(self):
+        from repro.experiments import paper_scale_config
+
+        assert paper_scale_config().fleet_limit is None
+        assert paper_scale_config().fig6_repetitions == 25
+        assert paper_scale_config().fig8_repetitions == 50
+
+
+class TestFig6:
+    def test_qrio_never_loses_to_random(self, config, fleet):
+        result = run_fig6(config, fleet=fleet)
+        assert len(result.rows) == 5
+        for row in result.rows:
+            assert row.average_decrease >= 0.0
+            assert row.qrio_score <= row.average_random_score
+
+    def test_fully_connected_has_largest_gap(self, config, fleet):
+        result = run_fig6(config, fleet=fleet)
+        decreases = result.decreases()
+        assert decreases["Fully Connected"] == max(decreases.values())
+
+    def test_render_contains_every_topology(self, config, fleet):
+        text = render_fig6(run_fig6(config, fleet=fleet))
+        for label in ("Grid", "Heavy Square", "Fully Connected", "Line", "Ring"):
+            assert label in text
+
+
+class TestFig7:
+    def test_single_workload_shape(self, config, fleet):
+        workloads = [w for w in evaluation_workloads() if w.key == "rep"]
+        result = run_fig7(config, fleet=fleet, workloads=workloads)
+        row = result.rows[0]
+        assert 0.0 <= row.random <= 1.0
+        # The oracle is by construction the best achievable fidelity.
+        assert row.oracle >= row.clifford - 1e-9
+        assert row.oracle >= row.random - 1e-9
+        assert row.oracle >= row.average - 1e-9
+        assert "Oracle" in render_fig7(result)
+
+    def test_series_structure(self, config, fleet):
+        workloads = [w for w in evaluation_workloads() if w.key == "grover"]
+        series = run_fig7(config, fleet=fleet, workloads=workloads).series()
+        assert set(series) == {"Oracle", "Clifford", "Random", "Average", "Median"}
+        assert "Grover" in series["Oracle"]
+
+
+class TestFig89:
+    def test_tree_device_always_chosen(self, config):
+        result = run_fig8_9(config)
+        assert result.chosen_device == "device_tree"
+        assert result.always_same_choice
+        assert result.selections["device_tree"] == config.fig8_repetitions
+        assert "device_tree" in render_fig8_9(result)
+
+    def test_scores_rank_tree_ring_line(self, config):
+        result = run_fig8_9(config, devices=three_device_testbed())
+        assert result.scores["device_tree"] < result.scores["device_ring"]
+        assert result.scores["device_tree"] < result.scores["device_line"]
+
+
+class TestFig10:
+    def test_monotonic_and_saturating(self, config, fleet):
+        result = run_fig10(config, fleet=fleet)
+        assert result.is_monotonic()
+        assert result.rows[-1].filtered_devices == len(fleet)
+        assert result.rows[0].filtered_devices <= result.rows[-1].filtered_devices
+        assert "Monotonic: True" in render_fig10(result)
+
+    def test_count_filtered_devices_extremes(self, fleet):
+        assert count_filtered_devices(fleet, 0.0) == 0
+        assert count_filtered_devices(fleet, 1.0) == len(fleet)
+
+
+class TestTables:
+    def test_table1_rows_match_paper(self):
+        rows = {row.key: row.value for row in table1_rows()}
+        assert "fidelity_threshold" in rows["Fidelity"]
+        assert "circuit_qasm" in rows["Fidelity"]
+        assert "topology_qasm" in rows["Topology"]
+        assert "fidelity" not in rows["Topology"]
+
+    def test_table2_rows_render(self):
+        text = render_rows("Table 2", table2_rows())
+        assert "Number of qubits" in text
+        assert "u1, u2, u3, cx" in text

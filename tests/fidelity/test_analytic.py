@@ -1,0 +1,95 @@
+"""Tests for the decoherence-aware analytic fidelity estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import named_topology_device
+from repro.circuits import ghz, qft
+from repro.fidelity import DecoherenceAwareESPEstimator, ESPEstimator
+from repro.simulators import GateDurations
+from repro.utils.exceptions import FidelityEstimationError
+
+
+def _device_with_coherence(t_value: float, name: str):
+    """A 6-qubit line device whose every qubit has T1 = T2 = ``t_value`` ns."""
+    device = named_topology_device(
+        "line",
+        6,
+        two_qubit_error=0.02,
+        one_qubit_error=0.005,
+        readout_error=0.02,
+        name=name,
+    )
+    for qubit in range(device.num_qubits):
+        device.properties.t1[qubit] = t_value
+        device.properties.t2[qubit] = t_value
+    return device
+
+
+class TestDecoherenceAwareEstimates:
+    def test_estimate_is_product_of_esp_and_decoherence(self):
+        device = _device_with_coherence(50e3, "coh50k")
+        estimator = DecoherenceAwareESPEstimator(seed=3)
+        report = estimator.estimate(ghz(4), device)
+        assert report.estimate == pytest.approx(report.gate_esp * report.decoherence_factor)
+        assert 0.0 < report.decoherence_factor <= 1.0
+        assert 0.0 < report.gate_esp < 1.0
+
+    def test_low_coherence_device_scores_worse(self):
+        high = _device_with_coherence(500e3, "coh_high")
+        low = _device_with_coherence(5e3, "coh_low")
+        estimator = DecoherenceAwareESPEstimator(seed=3)
+        circuit = qft(4, measure=True)
+        report_high = estimator.estimate(circuit, high)
+        report_low = estimator.estimate(circuit, low)
+        # Gate error rates are identical; only the T1-dependent readout decay
+        # and the idle-time decoherence separate the two devices.
+        assert report_high.gate_esp == pytest.approx(report_low.gate_esp, rel=0.05)
+        assert report_high.gate_esp >= report_low.gate_esp
+        assert report_high.decoherence_factor > report_low.decoherence_factor
+        assert report_high.estimate > report_low.estimate
+
+    def test_decoherence_factor_never_exceeds_plain_esp_ranking_score(self):
+        device = _device_with_coherence(100e3, "coh100k")
+        plain = ESPEstimator(seed=3).estimate(ghz(5), device)
+        aware = DecoherenceAwareESPEstimator(seed=3).estimate(ghz(5), device)
+        assert aware.estimate <= plain.esp + 1e-9
+
+    def test_include_busy_time_penalises_more(self):
+        device = _device_with_coherence(20e3, "coh20k")
+        circuit = qft(4, measure=True)
+        idle_only = DecoherenceAwareESPEstimator(seed=3, include_busy_time=False).estimate(circuit, device)
+        full_window = DecoherenceAwareESPEstimator(seed=3, include_busy_time=True).estimate(circuit, device)
+        assert full_window.decoherence_factor < idle_only.decoherence_factor
+
+    def test_custom_durations_change_the_window(self):
+        device = _device_with_coherence(20e3, "coh20k_durations")
+        circuit = ghz(5)
+        slow = DecoherenceAwareESPEstimator(durations=GateDurations(two_qubit_ns=3000.0), seed=3)
+        fast = DecoherenceAwareESPEstimator(durations=GateDurations(two_qubit_ns=30.0), seed=3)
+        assert slow.estimate(circuit, device).decoherence_factor < fast.estimate(circuit, device).decoherence_factor
+
+
+class TestRanking:
+    def test_rank_backends_orders_by_estimate(self):
+        devices = [
+            _device_with_coherence(500e3, "rank_high"),
+            _device_with_coherence(20e3, "rank_mid"),
+            _device_with_coherence(2e3, "rank_low"),
+        ]
+        estimator = DecoherenceAwareESPEstimator(seed=9)
+        reports = estimator.rank_backends(qft(4, measure=True), devices)
+        assert [report.device for report in reports] == ["rank_high", "rank_mid", "rank_low"]
+        assert reports[0].estimate >= reports[-1].estimate
+
+    def test_rank_skips_too_small_devices(self):
+        small = named_topology_device("line", 3, two_qubit_error=0.01, name="tiny3")
+        big = _device_with_coherence(100e3, "big6")
+        reports = DecoherenceAwareESPEstimator(seed=1).rank_backends(ghz(5), [small, big])
+        assert [report.device for report in reports] == ["big6"]
+
+    def test_estimate_rejects_too_small_device(self):
+        small = named_topology_device("line", 3, two_qubit_error=0.01, name="tiny3b")
+        with pytest.raises(FidelityEstimationError):
+            DecoherenceAwareESPEstimator().estimate(ghz(5), small)

@@ -1,0 +1,79 @@
+"""Tests for cliffordization (canary construction)."""
+
+import math
+
+import pytest
+
+from repro.circuits import QuantumCircuit, bernstein_vazirani, grover_search, qft
+from repro.circuits.random_circuits import circ_benchmark
+from repro.fidelity import cliffordize, is_clifford_circuit, is_clifford_instruction
+from repro.circuits.instruction import Instruction
+from repro.simulators import StabilizerSimulator
+
+
+class TestIsCliffordInstruction:
+    def test_named_cliffords(self):
+        assert is_clifford_instruction(Instruction("h", (0,)))
+        assert is_clifford_instruction(Instruction("cx", (0, 1)))
+
+    def test_non_clifford_gates(self):
+        assert not is_clifford_instruction(Instruction("t", (0,)))
+        assert not is_clifford_instruction(Instruction("ccx", (0, 1, 2)))
+
+    def test_parameterised_clifford_angles(self):
+        assert is_clifford_instruction(Instruction("rz", (0,), params=(math.pi / 2,)))
+        assert not is_clifford_instruction(Instruction("rz", (0,), params=(0.3,)))
+
+    def test_cu1_at_pi_is_clifford(self):
+        assert is_clifford_instruction(Instruction("cu1", (0, 1), params=(math.pi,)))
+        assert not is_clifford_instruction(Instruction("cu1", (0, 1), params=(0.4,)))
+
+    def test_directives_count_as_clifford(self):
+        assert is_clifford_instruction(Instruction("measure", (0,), clbits=(0,)))
+        assert is_clifford_instruction(Instruction("barrier", (0,)))
+
+
+class TestCliffordize:
+    def test_clifford_circuit_is_unchanged_in_structure(self):
+        circuit = bernstein_vazirani("1011")
+        canary = cliffordize(circuit)
+        assert is_clifford_circuit(canary)
+        assert canary.num_two_qubit_gates() == circuit.num_two_qubit_gates()
+        assert canary.metadata["non_clifford_replaced"] == 0
+
+    def test_canary_is_always_stabilizer_executable(self):
+        for circuit in (grover_search(3), qft(4, measure=True), circ_benchmark()):
+            canary = cliffordize(circuit)
+            StabilizerSimulator(seed=1).run(canary, shots=16)  # must not raise
+
+    def test_non_clifford_gates_are_replaced(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.t(0).rz(0.3, 1).measure_all()
+        canary = cliffordize(circuit)
+        assert is_clifford_circuit(canary)
+        assert canary.metadata["non_clifford_replaced"] >= 2
+
+    def test_entangling_structure_preserved_for_phase_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.cu1(0.3, 0, 1)
+        canary = cliffordize(circuit)
+        assert canary.num_two_qubit_gates() == 1
+        assert canary.data[0].name == "cz"
+
+    def test_toffoli_expands_to_cx_structure(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        canary = cliffordize(circuit)
+        assert is_clifford_circuit(canary)
+        assert canary.count_ops().get("cx", 0) == 6
+
+    def test_measurements_and_metadata_preserved(self):
+        circuit = grover_search(3)
+        canary = cliffordize(circuit)
+        assert canary.num_measurements() == circuit.num_measurements()
+        assert canary.metadata["canary_of"] == circuit.name
+
+    def test_qft_canary_keeps_interaction_count(self):
+        circuit = qft(4)
+        canary = cliffordize(circuit)
+        assert canary.num_two_qubit_gates() >= circuit.count_ops().get("cu1", 0)

@@ -1,0 +1,51 @@
+"""Tests for interaction graph extraction."""
+
+import networkx as nx
+
+from repro.circuits import QuantumCircuit, ghz
+from repro.matching import graph_summary, interaction_edge_list, interaction_graph, topology_as_graph
+
+
+class TestInteractionGraph:
+    def test_ghz_forms_a_path(self):
+        graph = interaction_graph(ghz(4))
+        assert sorted(graph.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_edge_weights_record_multiplicity(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).cx(1, 0).cz(0, 1)
+        graph = interaction_graph(circuit)
+        assert graph[0][1]["weight"] == 3
+
+    def test_isolated_qubits_excluded_by_default(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        assert set(interaction_graph(circuit).nodes()) == {0, 1}
+        assert set(interaction_graph(circuit, include_isolated=True).nodes()) == {0, 1, 2, 3}
+
+    def test_single_qubit_gates_do_not_create_edges(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).t(1).x(2)
+        assert interaction_graph(circuit).number_of_edges() == 0
+
+    def test_edge_list_sorted(self):
+        circuit = QuantumCircuit(3)
+        circuit.cz(2, 1).cx(0, 1)
+        assert interaction_edge_list(circuit) == [(0, 1, 1), (1, 2, 1)]
+
+
+class TestTopologyAsGraph:
+    def test_builds_graph_with_all_nodes(self):
+        graph = topology_as_graph(5, [(0, 1), (1, 2)])
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 2
+
+    def test_ignores_self_loops(self):
+        graph = topology_as_graph(3, [(0, 0), (0, 1)])
+        assert graph.number_of_edges() == 1
+
+    def test_summary_fields(self):
+        summary = graph_summary(topology_as_graph(4, [(0, 1), (1, 2), (2, 3)]))
+        assert summary["nodes"] == 4
+        assert summary["edges"] == 3
+        assert summary["max_degree"] == 2

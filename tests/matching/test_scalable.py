@@ -1,0 +1,150 @@
+"""Tests for the budgeted (scalable) topology matcher."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.backends import fully_connected_topology, named_topology_device, uniform_error_device
+from repro.matching import (
+    MatchBudget,
+    anneal_embedding,
+    best_device_scalable,
+    embedding_cost,
+    greedy_embedding,
+    match_device,
+    rank_devices_scalable,
+    scalable_match_device,
+)
+from repro.matching.interaction import topology_as_graph
+from repro.utils.exceptions import MatchingError
+
+
+def _ring_pattern(num_qubits: int) -> nx.Graph:
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    return topology_as_graph(num_qubits, edges)
+
+
+def _line_pattern(num_qubits: int) -> nx.Graph:
+    edges = [(i, i + 1) for i in range(num_qubits - 1)]
+    return topology_as_graph(num_qubits, edges)
+
+
+def _dense_device(num_qubits: int = 12, name: str = "dense12"):
+    return uniform_error_device(
+        name=name,
+        coupling_map=fully_connected_topology(num_qubits),
+        num_qubits=num_qubits,
+        two_qubit_error=0.03,
+        one_qubit_error=0.005,
+        readout_error=0.02,
+    )
+
+
+class TestMatchBudget:
+    def test_defaults_are_valid(self):
+        budget = MatchBudget()
+        assert budget.exact_embedding_cap > 0
+        assert budget.restarts >= 1
+
+    def test_rejects_invalid_values(self):
+        with pytest.raises(MatchingError):
+            MatchBudget(exact_embedding_cap=-1)
+        with pytest.raises(MatchingError):
+            MatchBudget(anneal_iterations=-5)
+        with pytest.raises(MatchingError):
+            MatchBudget(restarts=0)
+        with pytest.raises(MatchingError):
+            MatchBudget(anneal_cooling=0.0)
+
+
+class TestScalableMatchAgreement:
+    def test_matches_exact_scorer_on_sparse_patterns(self, testbed_devices):
+        pattern = _line_pattern(5)
+        for device in testbed_devices:
+            exact = match_device(pattern, device)
+            scalable = scalable_match_device(pattern, device, seed=3)
+            assert exact is not None and scalable is not None
+            assert scalable.exact == exact.exact or scalable.score >= exact.score - 1e-12
+            # When both find an exact embedding the scores agree on the same
+            # cost function; the budgeted search may settle on a slightly
+            # worse (but still exact) layout.
+            if exact.exact and scalable.exact:
+                assert scalable.score >= exact.score - 1e-12
+
+    def test_picks_the_tree_device_like_the_paper_experiment(self, testbed_devices):
+        # The Figs. 8/9 user topology is tree-like; both matchers should
+        # select the tree device.
+        tree_device = testbed_devices[0]
+        pattern = topology_as_graph(10, tree_device.properties.coupling_map)
+        exact_best = min(
+            (match_device(pattern, device) for device in testbed_devices),
+            key=lambda match: match.score,
+        )
+        scalable_best = best_device_scalable(pattern, testbed_devices, seed=7)
+        assert exact_best.device == "device_tree"
+        assert scalable_best.device == "device_tree"
+
+    def test_ranking_prefers_device_that_hosts_the_ring(self):
+        ring_device = named_topology_device("ring", 8, two_qubit_error=0.02, one_qubit_error=0.005, readout_error=0.02)
+        line_device = named_topology_device("line", 8, two_qubit_error=0.02, one_qubit_error=0.005, readout_error=0.02)
+        ranking = rank_devices_scalable(_ring_pattern(8), [line_device, ring_device], seed=11)
+        assert ranking[0].device == "ring_8"
+        assert ranking[0].exact
+        assert not ranking[1].exact or ranking[1].score >= ranking[0].score
+
+
+class TestHeuristicPath:
+    def test_dense_pattern_skips_exact_stage_and_still_scores(self):
+        device = _dense_device()
+        pattern = topology_as_graph(6, fully_connected_topology(6))
+        budget = MatchBudget(exact_embedding_cap=0, anneal_iterations=150, restarts=1)
+        match = scalable_match_device(pattern, device, budget=budget, seed=5)
+        assert match is not None
+        assert match.device == "dense12"
+        assert match.score > 0.0
+        # On a fully connected device every placement is exact.
+        assert match.exact
+
+    def test_annealing_never_worsens_the_greedy_seed(self):
+        device = named_topology_device("grid", 9, two_qubit_error=0.04, one_qubit_error=0.01, readout_error=0.02)
+        pattern = _ring_pattern(6)
+        seedling = greedy_embedding(pattern, device.properties, seed=21)
+        seed_cost = embedding_cost(pattern, seedling, device.properties)
+        refined = anneal_embedding(pattern, device.properties, seedling, iterations=300, seed=22)
+        refined_cost = embedding_cost(pattern, refined, device.properties)
+        assert refined_cost <= seed_cost + 1e-12
+
+    def test_zero_iterations_returns_initial_embedding(self):
+        device = named_topology_device("grid", 9, two_qubit_error=0.04, one_qubit_error=0.01, readout_error=0.02)
+        pattern = _line_pattern(4)
+        seedling = greedy_embedding(pattern, device.properties, seed=2)
+        refined = anneal_embedding(pattern, device.properties, seedling, iterations=0, seed=2)
+        assert refined.mapping == seedling.mapping
+
+    def test_deterministic_for_a_fixed_seed(self):
+        device = _dense_device(10, "dense10")
+        pattern = _ring_pattern(7)
+        budget = MatchBudget(exact_embedding_cap=0, anneal_iterations=100, restarts=2)
+        first = scalable_match_device(pattern, device, budget=budget, seed=42)
+        second = scalable_match_device(pattern, device, budget=budget, seed=42)
+        assert first.layout == second.layout
+        assert first.score == pytest.approx(second.score)
+
+
+class TestEdgeCases:
+    def test_too_small_device_returns_none(self):
+        device = named_topology_device("line", 3, two_qubit_error=0.02, one_qubit_error=0.005, readout_error=0.02)
+        assert scalable_match_device(_line_pattern(5), device) is None
+
+    def test_empty_pattern_scores_zero(self):
+        device = named_topology_device("line", 3, two_qubit_error=0.02, one_qubit_error=0.005, readout_error=0.02)
+        match = scalable_match_device(nx.Graph(), device)
+        assert match is not None
+        assert match.score == 0.0
+        assert match.exact
+
+    def test_best_device_scalable_raises_when_nothing_fits(self):
+        device = named_topology_device("line", 3, two_qubit_error=0.02, one_qubit_error=0.005, readout_error=0.02)
+        with pytest.raises(MatchingError):
+            best_device_scalable(_line_pattern(6), [device])

@@ -1,0 +1,112 @@
+"""Tests for embedding scoring and cross-device ranking (Mapomatic-style)."""
+
+import pytest
+
+from repro.backends import (
+    BackendProperties,
+    fully_connected_topology,
+    line_topology,
+    named_topology_device,
+    three_device_testbed,
+    tree_topology,
+    uniform_error_device,
+)
+from repro.circuits import ghz
+from repro.matching import (
+    best_embedding,
+    best_overall_device,
+    embedding_cost,
+    evaluate_embeddings,
+    match_device,
+    rank_devices,
+    topology_as_graph,
+)
+from repro.utils.exceptions import MatchingError
+
+
+@pytest.fixture(scope="module")
+def heterogeneous_line():
+    """A 4-qubit line whose (2, 3) edge is much noisier than (0, 1)."""
+    properties = BackendProperties(
+        name="hetero_line",
+        num_qubits=4,
+        coupling_map=line_topology(4),
+        two_qubit_error={(0, 1): 0.01, (1, 2): 0.05, (2, 3): 0.4},
+        one_qubit_error={q: 0.001 for q in range(4)},
+        readout_error={q: 0.0 for q in range(4)},
+    )
+    from repro.backends import Backend
+
+    return Backend(properties)
+
+
+class TestEmbeddingCost:
+    def test_best_embedding_avoids_noisy_edge(self, heterogeneous_line):
+        pattern = topology_as_graph(2, [(0, 1)])
+        best = best_embedding(pattern, heterogeneous_line.properties)
+        chosen_edge = tuple(sorted(best.embedding.mapping.values()))
+        assert chosen_edge == (0, 1)
+        assert best.score == pytest.approx(0.01)
+
+    def test_cost_accounts_for_multiplicity(self, heterogeneous_line):
+        light = topology_as_graph(2, [(0, 1)])
+        heavy = light.copy()
+        heavy[0][1]["weight"] = 3
+        embedding = best_embedding(light, heterogeneous_line.properties).embedding
+        assert embedding_cost(heavy, embedding, heterogeneous_line.properties) == pytest.approx(
+            3 * embedding_cost(light, embedding, heterogeneous_line.properties)
+        )
+
+    def test_readout_included_when_requested(self):
+        device = uniform_error_device("ro", line_topology(3), 3, two_qubit_error=0.0, readout_error=0.1)
+        pattern = topology_as_graph(2, [(0, 1)])
+        with_readout = best_embedding(pattern, device.properties, include_readout=True).score
+        without_readout = best_embedding(pattern, device.properties, include_readout=False).score
+        assert with_readout == pytest.approx(without_readout + 0.2)
+
+    def test_penalised_embedding_costs_more_than_exact(self):
+        line = uniform_error_device("pen_line", line_topology(6), 6, two_qubit_error=0.05)
+        exact_pattern = topology_as_graph(3, line_topology(3))
+        hard_pattern = topology_as_graph(4, fully_connected_topology(4))
+        exact_score = best_embedding(exact_pattern, line.properties).score
+        penalised_score = best_embedding(hard_pattern, line.properties).score
+        assert penalised_score > exact_score
+
+    def test_evaluate_embeddings_sorted(self, heterogeneous_line):
+        pattern = topology_as_graph(2, [(0, 1)])
+        scored = evaluate_embeddings(pattern, heterogeneous_line.properties)
+        values = [item.score for item in scored]
+        assert values == sorted(values)
+
+
+class TestDeviceRanking:
+    def test_tree_pattern_picks_tree_device(self, testbed_devices):
+        pattern = topology_as_graph(10, tree_topology(10))
+        best = best_overall_device(pattern, testbed_devices)
+        assert best.device == "device_tree"
+        assert best.exact
+
+    def test_rank_devices_orders_by_score(self, testbed_devices):
+        pattern = topology_as_graph(10, tree_topology(10))
+        ranking = rank_devices(pattern, testbed_devices)
+        scores = [match.score for match in ranking]
+        assert scores == sorted(scores)
+        assert ranking[0].device == "device_tree"
+
+    def test_devices_too_small_are_skipped(self, testbed_devices):
+        pattern = topology_as_graph(12, line_topology(12))
+        assert rank_devices(pattern, testbed_devices) == []
+
+    def test_no_feasible_device_raises(self, testbed_devices):
+        pattern = topology_as_graph(12, line_topology(12))
+        with pytest.raises(MatchingError):
+            best_overall_device(pattern, testbed_devices)
+
+    def test_circuit_can_be_used_as_pattern(self, testbed_devices):
+        match = match_device(ghz(5), testbed_devices[2])  # line device hosts a CX chain
+        assert match is not None
+        assert match.exact
+
+    def test_invalid_pattern_type_rejected(self, testbed_devices):
+        with pytest.raises(MatchingError):
+            match_device("not-a-pattern", testbed_devices[0])

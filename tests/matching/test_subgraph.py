@@ -1,0 +1,88 @@
+"""Tests for subgraph embedding search."""
+
+import networkx as nx
+import pytest
+
+from repro.backends import fully_connected_topology, line_topology, named_topology_device, ring_topology
+from repro.matching import (
+    find_embeddings,
+    find_exact_embeddings,
+    greedy_embedding,
+    has_exact_embedding,
+    topology_as_graph,
+)
+from repro.utils.exceptions import MatchingError
+
+
+@pytest.fixture(scope="module")
+def ring_device():
+    return named_topology_device("ring", 8, two_qubit_error=0.05, name="ring8_match")
+
+
+@pytest.fixture(scope="module")
+def line_pattern():
+    return topology_as_graph(4, line_topology(4))
+
+
+class TestExactEmbeddings:
+    def test_line_embeds_in_ring(self, ring_device, line_pattern):
+        embeddings = find_exact_embeddings(line_pattern, ring_device.properties.graph())
+        assert embeddings
+        for embedding in embeddings:
+            assert embedding.exact
+            # every pattern edge maps onto a device edge
+            device_graph = ring_device.properties.graph()
+            for a, b in line_pattern.edges():
+                assert device_graph.has_edge(embedding.physical(a), embedding.physical(b))
+
+    def test_ring_does_not_embed_in_line(self):
+        line_device = named_topology_device("line", 8, name="line8_match")
+        ring_pattern = topology_as_graph(5, ring_topology(5))
+        assert find_exact_embeddings(ring_pattern, line_device.properties.graph()) == []
+        assert not has_exact_embedding(ring_pattern, line_device.properties)
+
+    def test_pattern_larger_than_device(self, ring_device):
+        pattern = topology_as_graph(20, line_topology(20))
+        assert find_exact_embeddings(pattern, ring_device.properties.graph()) == []
+
+    def test_empty_pattern(self, ring_device):
+        embeddings = find_exact_embeddings(nx.Graph(), ring_device.properties.graph())
+        assert len(embeddings) == 1 and embeddings[0].mapping == {}
+
+    def test_max_embeddings_cap(self, ring_device, line_pattern):
+        capped = find_exact_embeddings(line_pattern, ring_device.properties.graph(), max_embeddings=3)
+        assert len(capped) == 3
+
+    def test_degree_shortcut_rejects_star(self, ring_device):
+        star = topology_as_graph(6, [(0, i) for i in range(1, 6)])
+        assert find_exact_embeddings(star, ring_device.properties.graph()) == []
+
+
+class TestGreedyEmbedding:
+    def test_greedy_covers_all_pattern_nodes(self, ring_device):
+        pattern = topology_as_graph(6, fully_connected_topology(6))
+        embedding = greedy_embedding(pattern, ring_device.properties, seed=1)
+        assert not embedding.exact
+        assert len(embedding.mapping) == 6
+        assert len(set(embedding.mapping.values())) == 6
+
+    def test_greedy_rejects_oversized_pattern(self, ring_device):
+        pattern = topology_as_graph(9, line_topology(9))
+        with pytest.raises(MatchingError):
+            greedy_embedding(pattern, ring_device.properties)
+
+
+class TestFindEmbeddings:
+    def test_prefers_exact_when_available(self, ring_device, line_pattern):
+        embeddings = find_embeddings(line_pattern, ring_device.properties)
+        assert all(embedding.exact for embedding in embeddings)
+
+    def test_falls_back_to_greedy(self, ring_device):
+        pattern = topology_as_graph(6, fully_connected_topology(6))
+        embeddings = find_embeddings(pattern, ring_device.properties, seed=2)
+        assert len(embeddings) == 1
+        assert not embeddings[0].exact
+
+    def test_infeasible_returns_empty(self, ring_device):
+        pattern = topology_as_graph(30, line_topology(30))
+        assert find_embeddings(pattern, ring_device.properties) == []

@@ -1,0 +1,66 @@
+"""Tests for the OpenQASM 2 exporter and round-tripping."""
+
+import math
+
+import pytest
+
+from repro.circuits import QuantumCircuit, bernstein_vazirani, qft
+from repro.qasm import dump_qasm, parse_qasm, write_qasm_file
+from repro.simulators import StatevectorSimulator
+from repro.utils.linalg import allclose_up_to_global_phase
+
+
+class TestDump:
+    def test_header_and_registers(self):
+        circuit = QuantumCircuit(2, 2)
+        text = dump_qasm(circuit)
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[2];" in text and "creg c[2];" in text
+
+    def test_gate_lines(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1).rz(math.pi / 4, 1).measure(1, 0)
+        text = dump_qasm(circuit)
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+        assert "rz(pi/4) q[1];" in text
+        assert "measure q[1] -> c[0];" in text
+
+    def test_pi_formatting(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(-math.pi, 0).rz(3 * math.pi / 2, 0).rz(0.123, 0)
+        text = dump_qasm(circuit)
+        assert "rz(-pi)" in text
+        assert "rz(3*pi/2)" in text
+        assert "rz(0.123)" in text
+
+    def test_barrier_line(self):
+        circuit = QuantumCircuit(3)
+        circuit.barrier(0, 2)
+        assert "barrier q[0],q[2];" in dump_qasm(circuit)
+
+    def test_write_file(self, tmp_path):
+        path = tmp_path / "circuit.qasm"
+        write_qasm_file(bernstein_vazirani("101"), path)
+        parsed = parse_qasm(path.read_text())
+        assert parsed.num_qubits == 4
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("circuit_factory", [
+        lambda: bernstein_vazirani("1101"),
+        lambda: qft(4, measure=True),
+    ])
+    def test_roundtrip_preserves_semantics(self, circuit_factory, statevector_simulator):
+        original = circuit_factory()
+        recovered = parse_qasm(dump_qasm(original))
+        assert recovered.num_qubits == original.num_qubits
+        state_a = statevector_simulator.statevector(original.without_measurements())
+        state_b = statevector_simulator.statevector(recovered.without_measurements())
+        assert allclose_up_to_global_phase(state_a, state_b)
+
+    def test_roundtrip_preserves_measurement_map(self):
+        circuit = QuantumCircuit(3, 3)
+        circuit.h(0).measure(0, 2).measure(2, 0)
+        recovered = parse_qasm(dump_qasm(circuit))
+        assert recovered.measurement_map() == {0: 2, 2: 0}

@@ -1,0 +1,104 @@
+"""Tests for the OpenQASM 2 parser."""
+
+import math
+
+import pytest
+
+from repro.qasm import parse_qasm
+from repro.utils.exceptions import QASMError
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestBasicParsing:
+    def test_registers_and_gates(self):
+        circuit = parse_qasm(HEADER + "qreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;\n")
+        names = [inst.name for inst in circuit]
+        assert names == ["h", "cx", "measure", "measure"]
+        assert circuit.num_qubits == 2
+
+    def test_header_is_optional(self):
+        circuit = parse_qasm("qreg q[1];\nx q[0];\n")
+        assert circuit.size() == 1
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(QASMError):
+            parse_qasm("OPENQASM 3.0;\nqreg q[1];\n")
+
+    def test_no_qubits_rejected(self):
+        with pytest.raises(QASMError):
+            parse_qasm(HEADER + "creg c[2];\n")
+
+    def test_multiple_registers_are_flattened(self):
+        circuit = parse_qasm(HEADER + "qreg a[2];\nqreg b[2];\ncx a[1],b[0];\n")
+        assert circuit.num_qubits == 4
+        assert circuit.data[0].qubits == (1, 2)
+
+    def test_duplicate_register_rejected(self):
+        with pytest.raises(QASMError):
+            parse_qasm(HEADER + "qreg q[2];\nqreg q[3];\n")
+
+    def test_register_index_out_of_range(self):
+        with pytest.raises(QASMError):
+            parse_qasm(HEADER + "qreg q[2];\nx q[2];\n")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QASMError):
+            parse_qasm(HEADER + "qreg q[1];\nmystery q[0];\n")
+
+    def test_gate_definitions_rejected(self):
+        with pytest.raises(QASMError):
+            parse_qasm(HEADER + "qreg q[1];\ngate foo a { x a; }\n")
+
+
+class TestParameters:
+    def test_pi_expressions(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nrz(pi/2) q[0];\nu3(pi, -pi/4, 3*pi/2) q[0];\n")
+        assert math.isclose(circuit.data[0].params[0], math.pi / 2)
+        theta, phi, lam = circuit.data[1].params
+        assert math.isclose(theta, math.pi)
+        assert math.isclose(phi, -math.pi / 4)
+        assert math.isclose(lam, 3 * math.pi / 2)
+
+    def test_nested_parentheses_and_power(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nrx((pi/2)^2) q[0];\n")
+        assert math.isclose(circuit.data[0].params[0], (math.pi / 2) ** 2)
+
+    def test_math_functions(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nrz(cos(0)) q[0];\n")
+        assert math.isclose(circuit.data[0].params[0], 1.0)
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(QASMError):
+            parse_qasm(HEADER + "qreg q[1];\nrz(1/0) q[0];\n")
+
+
+class TestBroadcastAndDirectives:
+    def test_single_qubit_gate_broadcasts_over_register(self):
+        circuit = parse_qasm(HEADER + "qreg q[3];\nh q;\n")
+        assert circuit.count_ops()["h"] == 3
+
+    def test_measure_full_register(self):
+        circuit = parse_qasm(HEADER + "qreg q[3];\ncreg c[3];\nmeasure q -> c;\n")
+        assert circuit.num_measurements() == 3
+
+    def test_measure_register_size_mismatch(self):
+        with pytest.raises(QASMError):
+            parse_qasm(HEADER + "qreg q[3];\ncreg c[2];\nmeasure q -> c;\n")
+
+    def test_barrier_whole_register(self):
+        circuit = parse_qasm(HEADER + "qreg q[3];\nbarrier q;\n")
+        assert circuit.data[0].qubits == (0, 1, 2)
+
+    def test_barrier_specific_qubits(self):
+        circuit = parse_qasm(HEADER + "qreg q[3];\nbarrier q[0],q[2];\n")
+        assert circuit.data[0].qubits == (0, 2)
+
+    def test_reset(self):
+        circuit = parse_qasm(HEADER + "qreg q[2];\nreset q[1];\n")
+        assert circuit.data[0].name == "reset"
+
+    def test_gate_aliases(self):
+        circuit = parse_qasm(HEADER + "qreg q[2];\nCX q[0],q[1];\nid q[0];\n")
+        assert circuit.data[0].name == "cx"
+        assert circuit.data[1].name == "id"

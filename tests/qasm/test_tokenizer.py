@@ -1,0 +1,61 @@
+"""Tests for the OpenQASM tokenizer."""
+
+import pytest
+
+from repro.qasm.tokenizer import Token, TokenStream, tokenize
+from repro.utils.exceptions import QASMError
+
+
+class TestTokenize:
+    def test_basic_statement(self):
+        tokens = tokenize("qreg q[3];")
+        assert [t.text for t in tokens] == ["qreg", "q", "[", "3", "]", ";"]
+
+    def test_comments_and_whitespace_dropped(self):
+        tokens = tokenize("h q[0]; // apply hadamard\n  x q[1];")
+        assert "//" not in " ".join(t.text for t in tokens)
+        assert tokens[-1].text == ";"
+
+    def test_line_numbers_advance(self):
+        tokens = tokenize("h q[0];\nx q[1];")
+        assert tokens[0].line == 1
+        assert tokens[-1].line == 2
+
+    def test_arrow_token(self):
+        tokens = tokenize("measure q[0] -> c[0];")
+        assert any(t.kind == "ARROW" for t in tokens)
+
+    def test_scientific_notation_number(self):
+        tokens = tokenize("rx(1.5e-3) q[0];")
+        assert any(t.kind == "NUMBER" and t.text == "1.5e-3" for t in tokens)
+
+    def test_string_token(self):
+        tokens = tokenize('include "qelib1.inc";')
+        assert any(t.kind == "STRING" for t in tokens)
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(QASMError):
+            tokenize("h q[0] @;")
+
+
+class TestTokenStream:
+    def test_expect_and_accept(self):
+        stream = TokenStream(tokenize("qreg q [ 3 ] ;"))
+        assert stream.expect("qreg").text == "qreg"
+        assert stream.accept("q")
+        assert not stream.accept("nope")
+
+    def test_expect_mismatch_raises(self):
+        stream = TokenStream(tokenize("foo"))
+        with pytest.raises(QASMError):
+            stream.expect("bar")
+
+    def test_expect_kind(self):
+        stream = TokenStream(tokenize("42"))
+        assert stream.expect_kind("NUMBER").text == "42"
+
+    def test_peek_past_end_raises(self):
+        stream = TokenStream([])
+        assert stream.at_end()
+        with pytest.raises(QASMError):
+            stream.peek()

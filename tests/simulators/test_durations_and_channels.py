@@ -1,0 +1,179 @@
+"""Tests for gate durations, scheduling and error-channel primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, ghz
+from repro.simulators import (
+    GateDurations,
+    ThermalRelaxation,
+    amplitude_damping_probability,
+    circuit_duration,
+    combine_error_probabilities,
+    depolarizing_probabilities,
+    qubit_busy_times,
+    qubit_finish_times,
+    qubit_idle_times,
+    thermal_relaxation_error,
+)
+from repro.utils.exceptions import SimulationError
+
+
+class TestGateDurations:
+    def test_defaults_are_positive(self):
+        durations = GateDurations()
+        assert durations.one_qubit_ns > 0
+        assert durations.two_qubit_ns > durations.one_qubit_ns
+        assert durations.readout_ns > durations.two_qubit_ns
+
+    def test_duration_of_dispatches_on_arity(self):
+        durations = GateDurations(one_qubit_ns=10, two_qubit_ns=100, readout_ns=1000)
+        assert durations.duration_of(1) == 10
+        assert durations.duration_of(2) == 100
+        assert durations.duration_of(1, is_measurement=True) == 1000
+        assert durations.duration_of(3) == 200
+
+    def test_rejects_negative_durations(self):
+        with pytest.raises(SimulationError):
+            GateDurations(one_qubit_ns=-1)
+
+
+class TestScheduling:
+    def _bell(self) -> QuantumCircuit:
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        return circuit
+
+    def test_busy_times_bell_pair(self):
+        durations = GateDurations(one_qubit_ns=10, two_qubit_ns=100, readout_ns=1000)
+        busy = qubit_busy_times(self._bell(), durations)
+        assert busy[0] == 10 + 100 + 1000
+        assert busy[1] == 100 + 1000
+
+    def test_finish_times_respect_dependencies(self):
+        durations = GateDurations(one_qubit_ns=10, two_qubit_ns=100, readout_ns=1000)
+        finish = qubit_finish_times(self._bell(), durations)
+        # The CX cannot start before the H finishes, so both qubits finish together.
+        assert finish[0] == finish[1] == 10 + 100 + 1000
+
+    def test_circuit_duration_is_max_finish_time(self):
+        durations = GateDurations(one_qubit_ns=10, two_qubit_ns=100, readout_ns=1000)
+        assert circuit_duration(self._bell(), durations) == 1110
+
+    def test_idle_times_ghz_chain(self):
+        durations = GateDurations(one_qubit_ns=0, two_qubit_ns=100, readout_ns=0)
+        circuit = ghz(4, measure=False)
+        idle = qubit_idle_times(circuit, durations)
+        # Qubit 0: busy for the h (0 ns) and first cx (100) => idle 200 of 300.
+        assert idle[0] == pytest.approx(200.0)
+        # Last qubit only participates in the final cx.
+        assert idle[3] == pytest.approx(200.0)
+
+    def test_untouched_qubits_report_zero_idle(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        idle = qubit_idle_times(circuit)
+        assert idle[1] == 0.0
+        assert idle[2] == 0.0
+
+    def test_barrier_synchronises_operands(self):
+        durations = GateDurations(one_qubit_ns=10, two_qubit_ns=100, readout_ns=0)
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.x(1)
+        finish = qubit_finish_times(circuit, durations)
+        # The x on qubit 1 cannot start until the barrier level set by the h.
+        assert finish[1] == 20
+
+    def test_empty_circuit_has_zero_duration(self):
+        assert circuit_duration(QuantumCircuit(3)) == 0.0
+
+
+class TestDepolarizing:
+    def test_single_qubit_split(self):
+        probabilities = depolarizing_probabilities(0.3, 1)
+        assert set(probabilities) == {"x", "y", "z"}
+        assert sum(probabilities.values()) == pytest.approx(0.3)
+
+    def test_two_qubit_split_has_fifteen_terms(self):
+        probabilities = depolarizing_probabilities(0.15, 2)
+        assert len(probabilities) == 15
+        assert sum(probabilities.values()) == pytest.approx(0.15)
+        assert "ii" not in probabilities
+
+    def test_rejects_three_qubits(self):
+        with pytest.raises(SimulationError):
+            depolarizing_probabilities(0.1, 3)
+
+
+class TestThermalRelaxation:
+    def test_zero_duration_is_error_free(self):
+        relaxation = ThermalRelaxation(t1=50e3, t2=70e3, duration=0.0)
+        assert relaxation.error_probability() == 0.0
+        assert relaxation.survival_probability() == 1.0
+
+    def test_error_grows_with_duration(self):
+        short = thermal_relaxation_error(50e3, 70e3, 100.0)
+        long = thermal_relaxation_error(50e3, 70e3, 10_000.0)
+        assert 0.0 < short < long < 1.0
+
+    def test_pauli_probabilities_are_non_negative_and_consistent(self):
+        relaxation = ThermalRelaxation(t1=100e3, t2=150e3, duration=500.0)
+        probabilities = relaxation.pauli_probabilities()
+        assert all(value >= 0.0 for value in probabilities.values())
+        assert relaxation.error_probability() == pytest.approx(sum(probabilities.values()))
+
+    def test_pure_t1_limit_matches_amplitude_damping_scale(self):
+        # With T2 = 2 * T1 (pure relaxation), p_z collapses to ~0.
+        relaxation = ThermalRelaxation(t1=10e3, t2=20e3, duration=1_000.0)
+        probabilities = relaxation.pauli_probabilities()
+        assert probabilities["z"] == pytest.approx(0.0, abs=1e-3)
+
+    def test_rejects_unphysical_t2(self):
+        with pytest.raises(SimulationError):
+            ThermalRelaxation(t1=10e3, t2=30e3, duration=1.0)
+
+    def test_rejects_non_positive_times(self):
+        with pytest.raises(SimulationError):
+            ThermalRelaxation(t1=0.0, t2=1.0, duration=1.0)
+        with pytest.raises(SimulationError):
+            ThermalRelaxation(t1=1e3, t2=1e3, duration=-5.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        t1=st.floats(min_value=1e3, max_value=1e6),
+        ratio=st.floats(min_value=0.1, max_value=2.0),
+        duration=st.floats(min_value=0.0, max_value=1e5),
+    )
+    def test_property_error_probability_in_unit_interval(self, t1, ratio, duration):
+        relaxation = ThermalRelaxation(t1=t1, t2=t1 * ratio, duration=duration)
+        assert 0.0 <= relaxation.error_probability() <= 1.0
+
+
+class TestCombinators:
+    def test_combine_is_one_minus_product_of_survivals(self):
+        combined = combine_error_probabilities(0.1, 0.2, 0.3)
+        assert combined == pytest.approx(1.0 - 0.9 * 0.8 * 0.7)
+
+    def test_combine_of_nothing_is_zero(self):
+        assert combine_error_probabilities() == 0.0
+
+    def test_amplitude_damping_probability(self):
+        assert amplitude_damping_probability(1e3, 0.0) == 0.0
+        assert amplitude_damping_probability(1e3, 1e3) == pytest.approx(1.0 - math.exp(-1.0))
+        with pytest.raises(SimulationError):
+            amplitude_damping_probability(0.0, 10.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=6))
+    def test_property_combined_error_bounds(self, probabilities):
+        combined = combine_error_probabilities(*probabilities)
+        assert max(probabilities) - 1e-12 <= combined <= 1.0

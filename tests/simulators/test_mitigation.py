@@ -1,0 +1,126 @@
+"""Tests for tensor-product readout-error mitigation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import named_topology_device
+from repro.circuits import ghz
+from repro.simulators import (
+    NoiseModel,
+    ReadoutMitigator,
+    hellinger_fidelity,
+)
+from repro.utils.exceptions import SimulationError
+
+
+def _uniform_mitigator(num_bits: int, flip: float) -> ReadoutMitigator:
+    return ReadoutMitigator(flip_probabilities={bit: flip for bit in range(num_bits)})
+
+
+class TestConstruction:
+    def test_from_noise_model_uses_measurement_error(self):
+        noise = NoiseModel.uniform(3, readout_error=0.1)
+        mitigator = ReadoutMitigator.from_noise_model(noise, qubits=[0, 1, 2])
+        assert mitigator.flip_probabilities == {0: 0.1, 1: 0.1, 2: 0.1}
+
+    def test_from_backend_properties(self):
+        device = named_topology_device("line", 4, readout_error=0.05, two_qubit_error=0.0, one_qubit_error=0.0)
+        mitigator = ReadoutMitigator.from_backend_properties(device.properties, qubits=[0, 1])
+        assert mitigator.num_bits == 2
+        assert mitigator.flip_probabilities[0] == pytest.approx(0.05)
+
+    def test_rejects_empty_and_non_invertible(self):
+        with pytest.raises(SimulationError):
+            ReadoutMitigator(flip_probabilities={})
+        with pytest.raises(SimulationError):
+            ReadoutMitigator(flip_probabilities={0: 0.5})
+
+
+class TestRoundTrip:
+    def test_forward_then_inverse_recovers_distribution(self):
+        mitigator = _uniform_mitigator(2, 0.1)
+        ideal = {"00": 500, "11": 500}
+        noisy = mitigator.expected_distribution(ideal)
+        noisy_counts = {key: int(round(probability * 1000)) for key, probability in noisy.items()}
+        recovered = mitigator.mitigate_probabilities(noisy_counts)
+        assert recovered["00"] == pytest.approx(0.5, abs=0.01)
+        assert recovered["11"] == pytest.approx(0.5, abs=0.01)
+        assert recovered.get("01", 0.0) < 0.01
+        assert recovered.get("10", 0.0) < 0.01
+
+    def test_expected_distribution_spreads_mass(self):
+        mitigator = _uniform_mitigator(2, 0.2)
+        noisy = mitigator.expected_distribution({"00": 100})
+        assert noisy["00"] == pytest.approx(0.8 * 0.8)
+        assert noisy["01"] == pytest.approx(0.8 * 0.2)
+        assert noisy["11"] == pytest.approx(0.2 * 0.2)
+
+    def test_zero_flip_is_identity(self):
+        mitigator = _uniform_mitigator(3, 0.0)
+        counts = {"000": 30, "101": 70}
+        assert mitigator.mitigate_counts(counts) == counts
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        flip=st.floats(min_value=0.0, max_value=0.3),
+        weight=st.integers(min_value=1, max_value=99),
+    )
+    def test_property_round_trip_two_bits(self, flip, weight):
+        mitigator = _uniform_mitigator(2, flip)
+        ideal = {"00": weight, "11": 100 - weight}
+        noisy = mitigator.expected_distribution(ideal)
+        noisy_counts = {key: int(round(probability * 100000)) for key, probability in noisy.items()}
+        recovered = mitigator.mitigate_probabilities(noisy_counts)
+        assert recovered.get("00", 0.0) == pytest.approx(weight / 100.0, abs=0.02)
+
+
+class TestMitigationOnDevice:
+    def test_mitigation_improves_readout_dominated_ghz(self):
+        device = named_topology_device(
+            "line", 4, two_qubit_error=0.0, one_qubit_error=0.0, readout_error=0.12, name="readout_limited"
+        )
+        circuit = ghz(4)
+        ideal = device.run(circuit, shots=4096, noisy=False, seed=11)
+        noisy = device.run(circuit, shots=4096, seed=13)
+        mitigator = ReadoutMitigator.from_noise_model(device.noise_model(), qubits=list(range(4)))
+        improvement = mitigator.improvement(noisy.counts, ideal.counts)
+        assert improvement > 0.02
+
+    def test_mitigate_result_preserves_shots_and_flags_metadata(self):
+        device = named_topology_device("line", 3, two_qubit_error=0.0, one_qubit_error=0.0, readout_error=0.1)
+        result = device.run(ghz(3), shots=512, seed=3)
+        mitigator = ReadoutMitigator.from_noise_model(device.noise_model(), qubits=[0, 1, 2])
+        mitigated = mitigator.mitigate_result(result)
+        assert mitigated.shots == 512
+        assert mitigated.metadata["readout_mitigated"] is True
+        ideal = device.run(ghz(3), shots=512, noisy=False, seed=5)
+        assert hellinger_fidelity(mitigated.counts, ideal.counts) >= hellinger_fidelity(
+            result.counts, ideal.counts
+        ) - 1e-6
+
+
+class TestGuards:
+    def test_rejects_mixed_width_counts(self):
+        mitigator = _uniform_mitigator(2, 0.1)
+        with pytest.raises(SimulationError):
+            mitigator.mitigate_probabilities({"00": 5, "000": 5})
+
+    def test_wider_register_than_configured_bits_is_allowed(self):
+        # Bits beyond the configured flip probabilities are treated as ideal.
+        mitigator = _uniform_mitigator(2, 0.1)
+        probabilities = mitigator.mitigate_probabilities({"000": 50, "011": 50})
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_rejects_empty_counts(self):
+        mitigator = _uniform_mitigator(2, 0.1)
+        with pytest.raises(SimulationError):
+            mitigator.mitigate_probabilities({"00": 0})
+
+    def test_rejects_too_wide_registers(self):
+        mitigator = _uniform_mitigator(2, 0.1)
+        wide_key = "0" * 20
+        with pytest.raises(SimulationError):
+            mitigator.mitigate_probabilities({wide_key: 5})

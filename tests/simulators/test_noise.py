@@ -1,0 +1,96 @@
+"""Tests for the noise model."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.simulators import NoiseModel
+
+
+class TestConstruction:
+    def test_ideal_model_has_zero_errors(self):
+        model = NoiseModel.ideal()
+        assert model.gate_error((0,)) == 0.0
+        assert model.measurement_error(0) == 0.0
+
+    def test_uniform_model(self):
+        model = NoiseModel.uniform(3, one_qubit_error=0.01, two_qubit_error=0.05, readout_error=0.02)
+        assert model.gate_error((1,)) == pytest.approx(0.01)
+        assert model.gate_error((0, 2)) == pytest.approx(0.05)
+        assert model.measurement_error(2) == pytest.approx(0.02)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(one_qubit_error={0: 1.5})
+
+    def test_edge_keys_are_normalised(self):
+        model = NoiseModel(two_qubit_error={(3, 1): 0.2})
+        assert model.gate_error((1, 3)) == pytest.approx(0.2)
+        assert model.gate_error((3, 1)) == pytest.approx(0.2)
+
+
+class TestQueries:
+    def test_unknown_edge_uses_default(self):
+        model = NoiseModel(two_qubit_error={(0, 1): 0.1}, default_two_qubit_error=0.3)
+        assert model.gate_error((1, 2)) == pytest.approx(0.3)
+
+    def test_multi_qubit_gate_uses_worst_pair(self):
+        model = NoiseModel(two_qubit_error={(0, 1): 0.1, (1, 2): 0.4, (0, 2): 0.2})
+        assert model.gate_error((0, 1, 2)) == pytest.approx(0.4)
+
+    def test_measurement_error_includes_t1_decay(self):
+        fast_decay = NoiseModel(readout_error={0: 0.0}, t1={0: 100.0}, readout_length={0: 100.0})
+        assert fast_decay.measurement_error(0) > 0.2
+        no_decay = NoiseModel(readout_error={0: 0.0}, t1={0: 1e9}, readout_length={0: 30.0})
+        assert no_decay.measurement_error(0) < 1e-6
+
+    def test_average_two_qubit_error(self):
+        model = NoiseModel(two_qubit_error={(0, 1): 0.1, (1, 2): 0.3})
+        assert model.average_two_qubit_error() == pytest.approx(0.2)
+
+    def test_summary_keys(self):
+        summary = NoiseModel.uniform(2, 0.01, 0.05, 0.02).summary()
+        assert set(summary) == {"avg_1q_error", "avg_2q_error", "avg_readout_error"}
+
+
+class TestRestriction:
+    def test_restricted_to_relabels_indices(self):
+        model = NoiseModel(
+            one_qubit_error={5: 0.01, 9: 0.02},
+            two_qubit_error={(5, 9): 0.1},
+            readout_error={5: 0.03, 9: 0.04},
+        )
+        restricted = model.restricted_to([5, 9])
+        assert restricted.one_qubit_error == {0: 0.01, 1: 0.02}
+        assert restricted.gate_error((0, 1)) == pytest.approx(0.1)
+        assert restricted.readout_error == {0: 0.03, 1: 0.04}
+
+    def test_restriction_drops_other_qubits(self):
+        model = NoiseModel(one_qubit_error={0: 0.1, 1: 0.2, 2: 0.3})
+        restricted = model.restricted_to([2])
+        assert restricted.one_qubit_error == {0: 0.3}
+
+
+class TestESP:
+    def test_esp_of_noiseless_circuit_is_one(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1).measure_all()
+        assert NoiseModel.ideal().expected_success_probability(circuit) == pytest.approx(1.0)
+
+    def test_esp_decreases_with_more_gates(self):
+        model = NoiseModel.uniform(3, one_qubit_error=0.01, two_qubit_error=0.05, readout_error=0.02)
+        short = QuantumCircuit(2)
+        short.cx(0, 1).measure_all()
+        long = QuantumCircuit(2)
+        for _ in range(5):
+            long.cx(0, 1)
+        long.measure_all()
+        assert model.expected_success_probability(long) < model.expected_success_probability(short)
+
+    def test_esp_stays_in_unit_interval(self):
+        model = NoiseModel.uniform(2, one_qubit_error=0.5, two_qubit_error=0.7, readout_error=0.3)
+        circuit = QuantumCircuit(2)
+        for _ in range(50):
+            circuit.cx(0, 1)
+        circuit.measure_all()
+        esp = model.expected_success_probability(circuit)
+        assert 0.0 <= esp <= 1.0

@@ -1,0 +1,58 @@
+"""Property-based cross-checks between the simulators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.random_circuits import random_clifford_circuit
+from repro.simulators import (
+    StabilizerSimulator,
+    StatevectorSimulator,
+    hellinger_fidelity,
+)
+from repro.simulators.statevector import apply_matrix
+from repro.circuits.gates import gate_matrix
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       num_qubits=st.integers(min_value=2, max_value=4),
+       depth=st.integers(min_value=1, max_value=6))
+def test_stabilizer_matches_statevector_on_random_clifford_circuits(seed, num_qubits, depth):
+    """Gottesman-Knill consistency: both engines sample the same distribution."""
+    circuit = random_clifford_circuit(num_qubits, depth, seed=seed, measure=True)
+    stab_counts = StabilizerSimulator(seed=seed).run(circuit, shots=600).counts
+    ideal_counts = StatevectorSimulator(seed=seed + 1).run(circuit, shots=600).counts
+    assert hellinger_fidelity(stab_counts, ideal_counts) > 0.9
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       num_qubits=st.integers(min_value=1, max_value=5),
+       depth=st.integers(min_value=1, max_value=8))
+def test_statevector_norm_is_preserved(seed, num_qubits, depth):
+    """Unitary evolution keeps the state normalised for arbitrary circuits."""
+    from repro.circuits.random_circuits import random_circuit
+
+    circuit = random_circuit(num_qubits, depth, seed=seed, measure=False)
+    state = StatevectorSimulator(seed=0).statevector(circuit)
+    assert np.isclose(np.linalg.norm(state), 1.0, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_apply_matrix_preserves_inner_products(seed):
+    """Applying the same unitary to two states preserves their overlap."""
+    rng = np.random.default_rng(seed)
+    num_qubits = 3
+    a = rng.normal(size=8) + 1j * rng.normal(size=8)
+    b = rng.normal(size=8) + 1j * rng.normal(size=8)
+    a /= np.linalg.norm(a)
+    b /= np.linalg.norm(b)
+    overlap_before = np.vdot(a, b)
+    qubits = (int(rng.integers(0, 3)),)
+    matrix = gate_matrix("h")
+    a2 = apply_matrix(a, matrix, qubits, num_qubits)
+    b2 = apply_matrix(b, matrix, qubits, num_qubits)
+    assert np.isclose(np.vdot(a2, b2), overlap_before, atol=1e-9)

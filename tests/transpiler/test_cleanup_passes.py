@@ -1,0 +1,142 @@
+"""Tests for the cleanup passes (rotation merging, diagonal-before-measure removal)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, qft
+from repro.simulators import StatevectorSimulator, hellinger_fidelity
+from repro.transpiler import TranspileContext, transpile
+from repro.transpiler.passes import MergeAdjacentRotations, RemoveDiagonalGatesBeforeMeasure
+from repro.utils.exceptions import TranspilerError
+
+
+def _run_pass(pass_instance, circuit: QuantumCircuit) -> QuantumCircuit:
+    return pass_instance.run(circuit, TranspileContext())
+
+
+class TestMergeAdjacentRotations:
+    def test_merges_same_axis_rotations(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.3, 0)
+        circuit.rz(0.4, 0)
+        merged = _run_pass(MergeAdjacentRotations(), circuit)
+        assert merged.count_ops().get("rz", 0) == 1
+        assert merged.data[0].params[0] == pytest.approx(0.7)
+
+    def test_cancels_to_identity(self):
+        circuit = QuantumCircuit(1)
+        circuit.rx(0.5, 0)
+        circuit.rx(-0.5, 0)
+        merged = _run_pass(MergeAdjacentRotations(), circuit)
+        assert merged.size() == 0
+
+    def test_does_not_merge_across_other_gates(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.3, 0)
+        circuit.h(0)
+        circuit.rz(0.4, 0)
+        merged = _run_pass(MergeAdjacentRotations(), circuit)
+        assert merged.count_ops()["rz"] == 2
+
+    def test_does_not_merge_across_measurement(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.3, 0)
+        circuit.measure(0, 0)
+        circuit.rz(0.4, 0)
+        merged = _run_pass(MergeAdjacentRotations(), circuit)
+        assert merged.count_ops()["rz"] == 2
+
+    def test_merges_long_chains_to_single_gate(self):
+        circuit = QuantumCircuit(1)
+        for _ in range(10):
+            circuit.ry(0.1, 0)
+        merged = _run_pass(MergeAdjacentRotations(), circuit)
+        assert merged.count_ops()["ry"] == 1
+        assert merged.data[0].params[0] == pytest.approx(1.0)
+
+    def test_different_axes_do_not_merge(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.3, 0)
+        circuit.rx(0.4, 0)
+        merged = _run_pass(MergeAdjacentRotations(), circuit)
+        assert merged.size() == 2
+
+    def test_preserves_statevector(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.rz(0.2, 0)
+        circuit.rz(0.5, 0)
+        circuit.cx(0, 1)
+        circuit.ry(0.1, 1)
+        circuit.ry(0.2, 1)
+        merged = _run_pass(MergeAdjacentRotations(), circuit)
+        simulator = StatevectorSimulator(seed=1)
+        original = simulator.statevector(circuit)
+        optimised = simulator.statevector(merged)
+        assert np.allclose(np.abs(np.vdot(original, optimised)), 1.0)
+
+
+class TestRemoveDiagonalGatesBeforeMeasure:
+    def test_removes_phase_gates_before_measure(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.t(0)
+        circuit.measure(0, 0)
+        cleaned = _run_pass(RemoveDiagonalGatesBeforeMeasure(), circuit)
+        assert "t" not in cleaned.count_ops()
+
+    def test_keeps_phase_gates_followed_by_more_gates(self):
+        circuit = QuantumCircuit(1)
+        circuit.t(0)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        cleaned = _run_pass(RemoveDiagonalGatesBeforeMeasure(), circuit)
+        assert cleaned.count_ops()["t"] == 1
+
+    def test_keeps_non_diagonal_gates(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        circuit.measure(0, 0)
+        cleaned = _run_pass(RemoveDiagonalGatesBeforeMeasure(), circuit)
+        assert cleaned.count_ops()["x"] == 1
+
+    def test_counts_are_unchanged(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.s(0)
+        circuit.rz(0.7, 1)
+        circuit.measure_all()
+        cleaned = _run_pass(RemoveDiagonalGatesBeforeMeasure(), circuit)
+        assert cleaned.size() == circuit.size() - 2
+        simulator = StatevectorSimulator(seed=2)
+        before = simulator.run(circuit, shots=2048).counts
+        after = simulator.run(cleaned, shots=2048).counts
+        assert hellinger_fidelity(before, after) > 0.99
+
+
+class TestOptimizationLevel3:
+    def test_level3_is_accepted_and_produces_valid_circuit(self, grid_device):
+        circuit = qft(4, measure=True)
+        level2 = transpile(circuit, grid_device, optimization_level=2, seed=5)
+        level3 = transpile(circuit, grid_device, optimization_level=3, seed=5)
+        basis = set(grid_device.properties.basis_gates) | {"measure", "barrier"}
+        assert all(inst.name in basis for inst in level3.circuit)
+        assert level3.circuit.size() <= level2.circuit.size()
+
+    def test_level3_preserves_distribution(self, grid_device):
+        circuit = qft(3, measure=True)
+        level0 = transpile(circuit, grid_device, optimization_level=0, seed=7)
+        level3 = transpile(circuit, grid_device, optimization_level=3, seed=7)
+        simulator = StatevectorSimulator(seed=11)
+        reference = simulator.run(level0.circuit, shots=4096).counts
+        optimised = simulator.run(level3.circuit, shots=4096).counts
+        assert hellinger_fidelity(reference, optimised) > 0.98
+
+    def test_level4_is_rejected(self, grid_device):
+        with pytest.raises(TranspilerError):
+            transpile(qft(3), grid_device, optimization_level=4)

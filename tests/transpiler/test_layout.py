@@ -1,0 +1,57 @@
+"""Tests for the Layout mapping."""
+
+import pytest
+
+from repro.transpiler import Layout
+from repro.utils.exceptions import LayoutError
+
+
+class TestLayout:
+    def test_trivial_layout(self):
+        layout = Layout.trivial(3)
+        assert layout.as_list() == [0, 1, 2]
+
+    def test_from_sequence(self):
+        layout = Layout.from_sequence([4, 2, 7])
+        assert layout.physical(1) == 2
+        assert layout.virtual(7) == 2
+        assert layout.virtual(5) is None
+
+    def test_duplicate_physical_rejected(self):
+        with pytest.raises(LayoutError):
+            Layout({0: 1, 1: 1})
+
+    def test_unassigned_virtual_raises(self):
+        with pytest.raises(LayoutError):
+            Layout({0: 3}).physical(2)
+
+    def test_swap_physical_exchanges_assignments(self):
+        layout = Layout({0: 5, 1: 6})
+        layout.swap_physical(5, 6)
+        assert layout.physical(0) == 6
+        assert layout.physical(1) == 5
+
+    def test_swap_with_unused_physical(self):
+        layout = Layout({0: 5})
+        layout.swap_physical(5, 9)
+        assert layout.physical(0) == 9
+
+    def test_copy_is_independent(self):
+        layout = Layout({0: 1})
+        clone = layout.copy()
+        clone.swap_physical(1, 2)
+        assert layout.physical(0) == 1
+
+    def test_compose_onto(self):
+        first = Layout({0: 2, 1: 0})
+        second = Layout({0: 7, 1: 8, 2: 9})
+        composed = first.compose_onto(second)
+        assert composed.physical(0) == 9
+        assert composed.physical(1) == 7
+
+    def test_physical_qubits_sorted(self):
+        assert Layout({0: 9, 1: 2}).physical_qubits() == [2, 9]
+
+    def test_equality_and_len(self):
+        assert Layout({0: 1}) == Layout({0: 1})
+        assert len(Layout({0: 1, 1: 2})) == 2

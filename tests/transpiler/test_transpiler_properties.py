@@ -1,0 +1,55 @@
+"""Property-based tests for the transpiler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import generate_device, named_topology_device
+from repro.circuits.random_circuits import random_circuit
+from repro.simulators import StatevectorSimulator
+from repro.simulators.statevector import compact_circuit
+from repro.transpiler import transpile
+
+_DEVICES = {
+    "line": named_topology_device("line", 6, two_qubit_error=0.02, name="prop_line6"),
+    "grid": named_topology_device("grid", 6, two_qubit_error=0.02, name="prop_grid6"),
+    "random": generate_device(12, 0.3, seed=314),
+}
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    num_qubits=st.integers(min_value=2, max_value=5),
+    depth=st.integers(min_value=1, max_value=5),
+    device_key=st.sampled_from(sorted(_DEVICES)),
+)
+def test_transpiled_circuit_preserves_output_distribution(seed, num_qubits, depth, device_key):
+    """For random circuits, transpilation never changes the ideal distribution."""
+    device = _DEVICES[device_key]
+    circuit = random_circuit(num_qubits, depth, seed=seed, measure=True)
+    result = transpile(circuit, device, seed=seed)
+    simulator = StatevectorSimulator(seed=0)
+    compacted, _ = compact_circuit(result.circuit)
+    ideal = simulator.probabilities(circuit)
+    compiled = simulator.probabilities(compacted)
+    keys = set(ideal) | set(compiled)
+    assert max(abs(ideal.get(k, 0.0) - compiled.get(k, 0.0)) for k in keys) < 1e-7
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    num_qubits=st.integers(min_value=2, max_value=5),
+    depth=st.integers(min_value=1, max_value=5),
+)
+def test_transpiled_circuit_respects_device_constraints(seed, num_qubits, depth):
+    """Every output gate is in the basis and every 2q gate is on a coupled pair."""
+    device = _DEVICES["random"]
+    circuit = random_circuit(num_qubits, depth, seed=seed, measure=True)
+    result = transpile(circuit, device, seed=seed)
+    basis = set(device.properties.basis_gates) | {"measure", "barrier"}
+    coupled = {tuple(sorted(edge)) for edge in device.properties.coupling_map}
+    for instruction in result.circuit:
+        assert instruction.name in basis
+        if instruction.is_two_qubit_gate:
+            assert tuple(sorted(instruction.qubits)) in coupled

@@ -1,0 +1,62 @@
+"""Tests for deterministic RNG handling."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_generator, spawn_generator, uniform_choice
+
+
+class TestEnsureGenerator:
+    def test_int_seed_is_reproducible(self):
+        a = ensure_generator(42).random(5)
+        b = ensure_generator(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert ensure_generator(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_generator(None), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_generator("seed")
+
+
+class TestSpawnAndDerive:
+    def test_spawn_is_deterministic_given_parent(self):
+        child_a = spawn_generator(ensure_generator(7)).random(3)
+        child_b = spawn_generator(ensure_generator(7)).random(3)
+        assert np.allclose(child_a, child_b)
+
+    def test_spawned_children_differ_from_parent_stream(self):
+        parent = ensure_generator(7)
+        child = spawn_generator(parent)
+        assert not np.allclose(parent.random(3), child.random(3))
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(5, "a", 1) == derive_seed(5, "a", 1)
+
+    def test_derive_seed_varies_with_components(self):
+        assert derive_seed(5, "a", 1) != derive_seed(5, "a", 2)
+
+    def test_derive_seed_is_non_negative_int(self):
+        value = derive_seed(None, "x")
+        assert isinstance(value, int)
+        assert value >= 0
+
+
+class TestUniformChoice:
+    def test_choice_returns_element(self):
+        options = [(1, 2), (3, 4), (5, 6)]
+        pick = uniform_choice(ensure_generator(0), options)
+        assert pick in options
+
+    def test_choice_preserves_tuple_type(self):
+        pick = uniform_choice(ensure_generator(0), [(1, 2)])
+        assert isinstance(pick, tuple)
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            uniform_choice(ensure_generator(0), [])

@@ -1,0 +1,99 @@
+"""Tests for the shared argument-validation helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    require_distinct,
+    require_finite_float,
+    require_in_range,
+    require_name,
+    require_non_negative_int,
+    require_one_of,
+    require_positive_int,
+    require_probability,
+    require_qubit_index,
+)
+
+
+class TestIntegerValidation:
+    def test_positive_int_accepts_positive(self):
+        assert require_positive_int(3, "n") == 3
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(ValueError):
+            require_positive_int(0, "n")
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            require_positive_int(True, "n")
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(TypeError):
+            require_positive_int(2.5, "n")
+
+    def test_non_negative_accepts_zero(self):
+        assert require_non_negative_int(0, "n") == 0
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_non_negative_int(-1, "n")
+
+
+class TestFloatValidation:
+    def test_probability_bounds(self):
+        assert require_probability(0.0, "p") == 0.0
+        assert require_probability(1.0, "p") == 1.0
+
+    def test_probability_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            require_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            require_probability(-0.1, "p")
+
+    def test_finite_float_rejects_nan(self):
+        with pytest.raises(ValueError):
+            require_finite_float(float("nan"), "x")
+
+    def test_finite_float_rejects_infinity(self):
+        with pytest.raises(ValueError):
+            require_finite_float(math.inf, "x")
+
+    def test_finite_float_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            require_finite_float("abc", "x")
+
+    def test_in_range(self):
+        assert require_in_range(0.5, 0.0, 1.0, "x") == 0.5
+        with pytest.raises(ValueError):
+            require_in_range(2.0, 0.0, 1.0, "x")
+
+
+class TestStructuralValidation:
+    def test_qubit_index_in_range(self):
+        assert require_qubit_index(2, 3) == 2
+
+    def test_qubit_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            require_qubit_index(3, 3)
+
+    def test_distinct_accepts_unique(self):
+        assert require_distinct((0, 1, 2)) == (0, 1, 2)
+
+    def test_distinct_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            require_distinct((0, 0))
+
+    def test_name_rejects_empty(self):
+        with pytest.raises(ValueError):
+            require_name("   ", "name")
+
+    def test_name_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            require_name(12, "name")
+
+    def test_one_of(self):
+        assert require_one_of("a", ["a", "b"], "choice") == "a"
+        with pytest.raises(ValueError):
+            require_one_of("c", ["a", "b"], "choice")

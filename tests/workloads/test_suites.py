@@ -1,0 +1,103 @@
+"""Tests for the workload suite descriptors (repro.workloads.suites)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fidelity import is_clifford_circuit
+from repro.utils.exceptions import CircuitError
+from repro.workloads import (
+    SuiteEntry,
+    WorkloadSuite,
+    available_suites,
+    clifford_suite,
+    nisq_mix_suite,
+    paper_evaluation_suite,
+    workload_suite,
+)
+from repro.workloads.evaluation_circuits import evaluation_workloads
+
+
+class TestBuiltinSuites:
+    def test_available_suites_lists_all_builtins(self):
+        assert available_suites() == ["clifford", "nisq_mix", "paper_eval"]
+
+    def test_workload_suite_lookup_matches_factories(self):
+        assert workload_suite("paper_eval").keys() == paper_evaluation_suite().keys()
+        assert workload_suite("clifford").name == "clifford"
+        assert workload_suite("nisq_mix").name == "nisq_mix"
+
+    def test_unknown_suite_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            workload_suite("does_not_exist")
+
+    def test_paper_suite_mirrors_fig7_workloads(self):
+        suite = paper_evaluation_suite()
+        assert suite.keys() == [workload.key for workload in evaluation_workloads()]
+        for entry in suite.entries:
+            assert entry.strategy == "fidelity"
+
+    def test_clifford_suite_circuits_are_clifford(self):
+        for key, circuit in clifford_suite().circuits().items():
+            assert is_clifford_circuit(circuit), f"{key} is not Clifford"
+
+    def test_nisq_mix_circuits_build_and_have_measurements(self):
+        for key, circuit in nisq_mix_suite().circuits().items():
+            assert circuit.num_qubits >= 2, key
+            assert circuit.has_measurements(), key
+
+    def test_nisq_mix_contains_both_strategies(self):
+        strategies = {entry.strategy for entry in nisq_mix_suite().entries}
+        assert strategies == {"fidelity", "topology"}
+
+
+class TestSuiteSampling:
+    def test_weights_are_normalised(self):
+        suite = nisq_mix_suite()
+        assert sum(suite.weights()) == pytest.approx(1.0)
+
+    def test_sample_is_deterministic_for_a_seed(self):
+        suite = nisq_mix_suite()
+        first = [entry.key for entry in suite.sample_many(20, seed=5)]
+        second = [entry.key for entry in suite.sample_many(20, seed=5)]
+        assert first == second
+
+    def test_sample_respects_weights(self):
+        heavy = SuiteEntry("heavy", "Heavy", lambda: paper_evaluation_suite().entry("grover").circuit(), weight=50.0)
+        light = SuiteEntry("light", "Light", lambda: paper_evaluation_suite().entry("grover").circuit(), weight=1.0)
+        suite = WorkloadSuite(name="skewed", entries=(heavy, light))
+        rng = np.random.default_rng(3)
+        draws = [suite.sample(rng=rng).key for _ in range(200)]
+        assert draws.count("heavy") > draws.count("light") * 5
+
+    def test_entry_lookup(self):
+        suite = paper_evaluation_suite()
+        assert suite.entry("bv").label == "Bv"
+        with pytest.raises(KeyError):
+            suite.entry("nope")
+
+
+class TestSuiteValidation:
+    def _entry(self, key: str = "k", **kwargs) -> SuiteEntry:
+        return SuiteEntry(key, key, lambda: paper_evaluation_suite().entry("grover").circuit(), **kwargs)
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(CircuitError):
+            self._entry(weight=0.0)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(CircuitError):
+            self._entry(strategy="vibes")
+
+    def test_rejects_bad_fidelity_threshold(self):
+        with pytest.raises(CircuitError):
+            self._entry(fidelity_threshold=0.0)
+        with pytest.raises(CircuitError):
+            self._entry(fidelity_threshold=1.5)
+
+    def test_rejects_empty_suite_and_duplicates(self):
+        with pytest.raises(CircuitError):
+            WorkloadSuite(name="empty", entries=())
+        with pytest.raises(CircuitError):
+            WorkloadSuite(name="dup", entries=(self._entry("a"), self._entry("a")))

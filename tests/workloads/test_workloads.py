@@ -1,0 +1,73 @@
+"""Tests for the evaluation workloads and default topology requests."""
+
+import pytest
+
+from repro.workloads import (
+    DefaultTopology,
+    default_topologies,
+    default_topology,
+    evaluation_workload,
+    evaluation_workloads,
+    workload_circuits,
+)
+
+
+class TestEvaluationWorkloads:
+    def test_six_workloads_in_paper_order(self):
+        keys = [workload.key for workload in evaluation_workloads()]
+        assert keys == ["bv", "hsp", "rep", "grover", "circ", "circ_2"]
+
+    def test_circuit_sizes_match_paper(self):
+        circuits = workload_circuits()
+        assert circuits["bv"].num_qubits == 10
+        assert circuits["hsp"].num_qubits == 4
+        assert circuits["grover"].num_qubits == 3
+        assert circuits["rep"].num_qubits == 5
+        assert circuits["circ"].num_qubits == 7
+        assert circuits["circ_2"].num_qubits == 8
+
+    def test_circ2_has_twelve_cx(self):
+        assert workload_circuits()["circ_2"].count_ops()["cx"] == 12
+
+    def test_all_workloads_are_measured(self):
+        for key, circuit in workload_circuits().items():
+            assert circuit.num_measurements() > 0, key
+
+    def test_lookup_by_key(self):
+        assert evaluation_workload("grover").label == "Grover"
+        with pytest.raises(KeyError):
+            evaluation_workload("nope")
+
+    def test_factories_produce_fresh_instances(self):
+        workload = evaluation_workload("bv")
+        assert workload.circuit() is not workload.circuit()
+
+
+class TestDefaultTopologies:
+    def test_five_defaults_in_paper_order(self):
+        labels = [topology.label for topology in default_topologies()]
+        assert labels == ["Grid", "Heavy Square", "Fully Connected", "Line", "Ring"]
+
+    def test_qubit_counts_match_paper(self):
+        by_key = {topology.key: topology for topology in default_topologies()}
+        assert by_key["grid"].num_qubits == 4
+        assert by_key["line"].num_qubits == 6
+        assert by_key["ring"].num_qubits == 7
+        assert by_key["heavy_square"].num_qubits == 6
+        assert by_key["fully_connected"].num_qubits == 6
+
+    def test_fully_connected_edge_count(self):
+        assert len(default_topology("fully_connected").edges) == 15
+
+    def test_topology_circuits_model_edges_as_cnots(self):
+        for topology in default_topologies():
+            circuit = topology.topology_circuit()
+            assert circuit.count_ops().get("cx") == len(topology.edges)
+
+    def test_canvas_roundtrip(self):
+        topology = default_topology("ring")
+        assert sorted(topology.canvas().edges()) == sorted(topology.edges)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            default_topology("moebius")
