@@ -1,0 +1,65 @@
+"""Perf-regression benchmarks for the batching + memoization subsystem.
+
+Unlike the figure/table benchmarks in this directory, these guard *speed*:
+they time the batched stabilizer engine against the scalar reference, the
+embedding cache against cold matching, and the cached cloud-scheduler path
+against the uncached one, then write the ``BENCH_stabilizer.json`` /
+``BENCH_matching.json`` trajectory artefacts at the repository root.
+
+The same measurements are exposed as a standalone entry point
+(``python benchmarks/run_benchmarks.py``) for CI smoke runs; this module
+wraps them in pytest so ``pytest benchmarks/bench_perf_regression.py`` works
+inside the normal benchmark harness.  Scale follows ``QRIO_BENCH_SCALE``
+(``quick`` maps to the smoke sizes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import run_benchmarks
+from run_benchmarks import bench_matching, bench_scheduler, bench_stabilizer
+from conftest import write_bench_json
+
+
+def _perf_scale() -> str:
+    scale = os.environ.get("QRIO_BENCH_SCALE", "default").lower()
+    return "smoke" if scale == "quick" else "default"
+
+
+@pytest.fixture(scope="module")
+def perf_scale() -> str:
+    """Measurement-size profile for the perf-regression runs."""
+    return _perf_scale()
+
+
+def test_batched_stabilizer_speedup(perf_scale):
+    """The batched engine must beat per-shot replay by >= 10x on the canary."""
+    payload = bench_stabilizer(perf_scale, stabilizer_floor=10.0)
+    assert payload["batched"]["method"] in ("batched", "deterministic")
+    assert payload["speedup"] >= 10.0
+    assert payload["equivalence_hellinger_fidelity"] >= 0.95
+    write_bench_json("BENCH_stabilizer.json", {"scale": perf_scale, **payload})
+
+
+def test_matching_and_scheduler_caches(perf_scale):
+    """Warm matching and the cached scheduler path must show real reuse."""
+    matching = bench_matching(perf_scale)
+    scheduler = bench_scheduler(perf_scale, scheduler_floor=2.0)
+    assert matching["speedup"] > 1.0
+    assert matching["cache"]["hits"] > 0
+    assert scheduler["speedup"] >= 2.0
+    write_bench_json(
+        "BENCH_matching.json",
+        {"scale": perf_scale, "matching": matching, "scheduler": scheduler},
+    )
+
+
+def test_run_benchmarks_smoke_entry_point(tmp_path, monkeypatch):
+    """The CI entry point succeeds end-to-end and emits both artefacts."""
+    monkeypatch.setenv("QRIO_BENCH_DIR", str(tmp_path))
+    assert run_benchmarks.main(["--scale", "smoke"]) == 0
+    assert (tmp_path / "BENCH_stabilizer.json").exists()
+    assert (tmp_path / "BENCH_matching.json").exists()

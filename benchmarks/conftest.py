@@ -16,11 +16,56 @@ or ``QRIO_BENCH_SCALE=quick`` for a smoke-test run.
 
 from __future__ import annotations
 
+import json
 import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, Tuple
 
 import pytest
 
 from repro.experiments import ExperimentConfig, default_config, paper_scale_config, quick_config
+
+# --------------------------------------------------------------------------- #
+# Shared timing helpers (used by bench_perf_regression.py and by the
+# standalone benchmarks/run_benchmarks.py entry point)
+# --------------------------------------------------------------------------- #
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 3) -> Tuple[float, object]:
+    """Best-of-``repeats`` wall-clock seconds of ``fn`` plus its last result.
+
+    Best-of is the standard perf-regression statistic: it filters scheduler
+    noise while staying cheap enough for smoke runs.
+    """
+    best = float("inf")
+    result: object = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def bench_output_dir() -> Path:
+    """Directory the ``BENCH_*.json`` artefacts are written to.
+
+    Defaults to the repository root (next to ``ROADMAP.md``) so successive
+    PRs overwrite the same files and the numbers form a trajectory; override
+    with ``QRIO_BENCH_DIR``.
+    """
+    override = os.environ.get("QRIO_BENCH_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(filename: str, payload: Dict[str, object]) -> Path:
+    """Write one benchmark artefact and return its path."""
+    path = bench_output_dir() / filename
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def _select_config() -> ExperimentConfig:

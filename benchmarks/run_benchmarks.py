@@ -1,0 +1,304 @@
+#!/usr/bin/env python
+"""Perf-regression entry point: batched stabilizer + fleet-wide caches.
+
+Runs the three hot-path measurements the batching/memoization subsystem is
+accountable for and writes the trajectory artefacts future PRs compare
+against:
+
+* ``BENCH_stabilizer.json`` — shots/sec of the batched stabilizer engine vs
+  the per-shot scalar reference on a 20-qubit, 1024-shot Clifford canary
+  (ideal and noisy), plus the achieved speedup;
+* ``BENCH_matching.json`` — cold vs warm matching throughput of the budgeted
+  matcher over a device testbed (the embedding cache at work), and cold vs
+  warm end-to-end scheduler latency of a repeated-job cloud trace (the
+  fidelity caches at work).
+
+The script **fails loudly** (non-zero exit) when:
+
+* the batched engine unexpectedly reports the scalar execution path;
+* the batched engine is less than ``--stabilizer-floor`` (default 10x)
+  faster than the scalar reference;
+* the cached scheduler path is less than ``--scheduler-floor`` (default 2x)
+  faster than the uncached one;
+* batched and scalar counts distributions disagree (Hellinger sanity check).
+
+Usage::
+
+    python benchmarks/run_benchmarks.py --scale smoke     # CI smoke mode
+    python benchmarks/run_benchmarks.py                   # default scale
+
+``QRIO_BENCH_DIR`` overrides where the JSON artefacts land.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict
+
+# Make the script runnable without an installed package or PYTHONPATH.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+if str(_REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "benchmarks"))
+
+from conftest import time_callable, write_bench_json  # noqa: E402
+
+from repro.backends import three_device_testbed  # noqa: E402
+from repro.circuits import bernstein_vazirani, ghz  # noqa: E402
+from repro.circuits.random_circuits import random_clifford_circuit  # noqa: E402
+from repro.cloud.arrivals import JobRequest  # noqa: E402
+from repro.cloud.policies import LeastLoadedPolicy  # noqa: E402
+from repro.cloud.simulation import CloudSimulationConfig, CloudSimulator  # noqa: E402
+from repro.core.cache import all_cache_stats, clear_all_caches  # noqa: E402
+from repro.matching import interaction_graph, rank_devices_scalable  # noqa: E402
+from repro.simulators import (  # noqa: E402
+    NoiseModel,
+    NoisyStabilizerSimulator,
+    StabilizerSimulator,
+    hellinger_fidelity,
+)
+
+#: Per-scale measurement sizes.  ``scalar_shots`` bounds the slow reference
+#: run; shots/sec extrapolates fairly because scalar cost is linear in shots.
+_SCALES: Dict[str, Dict[str, int]] = {
+    "smoke": {"scalar_shots": 32, "batched_shots": 1024, "repeats": 1, "match_rounds": 4, "jobs": 18},
+    "default": {"scalar_shots": 128, "batched_shots": 1024, "repeats": 3, "match_rounds": 8, "jobs": 30},
+}
+
+#: The acceptance workload: a 20-qubit, 1024-shot Clifford canary.
+_CANARY_QUBITS = 20
+_CANARY_DEPTH = 12
+
+
+class BenchFailure(RuntimeError):
+    """A perf-regression floor was violated."""
+
+
+# --------------------------------------------------------------------------- #
+# Stabilizer engine
+# --------------------------------------------------------------------------- #
+def bench_stabilizer(scale: str, stabilizer_floor: float) -> Dict[str, object]:
+    """Batched vs scalar stabilizer shots/sec on the canary workload."""
+    sizes = _SCALES[scale]
+    circuit = random_clifford_circuit(_CANARY_QUBITS, _CANARY_DEPTH, seed=7, measure=True)
+
+    scalar_shots = sizes["scalar_shots"]
+    batched_shots = sizes["batched_shots"]
+    scalar_seconds, scalar_result = time_callable(
+        lambda: StabilizerSimulator(seed=11, method="scalar").run(circuit, shots=scalar_shots),
+        repeats=sizes["repeats"],
+    )
+    batched_seconds, batched_result = time_callable(
+        lambda: StabilizerSimulator(seed=11).run(circuit, shots=batched_shots),
+        repeats=sizes["repeats"],
+    )
+    method = batched_result.metadata.get("method")
+    if method not in ("batched", "deterministic"):
+        raise BenchFailure(
+            f"Batched stabilizer engine unexpectedly reported method={method!r} "
+            "(fell back to the scalar path?)"
+        )
+    del scalar_result  # 20q empirical distributions are too sparse to compare
+    # Equivalence sanity check on a small circuit whose support both engines
+    # can sample densely (the rigorous property tests live in tests/).
+    small = random_clifford_circuit(6, 8, seed=5, measure=True)
+    scalar_small = StabilizerSimulator(seed=17, method="scalar").run(small, shots=2000)
+    batched_small = StabilizerSimulator(seed=17).run(small, shots=2000)
+    fidelity = hellinger_fidelity(scalar_small.counts, batched_small.counts)
+    if fidelity < 0.95:
+        raise BenchFailure(
+            f"Batched and scalar stabilizer distributions diverge (Hellinger fidelity {fidelity:.3f})"
+        )
+
+    noise = NoiseModel(
+        default_two_qubit_error=0.02, default_one_qubit_error=0.005, default_readout_error=0.01
+    )
+    noisy_scalar_seconds, _ = time_callable(
+        lambda: NoisyStabilizerSimulator(seed=13, method="scalar").run(circuit, noise, shots=scalar_shots),
+        repeats=sizes["repeats"],
+    )
+    noisy_batched_seconds, noisy_batched_result = time_callable(
+        lambda: NoisyStabilizerSimulator(seed=13).run(circuit, noise, shots=batched_shots),
+        repeats=sizes["repeats"],
+    )
+
+    scalar_sps = scalar_shots / scalar_seconds
+    batched_sps = batched_shots / batched_seconds
+    speedup = batched_sps / scalar_sps
+    if speedup < stabilizer_floor:
+        raise BenchFailure(
+            f"Batched stabilizer speedup {speedup:.1f}x is below the {stabilizer_floor:.0f}x floor"
+        )
+    return {
+        "workload": {
+            "num_qubits": _CANARY_QUBITS,
+            "depth_layers": _CANARY_DEPTH,
+            "shots": batched_shots,
+            "kind": "random Clifford canary, full measurement",
+        },
+        "scalar": {
+            "shots_timed": scalar_shots,
+            "seconds": scalar_seconds,
+            "shots_per_second": scalar_sps,
+        },
+        "batched": {
+            "shots_timed": batched_shots,
+            "seconds": batched_seconds,
+            "shots_per_second": batched_sps,
+            "method": method,
+        },
+        "speedup": speedup,
+        "equivalence_hellinger_fidelity": fidelity,
+        "noisy": {
+            "scalar_shots_per_second": scalar_shots / noisy_scalar_seconds,
+            "batched_shots_per_second": batched_shots / noisy_batched_seconds,
+            "speedup": (batched_shots / noisy_batched_seconds) / (scalar_shots / noisy_scalar_seconds),
+            "method": noisy_batched_result.metadata.get("method"),
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Matching throughput (embedding cache)
+# --------------------------------------------------------------------------- #
+def bench_matching(scale: str) -> Dict[str, object]:
+    """Cold vs warm budgeted-matcher throughput over the testbed fleet."""
+    sizes = _SCALES[scale]
+    fleet = three_device_testbed()
+    pattern = interaction_graph(ghz(8, measure=False))
+    rounds = sizes["match_rounds"]
+
+    def rank_all() -> None:
+        for _ in range(rounds):
+            rank_devices_scalable(pattern, fleet, seed=3)
+
+    clear_all_caches()
+    cold_seconds, _ = time_callable(rank_all, repeats=1)
+    warm_seconds, _ = time_callable(rank_all, repeats=1)
+    matches = rounds * len(fleet)
+    return {
+        "pattern": {"nodes": pattern.number_of_nodes(), "edges": pattern.number_of_edges()},
+        "devices": len(fleet),
+        "rounds": rounds,
+        "cold_matches_per_second": matches / cold_seconds,
+        "warm_matches_per_second": matches / warm_seconds,
+        "speedup": cold_seconds / warm_seconds,
+        "cache": all_cache_stats()["embedding"],
+    }
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end scheduler latency (fidelity caches)
+# --------------------------------------------------------------------------- #
+def _repeated_trace(jobs: int) -> list:
+    """A repeat-heavy arrival trace: ``jobs`` arrivals over three circuits."""
+    circuits = [
+        ("ghz4", ghz(4)),
+        ("bv101", bernstein_vazirani("101")),
+        ("ghz5", ghz(5)),
+    ]
+    trace = []
+    for index in range(jobs):
+        key, circuit = circuits[index % len(circuits)]
+        trace.append(
+            JobRequest(
+                index=index,
+                arrival_time=float(index),
+                workload_key=key,
+                circuit=circuit,
+                strategy="fidelity",
+                fidelity_threshold=0.0,
+                shots=256,
+                user=f"user-{index % 4}",
+            )
+        )
+    return trace
+
+
+def bench_scheduler(scale: str, scheduler_floor: float) -> Dict[str, object]:
+    """Cold vs cached end-to-end latency of a repeated-job cloud workload."""
+    sizes = _SCALES[scale]
+    fleet = three_device_testbed()
+    trace = _repeated_trace(sizes["jobs"])
+
+    def run(reuse: bool):
+        config = CloudSimulationConfig(
+            fidelity_report="execute",
+            execution_shots=128,
+            reuse_fidelity_cache=reuse,
+            seed=5,
+        )
+        simulator = CloudSimulator(fleet, LeastLoadedPolicy(), config=config)
+        return simulator.run(trace)
+
+    clear_all_caches()
+    uncached_seconds, uncached_result = time_callable(lambda: run(False), repeats=1)
+    clear_all_caches()
+    cached_seconds, cached_result = time_callable(lambda: run(True), repeats=1)
+    speedup = uncached_seconds / cached_seconds
+    if speedup < scheduler_floor:
+        raise BenchFailure(
+            f"Cached scheduler speedup {speedup:.2f}x is below the {scheduler_floor:.1f}x floor"
+        )
+    # Both runs must schedule identically — the cache only skips recomputation.
+    assert [r.device for r in uncached_result.records] == [r.device for r in cached_result.records]
+    return {
+        "jobs": sizes["jobs"],
+        "distinct_circuits": 3,
+        "fidelity_report": "execute",
+        "uncached_seconds": uncached_seconds,
+        "cached_seconds": cached_seconds,
+        "speedup": speedup,
+        "mean_fidelity_cached": cached_result.mean_fidelity(),
+        "mean_fidelity_uncached": uncached_result.mean_fidelity(),
+    }
+
+
+# --------------------------------------------------------------------------- #
+def run_all(scale: str, stabilizer_floor: float = 10.0, scheduler_floor: float = 2.0) -> Dict[str, Path]:
+    """Run every measurement and write the BENCH artefacts; returns their paths."""
+    stabilizer = bench_stabilizer(scale, stabilizer_floor)
+    matching = bench_matching(scale)
+    scheduler = bench_scheduler(scale, scheduler_floor)
+    paths = {
+        "stabilizer": write_bench_json("BENCH_stabilizer.json", {"scale": scale, **stabilizer}),
+        "matching": write_bench_json(
+            "BENCH_matching.json", {"scale": scale, "matching": matching, "scheduler": scheduler}
+        ),
+    }
+    return paths
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="smoke", help="measurement sizes")
+    parser.add_argument("--stabilizer-floor", type=float, default=10.0, help="minimum batched speedup")
+    parser.add_argument("--scheduler-floor", type=float, default=2.0, help="minimum cached-scheduler speedup")
+    args = parser.parse_args(argv)
+    try:
+        paths = run_all(args.scale, args.stabilizer_floor, args.scheduler_floor)
+    except BenchFailure as failure:
+        print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    import json
+
+    for name, path in paths.items():
+        payload = json.loads(path.read_text())
+        if name == "stabilizer":
+            print(
+                f"stabilizer: {payload['batched']['shots_per_second']:.0f} shots/s batched "
+                f"({payload['speedup']:.1f}x over scalar, method={payload['batched']['method']}) -> {path}"
+            )
+        else:
+            print(
+                f"matching: warm {payload['matching']['speedup']:.1f}x over cold; "
+                f"scheduler: cached {payload['scheduler']['speedup']:.1f}x over uncached -> {path}"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,7 @@ from repro.cloud.arrivals import JobRequest
 from repro.cloud.metrics import render_metric_table, summarise_waits, wait_fairness
 from repro.cloud.policies import AllocationContext, AllocationPolicy, FidelityPolicy
 from repro.cloud.queueing import DeviceQueue, ExecutionTimeModel, QueueSlot, build_queues
+from repro.core.cache import calibration_fingerprint, structural_circuit_hash
 from repro.fidelity.canary import achieved_fidelity
 from repro.fidelity.estimator import ESPEstimator
 from repro.utils.exceptions import ClusterError, SchedulingError
@@ -37,6 +38,11 @@ class CloudSimulationConfig:
     fidelity_report: str = "esp"
     #: Shots used when ``fidelity_report == "execute"``.
     execution_shots: int = 256
+    #: Reuse ``"execute"``-mode fidelity results across jobs whose circuits
+    #: share the same structure on the same device calibration.  Repeat-heavy
+    #: traces (the common cloud pattern) then pay for one noisy execution per
+    #: distinct (circuit, device, calibration) instead of one per job.
+    reuse_fidelity_cache: bool = True
     #: Base seed for fidelity execution and estimator tie-breaking.
     seed: Optional[int] = None
 
@@ -168,6 +174,10 @@ class CloudSimulator:
         self._policy = policy
         self._config = config or CloudSimulationConfig()
         self._esp = ESPEstimator(seed=derive_seed(self._config.seed, "cloud-esp"))
+        #: "execute"-mode fidelity results keyed by (circuit structure,
+        #: device, calibration fingerprint, shots); persists across runs so
+        #: repeated traces on the same fleet stay warm.
+        self._execute_fidelity_cache: Dict[Tuple[str, str, str, int], float] = {}
 
     # ------------------------------------------------------------------ #
     def run(self, trace: Sequence[JobRequest]) -> CloudSimulationResult:
@@ -204,12 +214,17 @@ class CloudSimulator:
         if mode == "none":
             return None
         if mode == "execute":
-            return achieved_fidelity(
-                request.circuit,
-                backend,
-                shots=self._config.execution_shots,
-                seed=derive_seed(self._config.seed, "cloud-execute", request.name, backend.name),
+            if not self._config.reuse_fidelity_cache:
+                return self._execute_fidelity(request, backend)
+            key = (
+                structural_circuit_hash(request.circuit),
+                backend.name,
+                calibration_fingerprint(backend.properties),
+                self._config.execution_shots,
             )
+            if key not in self._execute_fidelity_cache:
+                self._execute_fidelity_cache[key] = self._execute_fidelity(request, backend)
+            return self._execute_fidelity_cache[key]
         # "esp": reuse the policy's cache when the policy is fidelity-aware so
         # the report does not re-transpile what the policy already scored.
         if isinstance(self._policy, FidelityPolicy):
@@ -218,6 +233,14 @@ class CloudSimulator:
         if key not in context.fidelity_cache:
             context.fidelity_cache[key] = self._esp.estimate(request.circuit, backend).esp
         return context.fidelity_cache[key]
+
+    def _execute_fidelity(self, request: JobRequest, backend: Backend) -> float:
+        return achieved_fidelity(
+            request.circuit,
+            backend,
+            shots=self._config.execution_shots,
+            seed=derive_seed(self._config.seed, "cloud-execute", request.name, backend.name),
+        )
 
 
 def compare_policies(

@@ -1,6 +1,19 @@
 """QRIO core: the orchestrator, its servers, scheduler, strategies and baselines."""
 
 from repro.core.baselines import OracleScheduler, OracleScorePlugin, RandomScheduler, RandomScorePlugin
+from repro.core.cache import (
+    CacheStats,
+    EmbeddingCache,
+    IdealDistributionCache,
+    LRUCache,
+    all_cache_stats,
+    calibration_fingerprint,
+    clear_all_caches,
+    embedding_cache,
+    ideal_distribution_cache,
+    pattern_hash,
+    structural_circuit_hash,
+)
 from repro.core.master_server import MasterServer, SubmittedJob
 from repro.core.meta_server import JobMetadata, MetaServer
 from repro.core.orchestrator import QRIO, JobOutcome
@@ -31,7 +44,18 @@ from repro.core.visualizer import (
 
 __all__ = [
     "INFEASIBLE_SCORE",
+    "CacheStats",
     "ClassicalResourceFilter",
+    "EmbeddingCache",
+    "IdealDistributionCache",
+    "LRUCache",
+    "all_cache_stats",
+    "calibration_fingerprint",
+    "clear_all_caches",
+    "embedding_cache",
+    "ideal_distribution_cache",
+    "pattern_hash",
+    "structural_circuit_hash",
     "DeviceCharacteristicsFilter",
     "DeviceSpec",
     "FidelityRankingStrategy",

@@ -64,7 +64,6 @@ class CliffordCanaryEstimator:
         self._shots = shots
         self._optimization_level = optimization_level
         self._seed = seed
-        self._ideal_cache: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------ #
     def build_canary(self, circuit: QuantumCircuit) -> QuantumCircuit:
@@ -73,13 +72,30 @@ class CliffordCanaryEstimator:
         return cliffordize(prepared)
 
     def ideal_distribution(self, canary: QuantumCircuit) -> Dict[str, int]:
-        """Classically simulate the canary's noise-free outcome counts."""
-        cache_key = f"{canary.name}:{len(canary)}:{canary.num_qubits}"
-        if cache_key in self._ideal_cache:
-            return self._ideal_cache[cache_key]
+        """Classically simulate the canary's noise-free outcome counts.
+
+        Distributions are memoized in the process-wide cache of
+        :mod:`repro.core.cache`, keyed by the canary's *structural* hash plus
+        the shot budget — so every estimator instance (meta server, cloud
+        policies, experiment drivers) reuses each other's stabilizer runs,
+        and two canaries that merely share a name, gate count and width can
+        never collide.  The estimator's seed is deliberately *not* part of
+        the key: the ideal distribution is a reference quantity, so any
+        seed's sample is an equally valid estimate and sharing one across
+        instances trades shot-for-shot seeded reproducibility for an
+        order-of-magnitude fewer stabilizer runs per fleet ranking.
+        """
+        # Imported lazily: repro.core's package init imports this module.
+        from repro.core.cache import IdealDistributionCache, ideal_distribution_cache, structural_circuit_hash
+
+        cache = ideal_distribution_cache()
+        cache_key = IdealDistributionCache.key(structural_circuit_hash(canary), self._shots)
+        cached = cache.get(cache_key)
+        if cached is not None:
+            return dict(cached)
         simulator = StabilizerSimulator(seed=derive_seed(self._seed, "canary-ideal", canary.name))
         counts = simulator.run(canary, shots=self._shots).counts
-        self._ideal_cache[cache_key] = counts
+        cache.put(cache_key, dict(counts))
         return counts
 
     def estimate(self, circuit: QuantumCircuit, backend: Backend) -> CanaryReport:

@@ -59,8 +59,14 @@ def match_device(
     max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
     include_readout: bool = True,
     seed: SeedLike = None,
+    use_cache: bool = True,
 ) -> Optional[DeviceMatch]:
-    """Score ``pattern`` against one device; ``None`` if it cannot fit at all."""
+    """Score ``pattern`` against one device; ``None`` if it cannot fit at all.
+
+    Embedding searches are memoized per (pattern, device, calibration epoch)
+    in the fleet-wide embedding cache; see
+    :func:`repro.matching.scoring.evaluate_embeddings`.
+    """
     graph = _as_pattern(pattern)
     properties = _as_properties(target)
     if graph.number_of_nodes() > properties.num_qubits:
@@ -71,6 +77,7 @@ def match_device(
         max_embeddings=max_embeddings,
         include_readout=include_readout,
         seed=seed,
+        use_cache=use_cache,
     )
     if scored is None:
         return None
@@ -88,6 +95,7 @@ def rank_devices(
     max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
     include_readout: bool = True,
     seed: SeedLike = None,
+    use_cache: bool = True,
 ) -> List[DeviceMatch]:
     """Score ``pattern`` on every device and return matches sorted best-first.
 
@@ -103,6 +111,7 @@ def rank_devices(
             max_embeddings=max_embeddings,
             include_readout=include_readout,
             seed=seed,
+            use_cache=use_cache,
         )
         if match is not None:
             matches.append(match)

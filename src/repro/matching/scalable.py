@@ -25,14 +25,14 @@ trades optimality for a hard bound on work — the trade the paper asks for.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import astuple, dataclass, replace
 from typing import Dict, Iterable, List, Optional
 
 import networkx as nx
 
 from repro.backends.properties import BackendProperties
 from repro.matching.mapomatic import DeviceMatch, PatternLike, TargetLike, _as_pattern, _as_properties
-from repro.matching.scoring import embedding_cost
+from repro.matching.scoring import _cache_key_for, embedding_cost
 from repro.matching.subgraph import Embedding, find_exact_embeddings, greedy_embedding
 from repro.utils.exceptions import MatchingError
 from repro.utils.rng import SeedLike, ensure_generator
@@ -166,11 +166,18 @@ def scalable_match_device(
     budget: Optional[MatchBudget] = None,
     include_readout: bool = True,
     seed: SeedLike = None,
+    use_cache: bool = True,
 ) -> Optional[DeviceMatch]:
     """Budgeted counterpart of :func:`repro.matching.mapomatic.match_device`.
 
     Returns ``None`` when the device cannot host the pattern at all (fewer
     qubits than pattern nodes), exactly like the exact matcher.
+
+    Matches are memoized in the fleet-wide embedding cache keyed by pattern
+    hash, device, calibration fingerprint, budget knobs and seed — repeated
+    scheduling requests skip both the VF2 stage and the annealing restarts
+    until the device's calibration drifts.  ``use_cache=False`` forces a
+    fresh search.
     """
     budget = budget or MatchBudget()
     graph = _as_pattern(pattern)
@@ -179,6 +186,19 @@ def scalable_match_device(
         return None
     if graph.number_of_nodes() == 0:
         return DeviceMatch(device=properties.name, score=0.0, exact=True, layout={})
+
+    key = (
+        _cache_key_for(graph, properties, seed, "scalable", astuple(budget), include_readout)
+        if use_cache
+        else None
+    )
+    if key is not None:
+        from repro.core.cache import embedding_cache
+
+        hit = embedding_cache().get(key)
+        if hit is not None:
+            # Fresh layout dict so a caller mutating it cannot poison the cache.
+            return replace(hit, layout=dict(hit.layout))
 
     device_graph = properties.graph()
     rng = ensure_generator(seed)
@@ -213,12 +233,17 @@ def scalable_match_device(
         for candidate in candidates
     ]
     best_cost, best_embedding = min(scored, key=lambda item: item[0])
-    return DeviceMatch(
+    match = DeviceMatch(
         device=properties.name,
         score=best_cost,
         exact=best_embedding.exact,
         layout=dict(best_embedding.mapping),
     )
+    if key is not None:
+        from repro.core.cache import embedding_cache
+
+        embedding_cache().put(key, match)
+    return match
 
 
 def rank_devices_scalable(
@@ -227,12 +252,18 @@ def rank_devices_scalable(
     budget: Optional[MatchBudget] = None,
     include_readout: bool = True,
     seed: SeedLike = None,
+    use_cache: bool = True,
 ) -> List[DeviceMatch]:
     """Rank every feasible device using the budgeted matcher, best first."""
     matches: List[DeviceMatch] = []
     for target in targets:
         match = scalable_match_device(
-            pattern, target, budget=budget, include_readout=include_readout, seed=seed
+            pattern,
+            target,
+            budget=budget,
+            include_readout=include_readout,
+            seed=seed,
+            use_cache=use_cache,
         )
         if match is not None:
             matches.append(match)
@@ -244,9 +275,10 @@ def best_device_scalable(
     targets: Iterable[TargetLike],
     budget: Optional[MatchBudget] = None,
     seed: SeedLike = None,
+    use_cache: bool = True,
 ) -> DeviceMatch:
     """The single best device under the budgeted matcher."""
-    ranking = rank_devices_scalable(pattern, targets, budget=budget, seed=seed)
+    ranking = rank_devices_scalable(pattern, targets, budget=budget, seed=seed, use_cache=use_cache)
     if not ranking:
         raise MatchingError("No device in the candidate set can host the requested topology")
     return ranking[0]

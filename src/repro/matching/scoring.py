@@ -23,14 +23,43 @@ Lower scores are better.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.backends.properties import BackendProperties
 from repro.matching.subgraph import DEFAULT_MAX_EMBEDDINGS, Embedding, find_embeddings
 from repro.utils.exceptions import MatchingError
 from repro.utils.rng import SeedLike
+
+
+def _cache_key_for(
+    pattern: nx.Graph,
+    properties: BackendProperties,
+    seed: SeedLike,
+    *extra: Hashable,
+) -> Optional[Tuple[Hashable, ...]]:
+    """Embedding-cache key for one (pattern, device, calibration) query.
+
+    Returns ``None`` when the query is not cacheable: only integer seeds are
+    memoized.  ``None`` means fresh entropy per call and a generator seed has
+    hidden mutable state — caching either would silently replace independent
+    random searches (e.g. best-of-K restarts) with the first draw.  The cache
+    module is imported lazily because ``repro.core``'s package init pulls in
+    the strategies, which import this module.
+    """
+    if not isinstance(seed, (int, np.integer)) or isinstance(seed, bool):
+        return None
+    from repro.core.cache import EmbeddingCache, calibration_fingerprint, pattern_hash
+
+    return EmbeddingCache.key(
+        pattern_hash(pattern),
+        properties.name,
+        calibration_fingerprint(properties),
+        *extra,
+        int(seed),
+    )
 
 #: Number of CX gates needed to bridge one missing hop between uncoupled qubits.
 SWAPS_CX_OVERHEAD = 3.0
@@ -92,8 +121,27 @@ def evaluate_embeddings(
     max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
     include_readout: bool = True,
     seed: SeedLike = None,
+    use_cache: bool = True,
 ) -> List[ScoredEmbedding]:
-    """Score every candidate embedding of ``pattern`` on one device, best first."""
+    """Score every candidate embedding of ``pattern`` on one device, best first.
+
+    Results are memoized in the fleet-wide embedding cache, keyed by the
+    canonical pattern hash, the device and its calibration fingerprint (plus
+    the search parameters), so repeated scheduling requests for the same
+    pattern skip VF2 enumeration entirely until the device recalibrates.
+    Pass ``use_cache=False`` to force a fresh search.
+    """
+    key = (
+        _cache_key_for(pattern, properties, seed, "scored", max_embeddings, include_readout)
+        if use_cache
+        else None
+    )
+    if key is not None:
+        from repro.core.cache import embedding_cache
+
+        hit = embedding_cache().get(key)
+        if hit is not None:
+            return _copy_scored(hit)
     embeddings = find_embeddings(pattern, properties, max_embeddings=max_embeddings, seed=seed)
     scored = [
         ScoredEmbedding(
@@ -103,7 +151,27 @@ def evaluate_embeddings(
         )
         for embedding in embeddings
     ]
-    return sorted(scored, key=lambda item: item.score)
+    scored = sorted(scored, key=lambda item: item.score)
+    if key is not None:
+        from repro.core.cache import embedding_cache
+
+        # Store (and later serve) copies: Embedding.mapping is a mutable
+        # dict, and neither the cold caller nor a warm caller may be able to
+        # poison the shared cache by mutating their result.
+        embedding_cache().put(key, _copy_scored(scored))
+    return scored
+
+
+def _copy_scored(items: Sequence[ScoredEmbedding]) -> List[ScoredEmbedding]:
+    """Defensive copies of scored embeddings (fresh mapping dicts)."""
+    return [
+        ScoredEmbedding(
+            embedding=Embedding(mapping=dict(item.embedding.mapping), exact=item.embedding.exact),
+            score=item.score,
+            device=item.device,
+        )
+        for item in items
+    ]
 
 
 def best_embedding(
@@ -112,6 +180,7 @@ def best_embedding(
     max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
     include_readout: bool = True,
     seed: SeedLike = None,
+    use_cache: bool = True,
 ) -> Optional[ScoredEmbedding]:
     """The lowest-cost embedding of ``pattern`` on one device (or ``None``)."""
     scored = evaluate_embeddings(
@@ -120,5 +189,6 @@ def best_embedding(
         max_embeddings=max_embeddings,
         include_readout=include_readout,
         seed=seed,
+        use_cache=use_cache,
     )
     return scored[0] if scored else None

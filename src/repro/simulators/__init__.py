@@ -1,5 +1,10 @@
 """Simulation engines: statevector, stabilizer (CHP) and noisy Monte-Carlo."""
 
+from repro.simulators.batched_stabilizer import (
+    BatchedStabilizerSimulator,
+    BatchedStabilizerState,
+    probe_deterministic_outcome,
+)
 from repro.simulators.channels import (
     PAULI_LABELS,
     ThermalRelaxation,
@@ -43,7 +48,10 @@ from repro.simulators.statevector import (
 
 __all__ = [
     "BATCHED_STATEVECTOR_LIMIT",
+    "BatchedStabilizerSimulator",
+    "BatchedStabilizerState",
     "GateDurations",
+    "probe_deterministic_outcome",
     "MAX_MITIGATED_BITS",
     "MAX_STATEVECTOR_QUBITS",
     "NoiseModel",

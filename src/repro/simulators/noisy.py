@@ -11,6 +11,7 @@ active qubits.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -164,24 +165,31 @@ class NoisyStatevectorSimulator:
                 flips = self._rng.random(shots) < flip_probability
                 values = values ^ flips.astype(np.uint8)
             bits[:, width - 1 - clbit] = values
-        counts: Dict[str, int] = {}
-        for row in bits:
-            key = "".join("1" if bit else "0" for bit in row)
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        counts: Counter = Counter(
+            "".join("1" if bit else "0" for bit in row) for row in bits
+        )
+        return dict(counts)
 
 
 class NoisyStabilizerSimulator:
-    """Per-shot tableau simulator with Pauli gate errors and readout flips.
+    """Tableau simulator with Pauli gate errors and readout flips.
 
     Only accepts Clifford circuits.  Pauli errors commute through the tableau
     update rules, so noisy execution of the Clifford canary circuits scales
     polynomially in qubit count — the property the paper's fidelity-ranking
     strategy is built on.
+
+    ``method`` mirrors :class:`~repro.simulators.stabilizer.StabilizerSimulator`:
+    ``"auto"``/``"batched"`` evolve all shots at once on the batched engine
+    (Pauli errors only flip per-shot signs, so noisy batches keep the shared
+    tableau structure); ``"scalar"`` is the reference per-shot loop.
     """
 
-    def __init__(self, seed: SeedLike = None) -> None:
+    def __init__(self, seed: SeedLike = None, method: str = "auto") -> None:
+        if method not in ("auto", "batched", "scalar"):
+            raise StabilizerError("method must be 'auto', 'batched' or 'scalar'")
         self._rng = ensure_generator(seed)
+        self._method = method
 
     def run(
         self,
@@ -193,6 +201,16 @@ class NoisyStabilizerSimulator:
         if shots <= 0:
             raise StabilizerError("shots must be positive")
         noise_model = noise_model or NoiseModel.ideal()
+        if self._method in ("auto", "batched"):
+            # Imported lazily: batched_stabilizer imports this module's peers.
+            from repro.simulators.batched_stabilizer import BatchedStabilizerSimulator
+
+            result = BatchedStabilizerSimulator(seed=self._rng).run(
+                circuit, shots=shots, noise_model=noise_model
+            )
+            result.metadata["simulator"] = "noisy_stabilizer"
+            result.metadata["ideal"] = False
+            return result
         program = compile_tableau_program(circuit)
         # Pre-resolve the per-step error probabilities so the shot loop only
         # touches plain floats.
@@ -204,19 +222,27 @@ class NoisyStabilizerSimulator:
             for step in program
         ]
         width = max(circuit.num_clbits, 1)
-        counts: Dict[str, int] = {}
-        for _ in range(shots):
-            key = self._single_shot(program, gate_errors, measure_errors, circuit.num_qubits, width)
-            counts[key] = counts.get(key, 0) + 1
+        # Classical-bit string positions, resolved once per program rather
+        # than once per shot.
+        positions = {
+            index: width - 1 - step.clbit
+            for index, step in enumerate(program)
+            if step.kind == "measure"
+        }
+        counts: Counter = Counter(
+            self._single_shot(program, positions, gate_errors, measure_errors, circuit.num_qubits, width)
+            for _ in range(shots)
+        )
         return SimulationResult(
-            counts=counts,
+            counts=dict(counts),
             shots=shots,
-            metadata={"simulator": "noisy_stabilizer", "ideal": False},
+            metadata={"simulator": "noisy_stabilizer", "ideal": False, "method": "scalar"},
         )
 
     def _single_shot(
         self,
         program: List[TableauStep],
+        positions: Dict[int, int],
         gate_errors: List[float],
         measure_errors: List[float],
         num_qubits: int,
@@ -230,7 +256,7 @@ class NoisyStabilizerSimulator:
                 flip_probability = measure_errors[index]
                 if flip_probability > 0.0 and self._rng.random() < flip_probability:
                     outcome ^= 1
-                clbits[width - 1 - step.clbit] = str(outcome)
+                clbits[positions[index]] = str(outcome)
                 continue
             if step.kind == "reset":
                 state.reset(step.qubits[0], self._rng)

@@ -14,6 +14,7 @@ each a Pauli string stored as X/Z bit vectors plus a sign bit.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -345,10 +346,23 @@ class StabilizerState:
 
 
 class StabilizerSimulator:
-    """Shot-based simulator for Clifford circuits."""
+    """Shot-based simulator for Clifford circuits.
 
-    def __init__(self, seed: SeedLike = None) -> None:
+    ``method`` selects the execution engine:
+
+    * ``"auto"`` (default) / ``"batched"`` — the batched engine of
+      :mod:`repro.simulators.batched_stabilizer`, which evolves all shots as
+      one stacked-sign tableau (with a deterministic-circuit fast path) and
+      is typically orders of magnitude faster than per-shot replay;
+    * ``"scalar"`` — the original per-shot tableau loop, kept as the
+      reference implementation the batched engine is tested against.
+    """
+
+    def __init__(self, seed: SeedLike = None, method: str = "auto") -> None:
+        if method not in ("auto", "batched", "scalar"):
+            raise StabilizerError("method must be 'auto', 'batched' or 'scalar'")
         self._rng = ensure_generator(seed)
+        self._method = method
 
     def validate(self, circuit: QuantumCircuit) -> None:
         """Raise :class:`StabilizerError` if the circuit has non-Clifford gates."""
@@ -365,25 +379,43 @@ class StabilizerSimulator:
         """Execute ``circuit`` for ``shots`` independent tableau trajectories."""
         if shots <= 0:
             raise StabilizerError("shots must be positive")
+        if self._method in ("auto", "batched"):
+            # Imported lazily: batched_stabilizer imports this module.
+            from repro.simulators.batched_stabilizer import BatchedStabilizerSimulator
+
+            return BatchedStabilizerSimulator(seed=self._rng).run(circuit, shots=shots)
         program = compile_tableau_program(circuit)
-        counts: Dict[str, int] = {}
         width = max(circuit.num_clbits, 1)
-        for _ in range(shots):
-            bits = self._single_shot(program, circuit.num_qubits, width)
-            counts[bits] = counts.get(bits, 0) + 1
+        # Classical-bit string positions, resolved once per program rather
+        # than once per shot.
+        positions = {
+            index: width - 1 - step.clbit
+            for index, step in enumerate(program)
+            if step.kind == "measure"
+        }
+        counts: Counter = Counter(
+            self._single_shot(program, positions, circuit.num_qubits, width)
+            for _ in range(shots)
+        )
         return SimulationResult(
-            counts=counts,
+            counts=dict(counts),
             shots=shots,
-            metadata={"simulator": "stabilizer", "ideal": True},
+            metadata={"simulator": "stabilizer", "ideal": True, "method": "scalar"},
         )
 
-    def _single_shot(self, program: List[TableauStep], num_qubits: int, width: int) -> str:
+    def _single_shot(
+        self,
+        program: List[TableauStep],
+        positions: Dict[int, int],
+        num_qubits: int,
+        width: int,
+    ) -> str:
         state = StabilizerState(num_qubits)
         clbits = ["0"] * width
-        for step in program:
+        for index, step in enumerate(program):
             if step.kind == "measure":
                 outcome = state.measure(step.qubits[0], self._rng)
-                clbits[width - 1 - step.clbit] = str(outcome)
+                clbits[positions[index]] = str(outcome)
             elif step.kind == "reset":
                 state.reset(step.qubits[0], self._rng)
             else:

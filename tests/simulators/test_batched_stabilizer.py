@@ -1,0 +1,164 @@
+"""Equivalence tests: batched stabilizer engine vs the scalar reference.
+
+The batched engine must be statistically indistinguishable from per-shot
+replay (same outcome distribution, different RNG consumption order), and
+bit-for-bit identical on measurement-deterministic circuits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, bernstein_vazirani, ghz
+from repro.circuits.random_circuits import random_clifford_circuit
+from repro.simulators import (
+    BatchedStabilizerSimulator,
+    BatchedStabilizerState,
+    NoisyStabilizerSimulator,
+    StabilizerSimulator,
+    StabilizerState,
+    hellinger_fidelity,
+    probe_deterministic_outcome,
+)
+from repro.simulators.noise import NoiseModel
+from repro.simulators.stabilizer import compile_tableau_program
+from repro.utils.exceptions import StabilizerError
+from repro.utils.rng import ensure_generator
+
+
+class TestBatchedStabilizerState:
+    def test_initial_state_measures_all_zero(self):
+        state = BatchedStabilizerState(3, shots=16)
+        rng = ensure_generator(0)
+        for qubit in range(3):
+            assert not state.measure(qubit, rng).any()
+
+    def test_random_measurement_collapses_consistently_per_shot(self):
+        rng = ensure_generator(3)
+        state = BatchedStabilizerState(1, shots=64)
+        state.apply_gate("h", (0,))
+        first = state.measure(0, rng)
+        assert 0 < first.sum() < 64  # both outcomes occur across shots
+        for _ in range(4):
+            assert np.array_equal(state.measure(0, rng), first)
+
+    def test_bell_state_correlations_hold_in_every_shot(self):
+        rng = ensure_generator(7)
+        state = BatchedStabilizerState(2, shots=128)
+        state.apply_gate("h", (0,))
+        state.apply_gate("cx", (0, 1))
+        a = state.measure(0, rng)
+        b = state.measure(1, rng)
+        assert np.array_equal(a, b)
+
+    def test_reset_returns_every_shot_to_zero(self):
+        rng = ensure_generator(5)
+        state = BatchedStabilizerState(2, shots=32)
+        state.apply_gate("h", (0,))
+        state.apply_gate("cx", (0, 1))
+        state.reset(0, rng)
+        assert not state.measure(0, rng).any()
+
+    def test_stabilizer_strings_match_scalar_for_gate_only_evolution(self):
+        batched = BatchedStabilizerState(3, shots=4)
+        scalar = StabilizerState(3)
+        for apply_to in (batched, scalar):
+            apply_to.apply_gate("h", (0,))
+            apply_to.apply_gate("cx", (0, 1))
+            apply_to.apply_gate("s", (1,))
+            apply_to.apply_gate("cx", (1, 2))
+        for shot in range(4):
+            assert batched.stabilizer_strings(shot) == scalar.stabilizer_strings()
+
+    def test_pauli_errors_only_touch_signs(self):
+        state = BatchedStabilizerState(2, shots=8)
+        x_before = state._x.copy()
+        z_before = state._z.copy()
+        state.apply_pauli("x", 0, shot_indices=np.array([1, 3]))
+        state.apply_pauli("y", 1)
+        assert np.array_equal(state._x, x_before)
+        assert np.array_equal(state._z, z_before)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(StabilizerError):
+            BatchedStabilizerState(0, shots=4)
+        with pytest.raises(StabilizerError):
+            BatchedStabilizerState(2, shots=0)
+
+
+class TestDeterministicFastPath:
+    def test_probe_solves_bv_without_batching(self):
+        circuit = bernstein_vazirani("1101")
+        program = compile_tableau_program(circuit)
+        width = max(circuit.num_clbits, 1)
+        assert probe_deterministic_outcome(program, circuit.num_qubits, width) == "1101"
+
+    def test_probe_bails_on_random_outcomes(self):
+        circuit = ghz(3)
+        program = compile_tableau_program(circuit)
+        assert probe_deterministic_outcome(program, 3, 3) is None
+
+    def test_deterministic_circuit_reports_fast_path_metadata(self):
+        result = BatchedStabilizerSimulator(seed=1).run(bernstein_vazirani("1011"), shots=777)
+        assert result.metadata["method"] == "deterministic"
+        assert result.counts == {"1011": 777}
+
+    def test_random_circuit_reports_batched_metadata(self):
+        result = BatchedStabilizerSimulator(seed=1).run(ghz(3), shots=64)
+        assert result.metadata["method"] == "batched"
+        assert sum(result.counts.values()) == 64
+
+
+class TestBatchedScalarEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_clifford_distributions_match(self, seed):
+        """Property-style check over seeded random Clifford circuits."""
+        circuit = random_clifford_circuit(5, 7, seed=seed, measure=True)
+        shots = 3000
+        scalar = StabilizerSimulator(seed=seed + 100, method="scalar").run(circuit, shots=shots)
+        batched = StabilizerSimulator(seed=seed + 200).run(circuit, shots=shots)
+        assert sum(batched.counts.values()) == shots
+        assert set(batched.counts) <= set(scalar.counts) | set(batched.counts)
+        assert hellinger_fidelity(scalar.counts, batched.counts) > 0.97
+
+    def test_mid_circuit_measure_and_reset_agree(self):
+        circuit = QuantumCircuit(3, 3)
+        circuit.h(0).cx(0, 1).measure(0, 0).reset(1).h(1).cx(1, 2).measure(1, 1).measure(2, 2)
+        shots = 4000
+        scalar = StabilizerSimulator(seed=9, method="scalar").run(circuit, shots=shots)
+        batched = StabilizerSimulator(seed=10).run(circuit, shots=shots)
+        assert hellinger_fidelity(scalar.counts, batched.counts) > 0.97
+
+    def test_wide_circuit_support_is_identical(self):
+        counts = StabilizerSimulator(seed=3).run(ghz(40), shots=64).counts
+        assert set(counts) <= {"0" * 40, "1" * 40}
+
+    def test_noisy_batched_matches_scalar_distribution(self):
+        circuit = ghz(6)
+        noise = NoiseModel(
+            default_two_qubit_error=0.05,
+            default_one_qubit_error=0.01,
+            default_readout_error=0.02,
+        )
+        shots = 4000
+        scalar = NoisyStabilizerSimulator(seed=21, method="scalar").run(circuit, noise, shots=shots)
+        batched = NoisyStabilizerSimulator(seed=22).run(circuit, noise, shots=shots)
+        assert scalar.metadata["method"] == "scalar"
+        assert batched.metadata["method"] == "batched"
+        assert batched.metadata["simulator"] == "noisy_stabilizer"
+        assert hellinger_fidelity(scalar.counts, batched.counts) > 0.97
+
+    def test_shots_must_be_positive(self):
+        with pytest.raises(StabilizerError):
+            BatchedStabilizerSimulator().run(ghz(2), shots=0)
+
+    def test_non_clifford_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.t(0)
+        with pytest.raises(StabilizerError):
+            BatchedStabilizerSimulator().run(circuit, shots=8)
+
+    def test_simulator_method_validation(self):
+        with pytest.raises(StabilizerError):
+            StabilizerSimulator(method="vectorised")
+        with pytest.raises(StabilizerError):
+            NoisyStabilizerSimulator(method="vectorised")
