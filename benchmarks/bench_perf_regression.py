@@ -20,7 +20,7 @@ import os
 import pytest
 
 import run_benchmarks
-from run_benchmarks import bench_matching, bench_scheduler, bench_stabilizer
+from run_benchmarks import bench_matching, bench_scheduler, bench_service, bench_stabilizer
 from conftest import write_bench_json
 
 
@@ -57,9 +57,19 @@ def test_matching_and_scheduler_caches(perf_scale):
     )
 
 
+def test_service_batch_speedup(perf_scale):
+    """Batch submission must beat one-at-a-time by >= 5x on identical jobs."""
+    payload = bench_service(perf_scale, service_floor=5.0)
+    assert payload["speedup"] >= 5.0
+    assert payload["batch_stats"]["groups_executed"] == 1
+    assert payload["batch_stats"]["jobs_deduplicated"] == payload["jobs"] - 1
+    write_bench_json("BENCH_service.json", {"scale": perf_scale, **payload})
+
+
 def test_run_benchmarks_smoke_entry_point(tmp_path, monkeypatch):
-    """The CI entry point succeeds end-to-end and emits both artefacts."""
+    """The CI entry point succeeds end-to-end and emits every artefact."""
     monkeypatch.setenv("QRIO_BENCH_DIR", str(tmp_path))
     assert run_benchmarks.main(["--scale", "smoke"]) == 0
     assert (tmp_path / "BENCH_stabilizer.json").exists()
     assert (tmp_path / "BENCH_matching.json").exists()
+    assert (tmp_path / "BENCH_service.json").exists()

@@ -11,7 +11,11 @@ against:
 * ``BENCH_matching.json`` — cold vs warm matching throughput of the budgeted
   matcher over a device testbed (the embedding cache at work), and cold vs
   warm end-to-end scheduler latency of a repeated-job cloud trace (the
-  fidelity caches at work).
+  fidelity caches at work);
+* ``BENCH_service.json`` — throughput of the unified service layer: a
+  ``submit_batch`` of structurally-identical jobs (one embedding search, one
+  canary distribution, one execution for the whole group) vs submitting the
+  same jobs one at a time.
 
 The script **fails loudly** (non-zero exit) when:
 
@@ -20,6 +24,8 @@ The script **fails loudly** (non-zero exit) when:
   faster than the scalar reference;
 * the cached scheduler path is less than ``--scheduler-floor`` (default 2x)
   faster than the uncached one;
+* batch submission through the service is less than ``--service-floor``
+  (default 5x) faster than one-at-a-time submission;
 * batched and scalar counts distributions disagree (Hellinger sanity check).
 
 Usage::
@@ -64,8 +70,10 @@ from repro.simulators import (  # noqa: E402
 #: Per-scale measurement sizes.  ``scalar_shots`` bounds the slow reference
 #: run; shots/sec extrapolates fairly because scalar cost is linear in shots.
 _SCALES: Dict[str, Dict[str, int]] = {
-    "smoke": {"scalar_shots": 32, "batched_shots": 1024, "repeats": 1, "match_rounds": 4, "jobs": 18},
-    "default": {"scalar_shots": 128, "batched_shots": 1024, "repeats": 3, "match_rounds": 8, "jobs": 30},
+    "smoke": {"scalar_shots": 32, "batched_shots": 1024, "repeats": 1, "match_rounds": 4, "jobs": 18,
+              "service_jobs": 32},
+    "default": {"scalar_shots": 128, "batched_shots": 1024, "repeats": 3, "match_rounds": 8, "jobs": 30,
+                "service_jobs": 32},
 }
 
 #: The acceptance workload: a 20-qubit, 1024-shot Clifford canary.
@@ -258,16 +266,82 @@ def bench_scheduler(scale: str, scheduler_floor: float) -> Dict[str, object]:
 
 
 # --------------------------------------------------------------------------- #
-def run_all(scale: str, stabilizer_floor: float = 10.0, scheduler_floor: float = 2.0) -> Dict[str, Path]:
+# Service-layer throughput (batch dedup)
+# --------------------------------------------------------------------------- #
+def bench_service(scale: str, service_floor: float) -> Dict[str, object]:
+    """Batch vs one-at-a-time submission of structurally-identical jobs.
+
+    ``submit_batch`` groups the N jobs by structural circuit hash, so the
+    whole batch pays one embedding/canary scheduling pass and one execution;
+    sequential submission pays N of each.  Caches are cleared before both
+    measurements so the comparison is batch-dedup vs per-job work, not cold
+    vs warm caches.
+    """
+    from repro.service import OrchestratorEngine, QRIOService
+
+    jobs = _SCALES[scale]["service_jobs"]
+    fleet = three_device_testbed()
+
+    def batch_run():
+        clear_all_caches()
+        service = QRIOService(fleet, OrchestratorEngine(seed=9, canary_shots=128))
+        handles = service.submit_batch([ghz(6) for _ in range(jobs)], 0.9, shots=256)
+        service.process()
+        assert all(handle.done for handle in handles)
+        return service
+
+    def sequential_run():
+        clear_all_caches()
+        service = QRIOService(fleet, OrchestratorEngine(seed=9, canary_shots=128))
+        for index in range(jobs):
+            service.submit(ghz(6), 0.9, shots=256).result()
+        return service
+
+    batch_seconds, batch_service = time_callable(batch_run, repeats=1)
+    sequential_seconds, sequential_service = time_callable(sequential_run, repeats=1)
+    speedup = sequential_seconds / batch_seconds
+    batch_stats = batch_service.stats()
+    if batch_stats["groups_executed"] != 1 or batch_stats["jobs_deduplicated"] != jobs - 1:
+        raise BenchFailure(
+            f"Batch dedup is broken: expected 1 group / {jobs - 1} deduplicated jobs, "
+            f"got {batch_stats['groups_executed']} / {batch_stats['jobs_deduplicated']}"
+        )
+    if speedup < service_floor:
+        raise BenchFailure(
+            f"Service batch speedup {speedup:.1f}x is below the {service_floor:.0f}x floor"
+        )
+    return {
+        "jobs": jobs,
+        "devices": len(fleet),
+        "workload": "ghz(6) fidelity jobs, 256 shots, canary_shots=128",
+        "batch_seconds": batch_seconds,
+        "sequential_seconds": sequential_seconds,
+        "batch_jobs_per_second": jobs / batch_seconds,
+        "sequential_jobs_per_second": jobs / sequential_seconds,
+        "speedup": speedup,
+        "batch_stats": batch_stats,
+        "sequential_stats": sequential_service.stats(),
+    }
+
+
+# --------------------------------------------------------------------------- #
+def run_all(
+    scale: str,
+    stabilizer_floor: float = 10.0,
+    scheduler_floor: float = 2.0,
+    service_floor: float = 5.0,
+) -> Dict[str, Path]:
     """Run every measurement and write the BENCH artefacts; returns their paths."""
     stabilizer = bench_stabilizer(scale, stabilizer_floor)
     matching = bench_matching(scale)
     scheduler = bench_scheduler(scale, scheduler_floor)
+    service = bench_service(scale, service_floor)
     paths = {
         "stabilizer": write_bench_json("BENCH_stabilizer.json", {"scale": scale, **stabilizer}),
         "matching": write_bench_json(
             "BENCH_matching.json", {"scale": scale, "matching": matching, "scheduler": scheduler}
         ),
+        "service": write_bench_json("BENCH_service.json", {"scale": scale, **service}),
     }
     return paths
 
@@ -277,9 +351,10 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", choices=sorted(_SCALES), default="smoke", help="measurement sizes")
     parser.add_argument("--stabilizer-floor", type=float, default=10.0, help="minimum batched speedup")
     parser.add_argument("--scheduler-floor", type=float, default=2.0, help="minimum cached-scheduler speedup")
+    parser.add_argument("--service-floor", type=float, default=5.0, help="minimum service batch-vs-sequential speedup")
     args = parser.parse_args(argv)
     try:
-        paths = run_all(args.scale, args.stabilizer_floor, args.scheduler_floor)
+        paths = run_all(args.scale, args.stabilizer_floor, args.scheduler_floor, args.service_floor)
     except BenchFailure as failure:
         print(f"PERF REGRESSION: {failure}", file=sys.stderr)
         return 1
@@ -292,10 +367,15 @@ def main(argv=None) -> int:
                 f"stabilizer: {payload['batched']['shots_per_second']:.0f} shots/s batched "
                 f"({payload['speedup']:.1f}x over scalar, method={payload['batched']['method']}) -> {path}"
             )
-        else:
+        elif name == "matching":
             print(
                 f"matching: warm {payload['matching']['speedup']:.1f}x over cold; "
                 f"scheduler: cached {payload['scheduler']['speedup']:.1f}x over uncached -> {path}"
+            )
+        else:
+            print(
+                f"service: batch {payload['speedup']:.1f}x over one-at-a-time "
+                f"({payload['jobs']} identical jobs, 1 scheduling pass) -> {path}"
             )
     return 0
 

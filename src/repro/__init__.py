@@ -13,6 +13,13 @@ The package is organised in layers:
   jobs, scheduling framework, simulated containers);
 * ``repro.core`` — QRIO itself (visualizer, meta server, master server,
   scheduler, baselines, the :class:`~repro.core.QRIO` facade);
+* ``repro.cloud`` — the discrete-event quantum-cloud simulator (arrival
+  traces, per-device queues, allocation policies, calibration drift);
+* ``repro.service`` — the unified job service: one
+  :class:`~repro.service.QRIOService` submission API with an explicit
+  ``QUEUED → MATCHING → RUNNING → DONE/FAILED`` lifecycle, structural batch
+  deduplication, and one :class:`~repro.service.ExecutionEngine` protocol
+  adapting the orchestrator, cloud and cluster layers;
 * ``repro.workloads`` / ``repro.experiments`` — the paper's evaluation
   workloads and the drivers regenerating every table and figure.
 """
@@ -21,19 +28,43 @@ from repro.backends import Backend, BackendProperties, FleetSpec, generate_fleet
 from repro.circuits import QuantumCircuit
 from repro.core import QRIO, JobOutcome, UserRequirements
 from repro.qasm import dump_qasm, parse_qasm
+from repro.service import (
+    CloudEngine,
+    ClusterEngine,
+    ExecutionEngine,
+    JobHandle,
+    JobRequirements,
+    JobSpec,
+    JobState,
+    JobStatus,
+    OrchestratorEngine,
+    QRIOService,
+    ServiceResult,
+)
 from repro.simulators import NoiseModel, SimulationResult, hellinger_fidelity
 from repro.transpiler import transpile
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Backend",
     "BackendProperties",
+    "CloudEngine",
+    "ClusterEngine",
+    "ExecutionEngine",
     "FleetSpec",
+    "JobHandle",
     "JobOutcome",
+    "JobRequirements",
+    "JobSpec",
+    "JobState",
+    "JobStatus",
     "NoiseModel",
+    "OrchestratorEngine",
     "QRIO",
+    "QRIOService",
     "QuantumCircuit",
+    "ServiceResult",
     "SimulationResult",
     "UserRequirements",
     "__version__",

@@ -10,7 +10,11 @@ The CLI exposes the pieces a new user typically wants without writing Python:
 * ``repro-qrio extension cloud-policies|calibration-drift|scalable-matching``
   — run one of the future-work extension experiments;
 * ``repro-qrio submit <circuit.qasm>`` — schedule a QASM file against a
-  generated fleet with either a fidelity or a topology requirement.
+  generated fleet with either a fidelity or a topology requirement, routed
+  through the unified job service (``--policy`` picks the execution engine:
+  the QRIO orchestrator, the bare cluster framework or a cloud allocation
+  policy; ``--fidelity-report`` controls the cloud engine's fidelity mode);
+  the job's lifecycle transitions are printed as they are recorded.
 
 Every command accepts ``--seed`` and the experiment commands accept
 ``--scale quick|default|paper`` mirroring the benchmark harness.
@@ -24,6 +28,14 @@ from typing import List, Optional, Sequence
 
 from repro.backends import generate_fleet
 from repro.circuits import ghz
+from repro.cloud.policies import (
+    FidelityPolicy,
+    LeastLoadedPolicy,
+    QueueAwareFidelityPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+)
+from repro.cloud.simulation import CloudSimulationConfig
 from repro.core import QRIO
 from repro.experiments import (
     ExperimentConfig,
@@ -49,6 +61,7 @@ from repro.experiments import (
     table2_rows,
 )
 from repro.qasm import load_qasm_file
+from repro.service import CloudEngine, ClusterEngine, JobRequirements, QRIOService
 from repro.utils.rng import DEFAULT_SEED
 
 
@@ -138,31 +151,74 @@ def _cmd_extension(args: argparse.Namespace) -> int:
     return 0
 
 
+#: CLI ``--policy`` choices mapped onto cloud allocation policies; ``qrio``
+#: and ``cluster`` select the orchestrator and cluster engines instead.
+_CLOUD_POLICY_BUILDERS = {
+    "random": lambda seed: RandomPolicy(seed=seed),
+    "round-robin": lambda seed: RoundRobinPolicy(),
+    "least-loaded": lambda seed: LeastLoadedPolicy(),
+    "fidelity": lambda seed: FidelityPolicy(seed=seed),
+    "queue-aware": lambda seed: QueueAwareFidelityPolicy(seed=seed),
+}
+
+
+def _service_for_submit(args: argparse.Namespace):
+    """Build the (service, qrio-or-None) pair the submit command runs on."""
+    fleet = generate_fleet(limit=args.devices, seed=args.seed)
+    if args.policy == "qrio":
+        qrio = QRIO(cluster_name="cli-submit", canary_shots=args.shots, seed=args.seed)
+        qrio.register_devices(fleet)
+        return qrio.service(), qrio
+    if args.policy == "cluster":
+        engine = ClusterEngine(canary_shots=args.shots, seed=args.seed)
+    else:
+        engine = CloudEngine(
+            policy=_CLOUD_POLICY_BUILDERS[args.policy](args.seed),
+            config=CloudSimulationConfig(
+                fidelity_report=args.fidelity_report,
+                execution_shots=args.shots,
+                seed=args.seed,
+            ),
+        )
+    return QRIOService(fleet, engine), None
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     circuit = load_qasm_file(args.circuit)
-    qrio = QRIO(cluster_name="cli-submit", canary_shots=args.shots, seed=args.seed)
-    qrio.register_devices(generate_fleet(limit=args.devices, seed=args.seed))
+    service, qrio = _service_for_submit(args)
     if args.topology:
         edges = []
         for chunk in args.topology.split(","):
             a, b = chunk.split("-")
             edges.append((int(a), int(b)))
-        submitted = qrio.submit_topology_job(
-            circuit, topology_edges=edges, job_name="cli-submitted-job", shots=args.shots
-        )
-    else:
-        submitted = qrio.submit_fidelity_job(
-            circuit,
-            fidelity_threshold=args.fidelity,
-            job_name="cli-submitted-job",
-            shots=args.shots,
+        requirements = JobRequirements(
+            topology_edges=tuple(edges),
             max_avg_two_qubit_error=args.max_two_qubit_error,
         )
-    outcome = qrio.run_job(submitted.job.name)
-    print(qrio.render_job("cli-submitted-job"))
-    if not outcome.succeeded:
+    else:
+        requirements = JobRequirements(
+            fidelity_threshold=args.fidelity,
+            max_avg_two_qubit_error=args.max_two_qubit_error,
+        )
+    handle = service.submit(circuit, requirements, shots=args.shots, name="cli-submitted-job")
+    handle.wait()
+    print(f"Job lifecycle ({service.engine.name} engine):")
+    for event in handle.events():
+        print(f"  {event.state.value:<9s} {event.message}")
+    print()
+    if qrio is not None:
+        print(qrio.render_job("cli-submitted-job"))
+    if handle.failed:
         print("\nThe job could not be scheduled with the given requirements.")
         return 1
+    result = handle.result()
+    summary = f"Device: {result.device}"
+    if result.score is not None:
+        summary += f"  score {result.score:.4f}"
+    if result.fidelity is not None:
+        summary += f"  reported fidelity {result.fidelity:.4f}"
+    summary += f"  ({result.num_feasible} devices passed filtering)"
+    print(summary)
     return 0
 
 
@@ -210,6 +266,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="maximum tolerable average two-qubit error")
     submit.add_argument("--shots", type=int, default=512)
     submit.add_argument("--devices", type=int, default=20)
+    submit.add_argument(
+        "--policy",
+        choices=["qrio", "cluster", *sorted(_CLOUD_POLICY_BUILDERS)],
+        default="qrio",
+        help="execution path: 'qrio' (orchestrator engine), 'cluster' (scheduling-framework "
+             "engine) or a cloud allocation policy (cloud engine)",
+    )
+    submit.add_argument(
+        "--fidelity-report",
+        choices=["none", "esp", "execute"],
+        default="esp",
+        dest="fidelity_report",
+        help="how the cloud engine reports per-job fidelity (cloud policies only)",
+    )
     submit.set_defaults(handler=_cmd_submit)
     return parser
 

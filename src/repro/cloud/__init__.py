@@ -33,6 +33,7 @@ from repro.cloud.policies import (
 )
 from repro.cloud.queueing import DeviceQueue, ExecutionTimeModel, QueueSlot, build_queues
 from repro.cloud.simulation import (
+    CloudSession,
     CloudSimulationConfig,
     CloudSimulationResult,
     CloudSimulator,
@@ -46,6 +47,7 @@ __all__ = [
     "AllocationPolicy",
     "ArrivalSpec",
     "CalibrationDriftModel",
+    "CloudSession",
     "CloudSimulationConfig",
     "CloudSimulationResult",
     "CloudSimulator",

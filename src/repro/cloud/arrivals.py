@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.utils.exceptions import ClusterError
+from repro.utils.exceptions import CloudError
 from repro.utils.rng import SeedLike, ensure_generator
 from repro.utils.validation import require_positive_int
 from repro.workloads.suites import WorkloadSuite, nisq_mix_suite
@@ -69,12 +69,12 @@ class ArrivalSpec:
 
     def __post_init__(self) -> None:
         if self.rate_per_hour <= 0:
-            raise ClusterError("rate_per_hour must be positive")
+            raise CloudError("rate_per_hour must be positive")
         require_positive_int(self.num_jobs, "num_jobs")
         require_positive_int(self.num_users, "num_users")
         require_positive_int(self.shots, "shots")
         if not 0.0 <= self.diurnal_amplitude < 1.0:
-            raise ClusterError("diurnal_amplitude must lie in [0, 1)")
+            raise CloudError("diurnal_amplitude must lie in [0, 1)")
 
     def workload_suite(self) -> WorkloadSuite:
         """The suite the trace samples from."""

@@ -6,7 +6,7 @@ from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
-from repro.utils.exceptions import ClusterError
+from repro.utils.exceptions import CloudError
 
 
 def jain_fairness_index(values: Sequence[float]) -> float:
@@ -18,9 +18,9 @@ def jain_fairness_index(values: Sequence[float]) -> float:
     """
     values = [float(value) for value in values]
     if not values:
-        raise ClusterError("jain_fairness_index needs at least one value")
+        raise CloudError("jain_fairness_index needs at least one value")
     if any(value < 0 for value in values):
-        raise ClusterError("jain_fairness_index values must be non-negative")
+        raise CloudError("jain_fairness_index values must be non-negative")
     total = sum(values)
     if total == 0.0:
         return 1.0

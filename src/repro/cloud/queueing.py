@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 from repro.backends.backend import Backend
 from repro.circuits.circuit import QuantumCircuit
 from repro.simulators.durations import GateDurations, circuit_duration
-from repro.utils.exceptions import ClusterError
+from repro.utils.exceptions import CloudError
 
 
 @dataclass(frozen=True)
@@ -48,9 +48,9 @@ class ExecutionTimeModel:
 
     def __post_init__(self) -> None:
         if self.job_overhead_s < 0 or self.transpile_overhead_per_qubit_s < 0:
-            raise ClusterError("Execution-time overheads must be non-negative")
+            raise CloudError("Execution-time overheads must be non-negative")
         if self.sparse_routing_penalty < 0:
-            raise ClusterError("sparse_routing_penalty must be non-negative")
+            raise CloudError("sparse_routing_penalty must be non-negative")
 
     # ------------------------------------------------------------------ #
     def shot_duration_s(self, circuit: QuantumCircuit, backend: Backend) -> float:
@@ -68,7 +68,7 @@ class ExecutionTimeModel:
     def service_time_s(self, circuit: QuantumCircuit, backend: Backend, shots: int) -> float:
         """Total device occupancy of one job in seconds."""
         if shots <= 0:
-            raise ClusterError("shots must be positive")
+            raise CloudError("shots must be positive")
         classical = self.job_overhead_s + self.transpile_overhead_per_qubit_s * backend.num_qubits
         quantum = shots * self.shot_duration_s(circuit, backend)
         return classical + quantum
@@ -126,9 +126,9 @@ class DeviceQueue:
     def enqueue(self, job_name: str, arrival_time: float, service_time: float) -> QueueSlot:
         """Append a job to the queue and return its scheduled slot."""
         if service_time < 0:
-            raise ClusterError("service_time must be non-negative")
+            raise CloudError("service_time must be non-negative")
         if arrival_time < 0:
-            raise ClusterError("arrival_time must be non-negative")
+            raise CloudError("arrival_time must be non-negative")
         start = max(arrival_time, self._next_free)
         finish = start + service_time
         slot = QueueSlot(

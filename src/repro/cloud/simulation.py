@@ -12,7 +12,7 @@ submission time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.backends.backend import Backend
 from repro.cloud.arrivals import JobRequest
@@ -22,7 +22,7 @@ from repro.cloud.queueing import DeviceQueue, ExecutionTimeModel, QueueSlot, bui
 from repro.core.cache import calibration_fingerprint, structural_circuit_hash
 from repro.fidelity.canary import achieved_fidelity
 from repro.fidelity.estimator import ESPEstimator
-from repro.utils.exceptions import ClusterError, SchedulingError
+from repro.utils.exceptions import CloudError, SchedulingError
 from repro.utils.rng import SeedLike, derive_seed
 
 
@@ -48,9 +48,9 @@ class CloudSimulationConfig:
 
     def __post_init__(self) -> None:
         if self.fidelity_report not in ("none", "esp", "execute"):
-            raise ClusterError("fidelity_report must be 'none', 'esp' or 'execute'")
+            raise CloudError("fidelity_report must be 'none', 'esp' or 'execute'")
         if self.execution_shots <= 0:
-            raise ClusterError("execution_shots must be positive")
+            raise CloudError("execution_shots must be positive")
 
 
 @dataclass(frozen=True)
@@ -169,7 +169,7 @@ class CloudSimulator:
         config: Optional[CloudSimulationConfig] = None,
     ) -> None:
         if not fleet:
-            raise ClusterError("The cloud simulation needs at least one device")
+            raise CloudError("The cloud simulation needs at least one device")
         self._fleet = list(fleet)
         self._policy = policy
         self._config = config or CloudSimulationConfig()
@@ -180,28 +180,38 @@ class CloudSimulator:
         self._execute_fidelity_cache: Dict[Tuple[str, str, str, int], float] = {}
 
     # ------------------------------------------------------------------ #
+    @property
+    def fleet(self) -> List[Backend]:
+        """The devices this simulator routes onto."""
+        return list(self._fleet)
+
+    @property
+    def policy(self) -> AllocationPolicy:
+        """The allocation policy routing arrivals to devices."""
+        return self._policy
+
+    @property
+    def config(self) -> CloudSimulationConfig:
+        """The simulation configuration."""
+        return self._config
+
+    def open_session(self) -> "CloudSession":
+        """Start an incremental simulation accepting arrivals one at a time.
+
+        This is the streaming face of the simulator used by the unified
+        service layer (:class:`repro.service.CloudEngine`): instead of handing
+        over a complete trace, callers route and execute arrivals as they
+        occur.  :meth:`run` is a thin wrapper that opens a session and feeds
+        it the whole trace in arrival order.
+        """
+        return CloudSession(self)
+
     def run(self, trace: Sequence[JobRequest]) -> CloudSimulationResult:
         """Simulate the whole trace and return per-job records."""
-        queues = build_queues(self._fleet)
-        context = AllocationContext(
-            fleet=self._fleet,
-            queues=queues,
-            time_model=self._config.time_model,
-        )
-        records: List[JobRecord] = []
+        session = self.open_session()
         for request in sorted(trace, key=lambda item: item.arrival_time):
-            device_name = self._policy.select(request, context)
-            backend = context.device(device_name)
-            if backend.num_qubits < request.circuit.num_qubits:
-                raise SchedulingError(
-                    f"Policy '{self._policy.name}' routed job '{request.name}' to "
-                    f"'{device_name}', which is too small for it"
-                )
-            service = self._config.time_model.service_time_s(request.circuit, backend, request.shots)
-            slot = queues[device_name].enqueue(request.name, request.arrival_time, service)
-            fidelity = self._job_fidelity(request, backend, context)
-            records.append(JobRecord(request=request, device=device_name, slot=slot, fidelity=fidelity))
-        return CloudSimulationResult(policy_name=self._policy.name, records=records, queues=queues)
+            session.submit(request)
+        return session.result()
 
     # ------------------------------------------------------------------ #
     def _job_fidelity(
@@ -240,6 +250,97 @@ class CloudSimulator:
             backend,
             shots=self._config.execution_shots,
             seed=derive_seed(self._config.seed, "cloud-execute", request.name, backend.name),
+        )
+
+
+class CloudSession:
+    """One incremental simulation run: arrivals are submitted one at a time.
+
+    Because routing happens at arrival time and device queues are
+    single-server FCFS, feeding arrivals in non-decreasing arrival order is
+    an exact discrete-event simulation — the session enforces that ordering
+    and otherwise behaves exactly like :meth:`CloudSimulator.run`.
+
+    The two-step :meth:`route` / :meth:`execute` split mirrors the service
+    layer's job lifecycle: ``route`` is the MATCHING step (policy decision,
+    feasibility check), ``execute`` the RUNNING step (queueing + fidelity
+    reporting).  :meth:`submit` performs both.
+    """
+
+    def __init__(self, simulator: CloudSimulator) -> None:
+        self._simulator = simulator
+        self._queues = build_queues(simulator.fleet)
+        self._context = AllocationContext(
+            fleet=simulator.fleet,
+            queues=self._queues,
+            time_model=simulator.config.time_model,
+        )
+        self._records: List[JobRecord] = []
+        self._last_arrival = 0.0
+
+    @property
+    def records(self) -> List[JobRecord]:
+        """Records of every job executed so far, in arrival order."""
+        return list(self._records)
+
+    def route(self, request: JobRequest, candidates: Optional[Sequence[str]] = None) -> str:
+        """Pick the device for ``request`` (the policy's arrival-time decision).
+
+        ``candidates`` optionally restricts the policy's choice to a subset
+        of the fleet (the service layer uses this to enforce user
+        requirements the policies themselves do not know about); queues and
+        the fidelity cache stay shared with the unrestricted context.
+        """
+        if request.arrival_time < self._last_arrival:
+            raise CloudError(
+                f"Arrival '{request.name}' at t={request.arrival_time:.3f}s is earlier than the "
+                f"previous arrival (t={self._last_arrival:.3f}s); sessions need arrival order"
+            )
+        simulator = self._simulator
+        context = self._context
+        if candidates is not None:
+            allowed = set(candidates)
+            restricted = [backend for backend in context.fleet if backend.name in allowed]
+            if not restricted:
+                raise SchedulingError(f"No candidate device left for job '{request.name}'")
+            context = AllocationContext(
+                fleet=restricted,
+                queues=self._queues,
+                time_model=context.time_model,
+                calibration_epoch=context.calibration_epoch,
+                fidelity_cache=context.fidelity_cache,
+            )
+        device_name = simulator.policy.select(request, context)
+        backend = self._context.device(device_name)
+        if backend.num_qubits < request.circuit.num_qubits:
+            raise SchedulingError(
+                f"Policy '{simulator.policy.name}' routed job '{request.name}' to "
+                f"'{device_name}', which is too small for it"
+            )
+        return device_name
+
+    def execute(self, request: JobRequest, device_name: str) -> JobRecord:
+        """Queue ``request`` on ``device_name`` and report its fidelity."""
+        simulator = self._simulator
+        backend = self._context.device(device_name)
+        service = simulator.config.time_model.service_time_s(request.circuit, backend, request.shots)
+        slot = self._queues[device_name].enqueue(request.name, request.arrival_time, service)
+        fidelity = simulator._job_fidelity(request, backend, self._context)
+        record = JobRecord(request=request, device=device_name, slot=slot, fidelity=fidelity)
+        self._records.append(record)
+        self._last_arrival = request.arrival_time
+        return record
+
+    def submit(self, request: JobRequest) -> JobRecord:
+        """Route and execute one arrival (the one-call form)."""
+        return self.execute(request, self.route(request))
+
+    def result(self) -> CloudSimulationResult:
+        """Snapshot of everything submitted so far as a simulation result."""
+        return CloudSimulationResult(
+            policy_name=self._simulator.policy.name,
+            records=list(self._records),
+            queues=self._queues,
         )
 
 

@@ -1,9 +1,17 @@
 """The QRIO facade: one object wiring visualizer, servers, scheduler and cluster.
 
-This is the library's primary entry point.  A vendor registers devices, a
+This is the library's historical entry point.  A vendor registers devices, a
 user submits a job with either a fidelity or a topology requirement, and the
 orchestrator drives the full cycle of Fig. 2: visualizer → meta server →
 master server → scheduler → chosen quantum device → logs.
+
+Since the unified service layer landed (``repro.service``), the facade's
+execution-cycle methods are thin shims over a :class:`~repro.service.QRIOService`
+bound to this orchestrator: :meth:`QRIO.submit`/:meth:`QRIO.submit_batch`
+return :class:`~repro.service.JobHandle` objects with the explicit
+``QUEUED → MATCHING → RUNNING → DONE/FAILED`` lifecycle, and the legacy
+:meth:`QRIO.submit_and_run` routes through the same service while preserving
+its original :class:`JobOutcome` return type.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from repro.core.requirements import UserRequirements
 from repro.core.scheduler import QRIOScheduler
 from repro.core.visualizer import JobSubmissionForm, QRIOVisualizer, TopologyCanvas
 from repro.simulators.result import SimulationResult
-from repro.utils.exceptions import ClusterError, SchedulingError
+from repro.utils.exceptions import ClusterError, MasterServerError, SchedulingError
 from repro.utils.rng import SeedLike, derive_seed
 
 
@@ -63,6 +71,7 @@ class QRIO:
         self.visualizer = QRIOVisualizer(self.cluster)
         self.queue = JobQueue(policy=QueuePolicy.FIFO)
         self._seed = seed
+        self._service = None
 
     # ------------------------------------------------------------------ #
     # Vendor-side API
@@ -218,9 +227,94 @@ class QRIO:
         )
 
     def submit_and_run(self, form: JobSubmissionForm) -> JobOutcome:
-        """Full user cycle in one call: submit the form, schedule, execute."""
-        submitted = self.submit_form(form)
-        return self.run_job(submitted.job.name)
+        """Full user cycle in one call: submit the form, schedule, execute.
+
+        Legacy shim: the form is converted into a service
+        :class:`~repro.service.JobSpec` and processed through
+        :meth:`service`, then the handle's outcome is translated back into
+        the historical :class:`JobOutcome` shape.
+        """
+        handle = self.service().submit_specs([self._spec_from_form(form)])[0]
+        handle.wait()
+        return self._outcome_from_handle(handle)
+
+    # ------------------------------------------------------------------ #
+    # Unified service layer (repro.service)
+    # ------------------------------------------------------------------ #
+    def service(self) -> "QRIOService":
+        """The unified job service bound to this orchestrator.
+
+        Created lazily on first use (so the fleet can be registered first)
+        and cached; its :class:`~repro.service.OrchestratorEngine` shares
+        this facade's cluster, servers and scheduler, so vendor-side changes
+        (new devices, recalibration, cordons) are visible to service jobs.
+        """
+        from repro.service import OrchestratorEngine, QRIOService
+
+        if self._service is None:
+            self._service = QRIOService(self.devices(), OrchestratorEngine(qrio=self))
+        return self._service
+
+    def submit(self, circuit, requirements=None, *, shots: int = 1024, name: Optional[str] = None):
+        """Submit one job through the unified service; returns a JobHandle."""
+        return self.service().submit(circuit, requirements, shots=shots, name=name)
+
+    def submit_batch(self, circuits, requirements=None, *, shots: int = 1024):
+        """Submit many jobs through the unified service with batch dedup."""
+        return self.service().submit_batch(circuits, requirements, shots=shots)
+
+    def _spec_from_form(self, form: JobSubmissionForm):
+        """Convert a completed visualizer form into a service job spec."""
+        from repro.qasm.parser import parse_qasm
+        from repro.service import JobRequirements, JobSpec as ServiceJobSpec
+
+        requirements = form.build_requirements()
+        circuit = parse_qasm(form.submit().master.circuit_qasm, name=requirements.job_name)
+        return ServiceJobSpec(
+            circuit=circuit,
+            requirements=JobRequirements(
+                fidelity_threshold=requirements.fidelity_threshold,
+                topology_edges=(
+                    tuple(requirements.topology_edges) if requirements.topology_edges is not None else None
+                ),
+                max_avg_two_qubit_error=requirements.max_avg_two_qubit_error,
+                max_avg_readout_error=requirements.max_avg_readout_error,
+                min_avg_t1=requirements.min_avg_t1,
+                min_avg_t2=requirements.min_avg_t2,
+                cpu_millicores=requirements.cpu_millicores,
+                memory_mb=requirements.memory_mb,
+                num_qubits=requirements.num_qubits,
+            ),
+            shots=requirements.shots,
+            name=requirements.job_name,
+            image_name=requirements.image_name,
+        )
+
+    def _outcome_from_handle(self, handle) -> JobOutcome:
+        """Translate a finished service handle into the legacy JobOutcome."""
+        status = handle.status()
+        if handle.done:
+            outcome = handle.result().detail.get("outcome")
+            if isinstance(outcome, JobOutcome):
+                return outcome
+        if handle.exception is not None:
+            # The legacy path let engine errors (duplicate job names,
+            # execution failures, ...) propagate — keep that contract rather
+            # than returning an outcome for a job this submission never ran.
+            raise handle.exception
+        job = self.cluster.job(handle.name)
+        if job.phase == JobPhase.FAILED:
+            raise MasterServerError(
+                f"Execution of job '{handle.name}' failed: {status.error or job.failure_reason}"
+            )
+        return JobOutcome(
+            job=job,
+            device=status.device,
+            score=status.score,
+            result=job.result,
+            scores=dict(status.detail.get("scores", {})),
+            num_filtered=int(status.detail.get("num_feasible", 0)),
+        )
 
     # ------------------------------------------------------------------ #
     # Multi-job extension (future work item 4)

@@ -1,0 +1,54 @@
+"""Unified job service: one submission API over orchestrator, cloud and cluster.
+
+The historical codebase had three disjoint front doors — the synchronous
+:class:`~repro.core.QRIO` facade, the trace-driven
+:class:`~repro.cloud.CloudSimulator` and the k8s-style
+:class:`~repro.cluster.SchedulingFramework`.  This package consolidates them
+behind one service:
+
+* :class:`QRIOService` — owns a fleet plus a pluggable execution engine,
+  exposes ``submit``/``submit_batch`` with an explicit job lifecycle and
+  structural batch deduplication;
+* :class:`JobHandle` — ``status()`` / ``result()`` / ``events()`` over the
+  ``QUEUED → MATCHING → RUNNING → DONE/FAILED`` state machine;
+* :class:`ExecutionEngine` + :class:`OrchestratorEngine` /
+  :class:`ClusterEngine` / :class:`CloudEngine` — the one protocol and its
+  three adapters;
+* the shared request/response dataclasses (:class:`JobSpec`,
+  :class:`JobRequirements`, :class:`JobStatus`, :class:`ServiceResult`, ...).
+"""
+
+from repro.service.api import (
+    ALLOWED_TRANSITIONS,
+    EngineResult,
+    ExecutionEngine,
+    JobEvent,
+    JobRequirements,
+    JobSpec,
+    JobState,
+    JobStatus,
+    Placement,
+    ServiceResult,
+)
+from repro.service.engines import CloudEngine, ClusterEngine, OrchestratorEngine
+from repro.service.handle import JobHandle
+from repro.service.service import QRIOService, RequirementsLike
+
+__all__ = [
+    "ALLOWED_TRANSITIONS",
+    "CloudEngine",
+    "ClusterEngine",
+    "EngineResult",
+    "ExecutionEngine",
+    "JobEvent",
+    "JobHandle",
+    "JobRequirements",
+    "JobSpec",
+    "JobState",
+    "JobStatus",
+    "OrchestratorEngine",
+    "Placement",
+    "QRIOService",
+    "RequirementsLike",
+    "ServiceResult",
+]

@@ -1,0 +1,257 @@
+"""Typed request/response model of the unified QRIO job service.
+
+Every execution engine — the synchronous orchestrator, the discrete-event
+cloud simulator and the k8s-style cluster framework — speaks this one
+vocabulary:
+
+* :class:`JobRequirements` + :class:`JobSpec` — what a user submits;
+* :class:`JobState` / :class:`JobStatus` / :class:`JobEvent` — the explicit
+  job lifecycle (``QUEUED → MATCHING → RUNNING → DONE/FAILED``);
+* :class:`Placement` / :class:`EngineResult` — what an engine reports back
+  from its two lifecycle stages (device selection, then execution);
+* :class:`ServiceResult` — what a finished :class:`~repro.service.JobHandle`
+  hands to the user;
+* :class:`ExecutionEngine` — the protocol the three engine adapters
+  implement.
+
+``JobRequirements`` is frozen and hashable on purpose: together with
+:func:`repro.core.cache.structural_circuit_hash` and the shot budget it forms
+the batch-deduplication key, so a batch of N structurally-identical requests
+collapses onto one embedding search, one canary distribution and one
+execution.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backends.backend import Backend
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.cache import structural_circuit_hash
+from repro.utils.exceptions import ServiceError
+from repro.utils.validation import require_positive_int, require_probability
+
+
+class JobState(str, Enum):
+    """Lifecycle states of a service job."""
+
+    QUEUED = "Queued"
+    MATCHING = "Matching"
+    RUNNING = "Running"
+    DONE = "Done"
+    FAILED = "Failed"
+
+    @property
+    def terminal(self) -> bool:
+        """``True`` once the job can no longer change state."""
+        return self in (JobState.DONE, JobState.FAILED)
+
+
+#: Legal lifecycle transitions (enforced by the service, tested explicitly).
+ALLOWED_TRANSITIONS: Dict[JobState, Tuple[JobState, ...]] = {
+    JobState.QUEUED: (JobState.MATCHING, JobState.FAILED),
+    JobState.MATCHING: (JobState.RUNNING, JobState.FAILED),
+    JobState.RUNNING: (JobState.DONE, JobState.FAILED),
+    JobState.DONE: (),
+    JobState.FAILED: (),
+}
+
+
+@dataclass(frozen=True)
+class JobRequirements:
+    """What a user asks of the fleet, independent of any engine.
+
+    Exactly one of ``fidelity_threshold`` / ``topology_edges`` selects the
+    ranking strategy; leaving both unset defaults to a fidelity requirement
+    of 1.0 (the paper's evaluation setting: "give me the best device").
+    Device-characteristic bounds and classical resources mirror the
+    visualizer's step-2 form.
+    """
+
+    fidelity_threshold: Optional[float] = None
+    topology_edges: Optional[Tuple[Tuple[int, int], ...]] = None
+    max_avg_two_qubit_error: Optional[float] = None
+    max_avg_readout_error: Optional[float] = None
+    min_avg_t1: Optional[float] = None
+    min_avg_t2: Optional[float] = None
+    cpu_millicores: int = 500
+    memory_mb: int = 512
+    #: Override of the qubit resource request; ``None`` uses the circuit width.
+    num_qubits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_qubits is not None:
+            require_positive_int(self.num_qubits, "num_qubits")
+        if self.fidelity_threshold is not None and self.topology_edges is not None:
+            raise ServiceError(
+                "Fidelity and topology requirements are mutually exclusive; pick one"
+            )
+        if self.fidelity_threshold is not None:
+            require_probability(self.fidelity_threshold, "fidelity_threshold")
+        if self.topology_edges is not None:
+            edges = tuple(sorted((min(int(a), int(b)), max(int(a), int(b))) for a, b in self.topology_edges))
+            if not edges:
+                raise ServiceError("A topology requirement needs at least one edge")
+            for a, b in edges:
+                if a == b:
+                    raise ServiceError("Topology edges must connect distinct qubits")
+            object.__setattr__(self, "topology_edges", edges)
+        if self.max_avg_two_qubit_error is not None:
+            require_probability(self.max_avg_two_qubit_error, "max_avg_two_qubit_error")
+        if self.max_avg_readout_error is not None:
+            require_probability(self.max_avg_readout_error, "max_avg_readout_error")
+
+    @property
+    def strategy(self) -> str:
+        """``"fidelity"`` or ``"topology"`` — which ranking strategy applies."""
+        return "topology" if self.topology_edges is not None else "fidelity"
+
+    @property
+    def effective_fidelity_threshold(self) -> float:
+        """The fidelity requirement with the 1.0 default applied."""
+        return 1.0 if self.fidelity_threshold is None else self.fidelity_threshold
+
+    def qubits_for(self, circuit: QuantumCircuit) -> int:
+        """The qubit resource request for ``circuit`` (override or width)."""
+        return self.num_qubits if self.num_qubits is not None else circuit.num_qubits
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One service submission: a circuit, its requirements, a shot budget."""
+
+    circuit: QuantumCircuit
+    requirements: JobRequirements = field(default_factory=JobRequirements)
+    shots: int = 1024
+    name: Optional[str] = None
+    #: Container image name; ``None`` derives one from the job name.
+    image_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.shots, "shots")
+        if self.requirements.topology_edges is not None:
+            bound = self.requirements.qubits_for(self.circuit)
+            for a, b in self.requirements.topology_edges:
+                if not (0 <= a < bound and 0 <= b < bound):
+                    raise ServiceError(
+                        f"Topology edge ({a}, {b}) is out of range for {bound} qubits"
+                    )
+
+    def dedup_key(self) -> Tuple[str, JobRequirements, int]:
+        """Batch-grouping key: circuit *structure* + requirements + shots.
+
+        Two submissions with the same key are interchangeable — same
+        embedding search, same canary distribution, same execution — so the
+        service runs the group once and shares the result.
+        """
+        return (structural_circuit_hash(self.circuit), self.requirements, self.shots)
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One lifecycle transition of a service job."""
+
+    sequence: int
+    state: JobState
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.sequence}] {self.state.value}: {self.message}"
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Point-in-time snapshot of a job's lifecycle."""
+
+    name: str
+    state: JobState
+    engine: str
+    device: Optional[str] = None
+    score: Optional[float] = None
+    message: str = ""
+    error: Optional[str] = None
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        """``True`` once the job reached DONE or FAILED."""
+        return self.state.terminal
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """What a successfully completed service job returns to the user."""
+
+    job_name: str
+    engine: str
+    device: str
+    counts: Dict[str, int]
+    shots: int
+    score: Optional[float] = None
+    fidelity: Optional[float] = None
+    num_feasible: int = 0
+    group_size: int = 1
+    deduplicated: bool = False
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class Placement:
+    """Outcome of an engine's MATCHING stage (device selection).
+
+    ``device is None`` means no device satisfied the requirements — the
+    service fails the job without entering RUNNING, mirroring the paper's
+    "job not fit for scheduling" outcome.
+    """
+
+    job_name: str
+    spec: JobSpec
+    device: Optional[str]
+    score: Optional[float] = None
+    num_feasible: int = 0
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class EngineResult:
+    """Outcome of an engine's RUNNING stage (execution)."""
+
+    device: str
+    counts: Dict[str, int]
+    shots: int
+    score: Optional[float] = None
+    fidelity: Optional[float] = None
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+class ExecutionEngine(abc.ABC):
+    """The one protocol every execution backend of the service implements.
+
+    The split into :meth:`match` and :meth:`run` is deliberate: it maps the
+    MATCHING and RUNNING lifecycle states onto engine work, so every engine
+    reports device selection and execution as separate, observable steps.
+    """
+
+    @property
+    def name(self) -> str:
+        """Engine name used in statuses, events and reports."""
+        return type(self).__name__
+
+    @abc.abstractmethod
+    def attach(self, fleet: Sequence[Backend]) -> None:
+        """Bind the engine to a device fleet (called once by the service)."""
+
+    @abc.abstractmethod
+    def fleet(self) -> List[Backend]:
+        """The engine's *current* fleet (live — vendor-side changes show up)."""
+
+    @abc.abstractmethod
+    def match(self, spec: JobSpec, job_name: str) -> Placement:
+        """Select a device for ``spec`` (filtering + ranking)."""
+
+    @abc.abstractmethod
+    def run(self, placement: Placement) -> EngineResult:
+        """Execute a matched job and return its outcome."""

@@ -1,0 +1,400 @@
+"""The three :class:`~repro.service.ExecutionEngine` adapters.
+
+Each adapter maps the engine protocol's MATCHING/RUNNING split onto one of
+the existing subsystems:
+
+* :class:`OrchestratorEngine` — the paper's full Fig. 2 cycle through the
+  :class:`~repro.core.QRIO` facade (visualizer form → meta server → master
+  server → scheduler → device);
+* :class:`ClusterEngine` — the bare k8s-style path: jobs go straight into
+  the cluster registry and through the scheduling framework's filter/score
+  plugins, skipping the visualizer and container machinery;
+* :class:`CloudEngine` — the discrete-event cloud simulator via its
+  incremental :class:`~repro.cloud.CloudSession`: each submission becomes an
+  arrival routed by an allocation policy onto per-device FCFS queues.
+
+All three consume the same :class:`~repro.service.JobSpec` and produce the
+same :class:`~repro.service.Placement` / :class:`~repro.service.EngineResult`
+pair, which is what lets :class:`~repro.service.QRIOService` treat them
+interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.backends.backend import Backend
+from repro.cloud.arrivals import JobRequest
+from repro.cloud.policies import AllocationPolicy, LeastLoadedPolicy
+from repro.cloud.simulation import CloudSession, CloudSimulationConfig, CloudSimulationResult, CloudSimulator
+from repro.cluster.job import DeviceConstraints, JobSpec as ClusterJobSpec, ResourceRequest
+from repro.cluster.registry import ClusterState
+from repro.core.meta_server import MetaServer
+from repro.core.scheduler import QRIOScheduler
+from repro.core.visualizer import MetaServerPayload, TopologyCanvas
+from repro.qasm.exporter import dump_qasm
+from repro.service.api import EngineResult, ExecutionEngine, JobSpec, Placement
+from repro.transpiler.preset import transpile
+from repro.utils.exceptions import ServiceError
+from repro.utils.rng import SeedLike, derive_seed
+
+
+class OrchestratorEngine(ExecutionEngine):
+    """Run jobs through the full QRIO facade (the paper's one-at-a-time path)."""
+
+    def __init__(
+        self,
+        qrio=None,
+        *,
+        cluster_name: str = "service-cluster",
+        canary_shots: int = 512,
+        seed: SeedLike = None,
+    ) -> None:
+        self._qrio = qrio
+        self._cluster_name = cluster_name
+        self._canary_shots = canary_shots
+        self._seed = seed
+
+    @property
+    def name(self) -> str:
+        return "orchestrator"
+
+    @property
+    def qrio(self):
+        """The wrapped facade (available after :meth:`attach`)."""
+        if self._qrio is None:
+            raise ServiceError("OrchestratorEngine is not attached to a fleet yet")
+        return self._qrio
+
+    def attach(self, fleet: Sequence[Backend]) -> None:
+        if self._qrio is None:
+            from repro.core.orchestrator import QRIO
+
+            self._qrio = QRIO(
+                cluster_name=self._cluster_name,
+                canary_shots=self._canary_shots,
+                seed=self._seed,
+            )
+        registered = {backend.name for backend in self._qrio.devices()}
+        for backend in fleet:
+            if backend.name not in registered:
+                self._qrio.register_device(backend)
+
+    def fleet(self):
+        return self.qrio.devices()
+
+    def match(self, spec: JobSpec, job_name: str) -> Placement:
+        requirements = spec.requirements
+        form = (
+            self.qrio.new_submission_form()
+            .choose_circuit(spec.circuit)
+            .set_job_details(
+                job_name=job_name,
+                image_name=spec.image_name or f"qrio/{job_name}",
+                num_qubits=requirements.qubits_for(spec.circuit),
+                cpu_millicores=requirements.cpu_millicores,
+                memory_mb=requirements.memory_mb,
+                shots=spec.shots,
+            )
+            .set_device_characteristics(
+                max_avg_two_qubit_error=requirements.max_avg_two_qubit_error,
+                max_avg_readout_error=requirements.max_avg_readout_error,
+                min_avg_t1=requirements.min_avg_t1,
+                min_avg_t2=requirements.min_avg_t2,
+            )
+        )
+        if requirements.strategy == "topology":
+            canvas = TopologyCanvas(requirements.qubits_for(spec.circuit))
+            canvas.load_edges(list(requirements.topology_edges))
+            form.request_topology(canvas)
+        else:
+            form.request_fidelity(requirements.effective_fidelity_threshold)
+        self.qrio.submit_form(form)
+        outcome = self.qrio.schedule_job(job_name)
+        return Placement(
+            job_name=job_name,
+            spec=spec,
+            device=outcome.device,
+            score=outcome.score,
+            num_feasible=outcome.num_filtered,
+            detail={"scores": dict(outcome.scores)},
+        )
+
+    def run(self, placement: Placement) -> EngineResult:
+        outcome = self.qrio.run_job(placement.job_name)
+        if outcome.result is None:
+            raise ServiceError(f"Job '{placement.job_name}' produced no execution result")
+        # run_job saw an already-bound job (match() scheduled it), so its
+        # outcome carries no ranking data; graft the MATCHING stage's scores
+        # back on to keep the legacy JobOutcome shape intact.
+        outcome.scores = dict(placement.detail.get("scores", {}))
+        outcome.num_filtered = placement.num_feasible
+        return EngineResult(
+            device=outcome.device,
+            counts=dict(outcome.result.counts),
+            shots=outcome.result.shots,
+            score=outcome.score,
+            detail={"outcome": outcome},
+        )
+
+
+class ClusterEngine(ExecutionEngine):
+    """Run jobs straight through the k8s-style scheduling framework.
+
+    Compared with :class:`OrchestratorEngine` this skips the visualizer form
+    and the container/image machinery: cluster-level job specs are built
+    directly, the :class:`~repro.core.QRIOScheduler` (default QRIO filter
+    chain + meta-server ranking, optionally extended with extra filter
+    plugins) binds them, and the node executes the transpiled circuit.
+    """
+
+    def __init__(
+        self,
+        *,
+        cluster_name: str = "service-cluster-engine",
+        canary_shots: int = 512,
+        extra_filters: Optional[Sequence] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self._cluster_name = cluster_name
+        self._canary_shots = canary_shots
+        self._extra_filters = list(extra_filters) if extra_filters else None
+        self._seed = seed
+        self._cluster: Optional[ClusterState] = None
+        self._meta: Optional[MetaServer] = None
+        self._scheduler: Optional[QRIOScheduler] = None
+
+    @property
+    def name(self) -> str:
+        return "cluster"
+
+    @property
+    def cluster(self) -> ClusterState:
+        """The cluster registry (available after :meth:`attach`)."""
+        if self._cluster is None:
+            raise ServiceError("ClusterEngine is not attached to a fleet yet")
+        return self._cluster
+
+    def attach(self, fleet: Sequence[Backend]) -> None:
+        self._cluster = ClusterState(name=self._cluster_name)
+        self._meta = MetaServer(canary_shots=self._canary_shots, seed=derive_seed(self._seed, "service-meta"))
+        for backend in fleet:
+            self._cluster.register_backend(backend)
+            self._meta.register_backend(backend)
+        self._scheduler = QRIOScheduler(self._cluster, self._meta, extra_filters=self._extra_filters)
+
+    def fleet(self) -> List[Backend]:
+        return self.cluster.backends()
+
+    def match(self, spec: JobSpec, job_name: str) -> Placement:
+        requirements = spec.requirements
+        circuit_qasm = dump_qasm(spec.circuit)
+        cluster_spec = ClusterJobSpec(
+            name=job_name,
+            image=spec.image_name or f"service/{job_name}",
+            circuit_qasm=circuit_qasm,
+            resources=ResourceRequest(
+                qubits=requirements.qubits_for(spec.circuit),
+                cpu_millicores=requirements.cpu_millicores,
+                memory_mb=requirements.memory_mb,
+            ),
+            constraints=DeviceConstraints(
+                max_avg_two_qubit_error=requirements.max_avg_two_qubit_error,
+                max_avg_readout_error=requirements.max_avg_readout_error,
+                min_avg_t1=requirements.min_avg_t1,
+                min_avg_t2=requirements.min_avg_t2,
+            ),
+            strategy=requirements.strategy,
+            shots=spec.shots,
+        )
+        if requirements.strategy == "topology":
+            canvas = TopologyCanvas(requirements.qubits_for(spec.circuit))
+            canvas.load_edges(list(requirements.topology_edges))
+            payload = MetaServerPayload(
+                job_name=job_name,
+                strategy="topology",
+                topology_qasm=dump_qasm(canvas.to_topology_circuit(name=f"{job_name}_topology")),
+            )
+        else:
+            payload = MetaServerPayload(
+                job_name=job_name,
+                strategy="fidelity",
+                fidelity_threshold=requirements.effective_fidelity_threshold,
+                circuit_qasm=circuit_qasm,
+            )
+        self._meta.upload_job_metadata(payload)
+        job = self.cluster.submit_job(cluster_spec)
+        decision = self._scheduler.schedule(job)
+        return Placement(
+            job_name=job_name,
+            spec=spec,
+            device=None if decision.node_name is None else self.cluster.node(decision.node_name).backend.name,
+            score=decision.score,
+            num_feasible=decision.filter_report.num_feasible,
+            detail={"scores": dict(decision.scores)},
+        )
+
+    def run(self, placement: Placement) -> EngineResult:
+        job = self.cluster.job(placement.job_name)
+        node = self.cluster.node(job.node_name)
+        job.mark_running()
+        circuit = placement.spec.circuit
+        if not circuit.has_measurements():
+            circuit = circuit.copy()
+            circuit.measure_all()
+        try:
+            compiled = transpile(
+                circuit,
+                node.backend,
+                seed=derive_seed(self._seed, "service-transpile", placement.job_name, node.backend.name),
+            )
+            result = node.execute(
+                compiled.circuit,
+                shots=placement.spec.shots,
+                seed=derive_seed(self._seed, "service-execute", placement.job_name, node.backend.name),
+            )
+        except Exception as error:
+            job.mark_failed(str(error))
+            self.cluster.release(placement.job_name)
+            raise
+        job.mark_succeeded(result)
+        self.cluster.release(placement.job_name)
+        return EngineResult(
+            device=node.backend.name,
+            counts=dict(result.counts),
+            shots=result.shots,
+            score=job.score,
+            detail={"swaps_inserted": compiled.swaps_inserted},
+        )
+
+
+def _within_device_bounds(backend: Backend, requirements) -> bool:
+    """Whether a device satisfies the spec's device-characteristic bounds.
+
+    Mirrors :class:`~repro.core.scheduler.DeviceCharacteristicsFilter` so a
+    spec that is infeasible on the orchestrator/cluster engines is equally
+    infeasible here — the unified-API contract.
+    """
+    properties = backend.properties
+    if (
+        requirements.max_avg_two_qubit_error is not None
+        and properties.average_two_qubit_error() > requirements.max_avg_two_qubit_error
+    ):
+        return False
+    if (
+        requirements.max_avg_readout_error is not None
+        and properties.average_readout_error() > requirements.max_avg_readout_error
+    ):
+        return False
+    if requirements.min_avg_t1 is not None and properties.average_t1() < requirements.min_avg_t1:
+        return False
+    if requirements.min_avg_t2 is not None and properties.average_t2() < requirements.min_avg_t2:
+        return False
+    return True
+
+
+class CloudEngine(ExecutionEngine):
+    """Run jobs as arrivals of the discrete-event cloud simulation.
+
+    Each submission becomes one :class:`~repro.cloud.JobRequest` arriving
+    ``inter_arrival_s`` after the previous one; an allocation policy routes
+    it at arrival time onto a per-device FCFS queue, restricted to the
+    devices that satisfy the spec's qubit request and device-characteristic
+    bounds.  The engine reports the simulated fidelity (per the config's
+    ``fidelity_report`` mode) together with queueing detail (wait and
+    turnaround times) instead of measurement counts — this is the
+    latency-model engine, not a sampling engine.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[AllocationPolicy] = None,
+        config: Optional[CloudSimulationConfig] = None,
+        *,
+        inter_arrival_s: float = 1.0,
+        user: str = "service",
+    ) -> None:
+        if inter_arrival_s < 0:
+            raise ServiceError("inter_arrival_s must be non-negative")
+        self._policy = policy
+        self._config = config
+        self._inter_arrival_s = inter_arrival_s
+        self._user = user
+        self._fleet: List[Backend] = []
+        self._session: Optional[CloudSession] = None
+        self._clock = 0.0
+        self._index = 0
+
+    @property
+    def name(self) -> str:
+        return "cloud"
+
+    @property
+    def session(self) -> CloudSession:
+        """The underlying incremental simulation session."""
+        if self._session is None:
+            raise ServiceError("CloudEngine is not attached to a fleet yet")
+        return self._session
+
+    def attach(self, fleet: Sequence[Backend]) -> None:
+        self._fleet = list(fleet)
+        simulator = CloudSimulator(
+            self._fleet,
+            self._policy if self._policy is not None else LeastLoadedPolicy(),
+            config=self._config,
+        )
+        self._session = simulator.open_session()
+
+    def fleet(self) -> List[Backend]:
+        return list(self._fleet)
+
+    def match(self, spec: JobSpec, job_name: str) -> Placement:
+        requirements = spec.requirements
+        request = JobRequest(
+            index=self._index,
+            arrival_time=self._clock,
+            workload_key=job_name,
+            circuit=spec.circuit,
+            strategy=requirements.strategy,
+            fidelity_threshold=(
+                requirements.effective_fidelity_threshold if requirements.strategy == "fidelity" else 0.0
+            ),
+            shots=spec.shots,
+            user=self._user,
+        )
+        self._index += 1
+        self._clock += self._inter_arrival_s
+        required_qubits = requirements.qubits_for(spec.circuit)
+        feasible = [
+            backend
+            for backend in self._fleet
+            if backend.num_qubits >= required_qubits and _within_device_bounds(backend, requirements)
+        ]
+        if not feasible:
+            return Placement(job_name=job_name, spec=spec, device=None, num_feasible=0)
+        device = self.session.route(request, candidates=[backend.name for backend in feasible])
+        return Placement(
+            job_name=job_name,
+            spec=spec,
+            device=device,
+            num_feasible=len(feasible),
+            detail={"request": request},
+        )
+
+    def run(self, placement: Placement) -> EngineResult:
+        request = placement.detail["request"]
+        record = self.session.execute(request, placement.device)
+        return EngineResult(
+            device=record.device,
+            counts={},
+            shots=placement.spec.shots,
+            fidelity=record.fidelity,
+            detail={
+                "wait_time_s": record.wait_time,
+                "turnaround_time_s": record.turnaround_time,
+            },
+        )
+
+    def simulation_result(self) -> CloudSimulationResult:
+        """Everything executed so far as a cloud-simulation result."""
+        return self.session.result()

@@ -1,0 +1,156 @@
+"""The user's view of one submitted service job.
+
+A :class:`JobHandle` is returned immediately by
+:meth:`~repro.service.QRIOService.submit`; the job itself executes when the
+service processes its queue.  The handle exposes the explicit lifecycle
+(``QUEUED → MATCHING → RUNNING → DONE/FAILED``) through :meth:`status` and
+:meth:`events`, and :meth:`result` either drives processing to completion
+(``wait=True``, the default — the in-process analogue of blocking on a
+future) or raises :class:`~repro.utils.exceptions.JobNotCompletedError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.service.api import (
+    ALLOWED_TRANSITIONS,
+    JobEvent,
+    JobSpec,
+    JobState,
+    JobStatus,
+    ServiceResult,
+)
+from repro.utils.exceptions import JobFailedError, JobNotCompletedError, ServiceError
+
+
+class JobHandle:
+    """Handle to one service job; created by the service, never directly."""
+
+    def __init__(self, name: str, spec: JobSpec, service: "QRIOService") -> None:
+        self._name = name
+        self._spec = spec
+        self._service = service
+        self._state = JobState.QUEUED
+        self._events: List[JobEvent] = []
+        self._device: Optional[str] = None
+        self._score: Optional[float] = None
+        self._error: Optional[str] = None
+        self._exception: Optional[BaseException] = None
+        self._detail: Dict[str, object] = {}
+        self._result: Optional[ServiceResult] = None
+        self._record(JobState.QUEUED, "submission accepted")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Service-assigned unique job name."""
+        return self._name
+
+    @property
+    def spec(self) -> JobSpec:
+        """The submission this handle tracks."""
+        return self._spec
+
+    @property
+    def state(self) -> JobState:
+        """Current lifecycle state."""
+        return self._state
+
+    @property
+    def done(self) -> bool:
+        """``True`` when the job completed successfully."""
+        return self._state == JobState.DONE
+
+    @property
+    def failed(self) -> bool:
+        """``True`` when the job failed (including "no feasible device")."""
+        return self._state == JobState.FAILED
+
+    @property
+    def finished(self) -> bool:
+        """``True`` once the job reached a terminal state."""
+        return self._state.terminal
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The engine exception behind a failure (``None`` for clean failures
+        such as "no feasible device")."""
+        return self._exception
+
+    # ------------------------------------------------------------------ #
+    def status(self) -> JobStatus:
+        """Point-in-time lifecycle snapshot."""
+        return JobStatus(
+            name=self._name,
+            state=self._state,
+            engine=self._service.engine.name,
+            device=self._device,
+            score=self._score,
+            message=self._events[-1].message if self._events else "",
+            error=self._error,
+            detail=dict(self._detail),
+        )
+
+    def events(self) -> List[JobEvent]:
+        """Every lifecycle transition so far, in order."""
+        return list(self._events)
+
+    def result(self, wait: bool = True) -> ServiceResult:
+        """The job's outcome.
+
+        With ``wait=True`` (default) a still-pending job is processed
+        synchronously first.  Raises
+        :class:`~repro.utils.exceptions.JobNotCompletedError` when the job
+        has not finished and ``wait=False``, and
+        :class:`~repro.utils.exceptions.JobFailedError` when it failed.
+        """
+        if not self.finished:
+            if not wait:
+                raise JobNotCompletedError(
+                    f"Job '{self._name}' is still {self._state.value}; "
+                    "pass wait=True (or call QRIOService.process) to drive it to completion"
+                )
+            self._service.process(self)
+        if self.failed:
+            raise JobFailedError(f"Job '{self._name}' failed: {self._error}")
+        if self._result is None:
+            raise ServiceError(f"Job '{self._name}' is {self._state.value} but has no result recorded")
+        return self._result
+
+    def wait(self) -> JobStatus:
+        """Drive the job to completion (without raising on failure)."""
+        if not self.finished:
+            self._service.process(self)
+        return self.status()
+
+    # ------------------------------------------------------------------ #
+    # Service-side mutation (package-private by convention)
+    # ------------------------------------------------------------------ #
+    def _transition(self, state: JobState, message: str) -> None:
+        if state not in ALLOWED_TRANSITIONS[self._state]:
+            raise ServiceError(
+                f"Job '{self._name}' cannot move {self._state.value} -> {state.value}"
+            )
+        self._state = state
+        self._record(state, message)
+
+    def _record(self, state: JobState, message: str) -> None:
+        self._events.append(JobEvent(sequence=len(self._events), state=state, message=message))
+
+    def _set_placement(self, device: Optional[str], score: Optional[float], detail: Dict[str, object]) -> None:
+        self._device = device
+        self._score = score
+        self._detail.update(detail)
+
+    def _complete(self, result: ServiceResult) -> None:
+        self._transition(JobState.DONE, f"finished on '{result.device}'")
+        self._result = result
+
+    def _fail(self, reason: str, exception: Optional[BaseException] = None) -> None:
+        self._error = reason
+        self._exception = exception
+        self._transition(JobState.FAILED, reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JobHandle(name={self._name!r}, state={self._state.value!r})"

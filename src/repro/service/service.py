@@ -1,0 +1,312 @@
+"""The unified QRIO job service: one submission API over every engine.
+
+:class:`QRIOService` owns a device fleet plus one pluggable
+:class:`~repro.service.ExecutionEngine` and exposes the production-shaped
+front door the three historical entry points (the ``QRIO`` facade, the cloud
+simulator's trace runner and the cluster scheduling framework) lacked:
+
+* ``submit(circuit, requirements, shots=...)`` returns a
+  :class:`~repro.service.JobHandle` with an explicit lifecycle
+  (``QUEUED → MATCHING → RUNNING → DONE/FAILED``);
+* ``submit_batch(...)`` groups structurally-identical submissions (via
+  :func:`repro.core.cache.structural_circuit_hash`) so a batch of N repeats
+  pays **one** embedding search, **one** canary distribution and **one**
+  batched-engine execution, sharing the result across all N handles;
+* ``process()`` drains the queue through the engine; ``JobHandle.result()``
+  drives it lazily.
+
+The service is deliberately synchronous and in-process — the lifecycle is a
+real state machine, not a thread pool — which keeps every engine
+deterministic under a seed while still exercising the exact API shape a
+networked deployment would expose.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.backends.backend import Backend
+from repro.circuits.circuit import QuantumCircuit
+from repro.service.api import (
+    EngineResult,
+    ExecutionEngine,
+    JobRequirements,
+    JobSpec,
+    JobState,
+    Placement,
+    ServiceResult,
+)
+from repro.service.engines import OrchestratorEngine
+from repro.service.handle import JobHandle
+from repro.utils.exceptions import ReproError, ServiceError
+from repro.utils.rng import SeedLike
+
+#: What ``submit``'s ``requirements`` argument accepts: the typed dataclass,
+#: a bare fidelity threshold, or ``None`` (= fidelity 1.0).
+RequirementsLike = Union[JobRequirements, float, int, None]
+
+
+def _coerce_requirements(requirements: RequirementsLike) -> JobRequirements:
+    if requirements is None:
+        return JobRequirements()
+    if isinstance(requirements, JobRequirements):
+        return requirements
+    if isinstance(requirements, (int, float)) and not isinstance(requirements, bool):
+        return JobRequirements(fidelity_threshold=float(requirements))
+    raise ServiceError(
+        f"requirements must be a JobRequirements, a fidelity threshold or None, "
+        f"not {type(requirements).__name__}"
+    )
+
+
+@dataclass
+class _JobGroup:
+    """Pending unit of work: one representative spec, N handles sharing it."""
+
+    spec: JobSpec
+    handles: List[JobHandle] = field(default_factory=list)
+    processed: bool = False
+
+    @property
+    def leader(self) -> JobHandle:
+        return self.handles[0]
+
+
+class QRIOService:
+    """Fleet + engine + job queue: the one front door for QRIO jobs."""
+
+    def __init__(
+        self,
+        fleet: Sequence[Backend],
+        engine: Optional[ExecutionEngine] = None,
+        *,
+        seed: SeedLike = None,
+    ) -> None:
+        if engine is not None and seed is not None:
+            raise ServiceError(
+                "seed only configures the default engine; pass the seed to your "
+                "ExecutionEngine instead (e.g. OrchestratorEngine(seed=...))"
+            )
+        self._engine = engine if engine is not None else OrchestratorEngine(seed=seed)
+        self._engine.attach(list(fleet))
+        self._handles: Dict[str, JobHandle] = {}
+        self._group_of: Dict[str, _JobGroup] = {}
+        self._pending: Deque[_JobGroup] = deque()
+        self._names = itertools.count(1)
+        self._counters = {
+            "submitted": 0,
+            "groups_executed": 0,
+            "jobs_succeeded": 0,
+            "jobs_failed": 0,
+            "jobs_deduplicated": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The execution engine jobs run on."""
+        return self._engine
+
+    @property
+    def fleet(self) -> List[Backend]:
+        """The devices this service schedules onto (live view via the engine)."""
+        return self._engine.fleet()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        circuit: QuantumCircuit,
+        requirements: RequirementsLike = None,
+        *,
+        shots: int = 1024,
+        name: Optional[str] = None,
+    ) -> JobHandle:
+        """Queue one job; returns its handle immediately (state QUEUED)."""
+        spec = JobSpec(
+            circuit=circuit,
+            requirements=_coerce_requirements(requirements),
+            shots=shots,
+            name=name,
+        )
+        return self.submit_specs([spec])[0]
+
+    def submit_batch(
+        self,
+        circuits: Iterable[QuantumCircuit],
+        requirements: RequirementsLike = None,
+        *,
+        shots: int = 1024,
+    ) -> List[JobHandle]:
+        """Queue many jobs at once, deduplicating structurally-identical ones.
+
+        Handles come back in input order; submissions whose circuit
+        structure, requirements and shot budget coincide are grouped so the
+        engine matches and executes each distinct group exactly once.
+        """
+        coerced = _coerce_requirements(requirements)
+        specs = [JobSpec(circuit=circuit, requirements=coerced, shots=shots) for circuit in circuits]
+        return self.submit_specs(specs)
+
+    def submit_specs(self, specs: Sequence[JobSpec]) -> List[JobHandle]:
+        """Queue pre-built specs (the core submission path).
+
+        Atomic: every name is validated before any spec is queued, so a
+        rejected batch leaves the service untouched.
+        """
+        names: List[str] = []
+        for spec in specs:
+            if spec.name is None:
+                # Skip generated names a user already claimed explicitly.
+                name = f"svc-{next(self._names):04d}"
+                while name in self._handles or name in names:
+                    name = f"svc-{next(self._names):04d}"
+            else:
+                name = spec.name
+                if name in self._handles or name in names:
+                    raise ServiceError(f"A job named '{name}' was already submitted to this service")
+            names.append(name)
+        handles: List[JobHandle] = []
+        groups: Dict[Tuple, _JobGroup] = {}
+        for name, spec in zip(names, specs):
+            handle = JobHandle(name=name, spec=spec, service=self)
+            key = spec.dedup_key()
+            group = groups.get(key)
+            if group is None:
+                group = _JobGroup(spec=spec)
+                groups[key] = group
+                self._pending.append(group)
+            group.handles.append(handle)
+            self._handles[name] = handle
+            self._group_of[name] = group
+            self._counters["submitted"] += 1
+            handles.append(handle)
+        return handles
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def job(self, name: str) -> JobHandle:
+        """Look up a handle by job name."""
+        if name not in self._handles:
+            raise ServiceError(f"Unknown service job '{name}'")
+        return self._handles[name]
+
+    def jobs(self, state: Optional[JobState] = None) -> List[JobHandle]:
+        """Every handle, optionally filtered by lifecycle state."""
+        handles = list(self._handles.values())
+        if state is None:
+            return handles
+        return [handle for handle in handles if handle.state == state]
+
+    def stats(self) -> Dict[str, object]:
+        """Service-level counters (used by tests and the benchmark report)."""
+        return {
+            "engine": self._engine.name,
+            "pending_groups": len(self._pending),
+            **self._counters,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Processing
+    # ------------------------------------------------------------------ #
+    def process(self, handle: Optional[JobHandle] = None) -> None:
+        """Drain the queue through the engine, FIFO by group.
+
+        With ``handle`` given, processing stops as soon as that handle's
+        group has run (earlier groups still run first — submission order is
+        part of the API contract).  Without it, everything pending runs.
+        """
+        if handle is not None:
+            target = self._group_of.get(handle.name)
+            if target is None:
+                raise ServiceError(f"Job '{handle.name}' does not belong to this service")
+            if target.processed:
+                return
+        while self._pending:
+            group = self._pending.popleft()
+            self._execute_group(group)
+            if handle is not None and group is self._group_of[handle.name]:
+                return
+
+    def process_all(self) -> List[JobHandle]:
+        """Process everything pending; returns all handles for convenience."""
+        self.process()
+        return self.jobs()
+
+    # ------------------------------------------------------------------ #
+    def _execute_group(self, group: _JobGroup) -> None:
+        group.processed = True
+        size = len(group.handles)
+        spec = group.spec
+        leader = group.leader
+        dedup_note = f" (group of {size} structurally-identical jobs)" if size > 1 else ""
+        for handle in group.handles:
+            handle._transition(
+                JobState.MATCHING,
+                f"matching via '{self._engine.name}' engine{dedup_note}",
+            )
+        try:
+            placement = self._engine.match(spec, leader.name)
+        except ReproError as error:
+            self._fail_group(group, f"matching failed: {error}", error)
+            return
+        except Exception as error:
+            # Engine bugs still terminate the lifecycle before propagating,
+            # so no handle is ever stuck in a non-terminal state.
+            self._fail_group(group, f"matching crashed: {error}", error)
+            raise
+        if placement.device is None:
+            for handle in group.handles:
+                handle._set_placement(None, None, {"num_feasible": placement.num_feasible, **placement.detail})
+            self._fail_group(
+                group,
+                f"no feasible device ({placement.num_feasible} of {len(self._engine.fleet())} passed filtering)",
+            )
+            return
+        placement_detail = {"num_feasible": placement.num_feasible, **placement.detail}
+        for handle in group.handles:
+            handle._set_placement(placement.device, placement.score, dict(placement_detail))
+            handle._transition(JobState.RUNNING, f"executing on '{placement.device}'")
+        try:
+            outcome = self._engine.run(placement)
+        except ReproError as error:
+            self._fail_group(group, f"execution failed: {error}", error)
+            return
+        except Exception as error:
+            self._fail_group(group, f"execution crashed: {error}", error)
+            raise
+        self._complete_group(group, placement, outcome)
+
+    def _fail_group(
+        self, group: _JobGroup, reason: str, exception: Optional[BaseException] = None
+    ) -> None:
+        for handle in group.handles:
+            handle._fail(reason, exception)
+        self._counters["jobs_failed"] += len(group.handles)
+
+    def _complete_group(self, group: _JobGroup, placement: Placement, outcome: EngineResult) -> None:
+        size = len(group.handles)
+        for handle in group.handles:
+            handle._complete(
+                ServiceResult(
+                    job_name=handle.name,
+                    engine=self._engine.name,
+                    device=outcome.device,
+                    counts=dict(outcome.counts),
+                    shots=outcome.shots,
+                    score=outcome.score,
+                    fidelity=outcome.fidelity,
+                    num_feasible=placement.num_feasible,
+                    group_size=size,
+                    deduplicated=handle is not group.leader,
+                    detail=dict(outcome.detail),
+                )
+            )
+        self._counters["groups_executed"] += 1
+        self._counters["jobs_succeeded"] += size
+        self._counters["jobs_deduplicated"] += size - 1

@@ -62,6 +62,27 @@ class SchedulingError(ClusterError):
     """Raised when a job cannot be scheduled onto any node."""
 
 
+class CloudError(ClusterError):
+    """Raised by the quantum-cloud simulation substrate (``repro.cloud``).
+
+    Subclasses :class:`ClusterError` for backwards compatibility: the cloud
+    modules historically raised ``ClusterError`` for their own configuration
+    validation, so existing ``except ClusterError`` handlers keep working.
+    """
+
+
+class ServiceError(ReproError):
+    """Raised by the unified job-service layer (``repro.service``)."""
+
+
+class JobNotCompletedError(ServiceError):
+    """Raised when a job's result is requested before the job has finished."""
+
+
+class JobFailedError(ServiceError):
+    """Raised when the result of a failed service job is requested."""
+
+
 class NoFeasibleNodeError(SchedulingError):
     """Raised when filtering leaves zero nodes for a job.
 
