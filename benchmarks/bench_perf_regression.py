@@ -20,7 +20,13 @@ import os
 import pytest
 
 import run_benchmarks
-from run_benchmarks import bench_matching, bench_scheduler, bench_service, bench_stabilizer
+from run_benchmarks import (
+    bench_concurrency,
+    bench_matching,
+    bench_scheduler,
+    bench_service,
+    bench_stabilizer,
+)
 from conftest import write_bench_json
 
 
@@ -66,6 +72,16 @@ def test_service_batch_speedup(perf_scale):
     write_bench_json("BENCH_service.json", {"scale": perf_scale, **payload})
 
 
+def test_concurrent_runtime_speedup(perf_scale):
+    """workers=4 over a 4-device fleet must beat serial execution by >= 2x."""
+    payload = bench_concurrency(perf_scale, concurrency_floor=2.0)
+    assert payload["speedup"] >= 2.0
+    assert payload["devices"] == 4 and payload["workers"] == 4
+    # The lanes spread the round-robin stream over the whole fleet.
+    assert len(payload["jobs_per_device"]) == 4
+    write_bench_json("BENCH_concurrency.json", {"scale": perf_scale, **payload})
+
+
 def test_run_benchmarks_smoke_entry_point(tmp_path, monkeypatch):
     """The CI entry point succeeds end-to-end and emits every artefact."""
     monkeypatch.setenv("QRIO_BENCH_DIR", str(tmp_path))
@@ -73,3 +89,4 @@ def test_run_benchmarks_smoke_entry_point(tmp_path, monkeypatch):
     assert (tmp_path / "BENCH_stabilizer.json").exists()
     assert (tmp_path / "BENCH_matching.json").exists()
     assert (tmp_path / "BENCH_service.json").exists()
+    assert (tmp_path / "BENCH_concurrency.json").exists()

@@ -15,7 +15,12 @@ against:
 * ``BENCH_service.json`` — throughput of the unified service layer: a
   ``submit_batch`` of structurally-identical jobs (one embedding search, one
   canary distribution, one execution for the whole group) vs submitting the
-  same jobs one at a time.
+  same jobs one at a time;
+* ``BENCH_concurrency.json`` — multi-device throughput of the concurrent
+  service runtime: the same job stream over a 4-device fleet (each job
+  occupying its device for a fixed wall-clock latency, via
+  ``DeviceLatencyEngine``) executed by ``workers=4`` per-device lanes vs the
+  synchronous ``workers=0`` path.
 
 The script **fails loudly** (non-zero exit) when:
 
@@ -26,6 +31,9 @@ The script **fails loudly** (non-zero exit) when:
   faster than the uncached one;
 * batch submission through the service is less than ``--service-floor``
   (default 5x) faster than one-at-a-time submission;
+* the concurrent runtime is less than ``--concurrency-floor`` (default 2x)
+  faster than serial execution on the 4-device fleet, or schedules jobs onto
+  different devices than the serial run;
 * batched and scalar counts distributions disagree (Hellinger sanity check).
 
 Usage::
@@ -71,10 +79,15 @@ from repro.simulators import (  # noqa: E402
 #: run; shots/sec extrapolates fairly because scalar cost is linear in shots.
 _SCALES: Dict[str, Dict[str, int]] = {
     "smoke": {"scalar_shots": 32, "batched_shots": 1024, "repeats": 1, "match_rounds": 4, "jobs": 18,
-              "service_jobs": 32},
+              "service_jobs": 32, "concurrent_jobs": 16},
     "default": {"scalar_shots": 128, "batched_shots": 1024, "repeats": 3, "match_rounds": 8, "jobs": 30,
-                "service_jobs": 32},
+                "service_jobs": 32, "concurrent_jobs": 24},
 }
+
+#: Concurrency workload: 4 devices, 4 workers, fixed per-job device occupancy.
+_CONCURRENCY_DEVICES = 4
+_CONCURRENCY_WORKERS = 4
+_CONCURRENCY_LATENCY_S = 0.04
 
 #: The acceptance workload: a 20-qubit, 1024-shot Clifford canary.
 _CANARY_QUBITS = 20
@@ -325,23 +338,100 @@ def bench_service(scale: str, service_floor: float) -> Dict[str, object]:
 
 
 # --------------------------------------------------------------------------- #
+# Concurrent runtime throughput (worker pool + per-device lanes)
+# --------------------------------------------------------------------------- #
+def bench_concurrency(scale: str, concurrency_floor: float) -> Dict[str, object]:
+    """Concurrent vs serial multi-device throughput of the service runtime.
+
+    The workload is a stream of distinct jobs spread round-robin over a
+    4-device fleet, with each execution occupying its device for a fixed
+    wall-clock latency (``DeviceLatencyEngine`` — the regime a real cloud
+    deployment lives in, where the service waits on device I/O, not on
+    Python).  Serial execution pays every occupancy window back-to-back; the
+    ``workers=4`` runtime overlaps the windows of different devices through
+    its per-device lanes while still serializing same-device jobs.  Both runs
+    must route every job to the same device — concurrency must change *when*
+    jobs run, never *where*.
+    """
+    from repro.backends import generate_fleet
+    from repro.cloud.policies import RoundRobinPolicy
+    from repro.service import CloudEngine, DeviceLatencyEngine, QRIOService
+
+    jobs = _SCALES[scale]["concurrent_jobs"]
+    fleet = generate_fleet(limit=_CONCURRENCY_DEVICES, seed=11)
+
+    def run(workers: int):
+        clear_all_caches()
+        engine = DeviceLatencyEngine(
+            CloudEngine(
+                policy=RoundRobinPolicy(),
+                config=CloudSimulationConfig(fidelity_report="none", seed=11),
+            ),
+            latency_s=_CONCURRENCY_LATENCY_S,
+        )
+        service = QRIOService(fleet, engine, workers=workers)
+        # Distinct shot budgets keep the jobs structurally groupable but
+        # dedup-distinct, so every job is a real unit of runtime work.
+        handles = [service.submit(ghz(3), 0.5, shots=64 + index) for index in range(jobs)]
+        service.process()
+        assert all(handle.done for handle in handles)
+        devices = [record.device for record in engine.inner.simulation_result().records]
+        service.close()
+        return devices
+
+    serial_seconds, serial_devices = time_callable(lambda: run(0), repeats=1)
+    concurrent_seconds, concurrent_devices = time_callable(
+        lambda: run(_CONCURRENCY_WORKERS), repeats=1
+    )
+    if serial_devices != concurrent_devices:
+        raise BenchFailure(
+            "Concurrent runtime changed scheduling decisions: the worker pool must only "
+            "overlap execution, never re-route jobs"
+        )
+    speedup = serial_seconds / concurrent_seconds
+    if speedup < concurrency_floor:
+        raise BenchFailure(
+            f"Concurrent runtime speedup {speedup:.2f}x is below the {concurrency_floor:.1f}x floor"
+        )
+    per_device: Dict[str, int] = {}
+    for device in concurrent_devices:
+        per_device[device] = per_device.get(device, 0) + 1
+    return {
+        "jobs": jobs,
+        "devices": _CONCURRENCY_DEVICES,
+        "workers": _CONCURRENCY_WORKERS,
+        "device_latency_s": _CONCURRENCY_LATENCY_S,
+        "workload": "round-robin ghz(3) stream, per-job device occupancy via DeviceLatencyEngine",
+        "serial_seconds": serial_seconds,
+        "concurrent_seconds": concurrent_seconds,
+        "serial_jobs_per_second": jobs / serial_seconds,
+        "concurrent_jobs_per_second": jobs / concurrent_seconds,
+        "speedup": speedup,
+        "jobs_per_device": dict(sorted(per_device.items())),
+    }
+
+
+# --------------------------------------------------------------------------- #
 def run_all(
     scale: str,
     stabilizer_floor: float = 10.0,
     scheduler_floor: float = 2.0,
     service_floor: float = 5.0,
+    concurrency_floor: float = 2.0,
 ) -> Dict[str, Path]:
     """Run every measurement and write the BENCH artefacts; returns their paths."""
     stabilizer = bench_stabilizer(scale, stabilizer_floor)
     matching = bench_matching(scale)
     scheduler = bench_scheduler(scale, scheduler_floor)
     service = bench_service(scale, service_floor)
+    concurrency = bench_concurrency(scale, concurrency_floor)
     paths = {
         "stabilizer": write_bench_json("BENCH_stabilizer.json", {"scale": scale, **stabilizer}),
         "matching": write_bench_json(
             "BENCH_matching.json", {"scale": scale, "matching": matching, "scheduler": scheduler}
         ),
         "service": write_bench_json("BENCH_service.json", {"scale": scale, **service}),
+        "concurrency": write_bench_json("BENCH_concurrency.json", {"scale": scale, **concurrency}),
     }
     return paths
 
@@ -352,9 +442,17 @@ def main(argv=None) -> int:
     parser.add_argument("--stabilizer-floor", type=float, default=10.0, help="minimum batched speedup")
     parser.add_argument("--scheduler-floor", type=float, default=2.0, help="minimum cached-scheduler speedup")
     parser.add_argument("--service-floor", type=float, default=5.0, help="minimum service batch-vs-sequential speedup")
+    parser.add_argument("--concurrency-floor", type=float, default=2.0,
+                        help="minimum concurrent-vs-serial runtime speedup on the 4-device fleet")
     args = parser.parse_args(argv)
     try:
-        paths = run_all(args.scale, args.stabilizer_floor, args.scheduler_floor, args.service_floor)
+        paths = run_all(
+            args.scale,
+            args.stabilizer_floor,
+            args.scheduler_floor,
+            args.service_floor,
+            args.concurrency_floor,
+        )
     except BenchFailure as failure:
         print(f"PERF REGRESSION: {failure}", file=sys.stderr)
         return 1
@@ -372,10 +470,15 @@ def main(argv=None) -> int:
                 f"matching: warm {payload['matching']['speedup']:.1f}x over cold; "
                 f"scheduler: cached {payload['scheduler']['speedup']:.1f}x over uncached -> {path}"
             )
-        else:
+        elif name == "service":
             print(
                 f"service: batch {payload['speedup']:.1f}x over one-at-a-time "
                 f"({payload['jobs']} identical jobs, 1 scheduling pass) -> {path}"
+            )
+        else:
+            print(
+                f"concurrency: {payload['workers']} workers {payload['speedup']:.1f}x over serial "
+                f"({payload['jobs']} jobs, {payload['devices']} devices) -> {path}"
             )
     return 0
 

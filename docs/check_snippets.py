@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Fail on broken code blocks in the markdown documentation.
+
+Two checks per file, both run by the CI ``docs`` job:
+
+1. every fenced ```python block must at least *compile* (syntax check;
+   doctest-style ``>>>`` blocks are transcript excerpts, so they are
+   exempted here and exercised by check 2 instead);
+2. ``doctest.testfile`` runs every ``>>>`` example in the file against the
+   real library, comparing outputs exactly.
+
+Usage::
+
+    PYTHONPATH=src python docs/check_snippets.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _compile_fenced_blocks(path: Path) -> int:
+    """Syntax-check every non-doctest ```python block; returns failure count."""
+    failures = 0
+    for index, match in enumerate(_FENCE.finditer(path.read_text()), start=1):
+        source = match.group(1)
+        if source.lstrip().startswith(">>>"):
+            continue  # interactive transcript: doctest handles it
+        try:
+            compile(source, f"{path}#block{index}", "exec")
+        except SyntaxError as error:
+            print(f"FAIL {path} python block #{index}: {error}", file=sys.stderr)
+            failures += 1
+    return failures
+
+
+def _doctest_file(path: Path) -> int:
+    """Run the file's ``>>>`` examples; returns the number of failures."""
+    results = doctest.testfile(str(path.resolve()), module_relative=False)
+    if results.failed:
+        print(f"FAIL {path}: {results.failed}/{results.attempted} doctest(s) failed", file=sys.stderr)
+    return results.failed
+
+
+def main(argv=None) -> int:
+    paths = [Path(arg) for arg in (argv if argv is not None else sys.argv[1:])]
+    if not paths:
+        print("usage: check_snippets.py <markdown files>", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in paths:
+        file_failures = _compile_fenced_blocks(path) + _doctest_file(path)
+        failures += file_failures
+        if not file_failures:
+            print(f"ok {path}")
+    if failures:
+        print(f"{failures} broken documentation snippet(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

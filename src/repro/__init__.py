@@ -18,8 +18,10 @@ The package is organised in layers:
 * ``repro.service`` — the unified job service: one
   :class:`~repro.service.QRIOService` submission API with an explicit
   ``QUEUED → MATCHING → RUNNING → DONE/FAILED`` lifecycle, structural batch
-  deduplication, and one :class:`~repro.service.ExecutionEngine` protocol
-  adapting the orchestrator, cloud and cluster layers;
+  deduplication, one :class:`~repro.service.ExecutionEngine` protocol
+  adapting the orchestrator, cloud and cluster layers, and an optional
+  concurrent runtime (``workers=N``: priority scheduling, per-device lanes,
+  backpressure, futures-style handles);
 * ``repro.workloads`` / ``repro.experiments`` — the paper's evaluation
   workloads and the drivers regenerating every table and figure.
 """

@@ -13,7 +13,8 @@ The CLI exposes the pieces a new user typically wants without writing Python:
   generated fleet with either a fidelity or a topology requirement, routed
   through the unified job service (``--policy`` picks the execution engine:
   the QRIO orchestrator, the bare cluster framework or a cloud allocation
-  policy; ``--fidelity-report`` controls the cloud engine's fidelity mode);
+  policy; ``--fidelity-report`` controls the cloud engine's fidelity mode;
+  ``--workers N`` runs the job through the concurrent service runtime);
   the job's lifecycle transitions are printed as they are recorded.
 
 Every command accepts ``--seed`` and the experiment commands accept
@@ -168,7 +169,7 @@ def _service_for_submit(args: argparse.Namespace):
     if args.policy == "qrio":
         qrio = QRIO(cluster_name="cli-submit", canary_shots=args.shots, seed=args.seed)
         qrio.register_devices(fleet)
-        return qrio.service(), qrio
+        return qrio.service(workers=args.workers), qrio
     if args.policy == "cluster":
         engine = ClusterEngine(canary_shots=args.shots, seed=args.seed)
     else:
@@ -180,7 +181,7 @@ def _service_for_submit(args: argparse.Namespace):
                 seed=args.seed,
             ),
         )
-    return QRIOService(fleet, engine), None
+    return QRIOService(fleet, engine, workers=args.workers), None
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -201,10 +202,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             max_avg_two_qubit_error=args.max_two_qubit_error,
         )
     handle = service.submit(circuit, requirements, shots=args.shots, name="cli-submitted-job")
-    handle.wait()
-    print(f"Job lifecycle ({service.engine.name} engine):")
-    for event in handle.events():
+    mode = f"{service.workers} workers" if service.is_concurrent else "synchronous"
+    print(f"Job lifecycle ({service.engine.name} engine, {mode}):")
+    # follow=True streams transitions as the runtime records them; on a
+    # synchronous service it drives the job to completion first.
+    for event in handle.events(follow=True):
         print(f"  {event.state.value:<9s} {event.message}")
+    service.close()
     print()
     if qrio is not None:
         print(qrio.render_job("cli-submitted-job"))
@@ -279,6 +283,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="esp",
         dest="fidelity_report",
         help="how the cloud engine reports per-job fidelity (cloud policies only)",
+    )
+    submit.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker-pool size for the service runtime: 0 (default) executes synchronously "
+             "on this thread, N >= 1 dispatches through the concurrent runtime (priority "
+             "queue + per-device lanes) and streams lifecycle events as they happen",
     )
     submit.set_defaults(handler=_cmd_submit)
     return parser

@@ -11,6 +11,7 @@ submission time.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -265,6 +266,15 @@ class CloudSession:
     layer's job lifecycle: ``route`` is the MATCHING step (policy decision,
     feasibility check), ``execute`` the RUNNING step (queueing + fidelity
     reporting).  :meth:`submit` performs both.
+
+    Thread safety and logical time: the simulation runs on a logical clock,
+    so :meth:`route`/:meth:`execute` must be fed in arrival order — the
+    concurrent service runtime does both back-to-back inside its serialized
+    MATCHING stage precisely so that load-aware policies always observe the
+    queue state produced by every earlier arrival (identical to a serial
+    run).  The internal lock additionally guards the queues, records and
+    arrival clock against snapshot readers (:attr:`records`,
+    :meth:`result`) running on other threads mid-simulation.
     """
 
     def __init__(self, simulator: CloudSimulator) -> None:
@@ -277,11 +287,13 @@ class CloudSession:
         )
         self._records: List[JobRecord] = []
         self._last_arrival = 0.0
+        self._mutex = threading.Lock()
 
     @property
     def records(self) -> List[JobRecord]:
         """Records of every job executed so far, in arrival order."""
-        return list(self._records)
+        with self._mutex:
+            return list(self._records)
 
     def route(self, request: JobRequest, candidates: Optional[Sequence[str]] = None) -> str:
         """Pick the device for ``request`` (the policy's arrival-time decision).
@@ -291,11 +303,12 @@ class CloudSession:
         requirements the policies themselves do not know about); queues and
         the fidelity cache stay shared with the unrestricted context.
         """
-        if request.arrival_time < self._last_arrival:
-            raise CloudError(
-                f"Arrival '{request.name}' at t={request.arrival_time:.3f}s is earlier than the "
-                f"previous arrival (t={self._last_arrival:.3f}s); sessions need arrival order"
-            )
+        with self._mutex:
+            if request.arrival_time < self._last_arrival:
+                raise CloudError(
+                    f"Arrival '{request.name}' at t={request.arrival_time:.3f}s is earlier than the "
+                    f"previous arrival (t={self._last_arrival:.3f}s); sessions need arrival order"
+                )
         simulator = self._simulator
         context = self._context
         if candidates is not None:
@@ -317,18 +330,29 @@ class CloudSession:
                 f"Policy '{simulator.policy.name}' routed job '{request.name}' to "
                 f"'{device_name}', which is too small for it"
             )
+        # Only a *successful* routing advances the arrival clock — a failed
+        # route leaves the session exactly as it was.
+        with self._mutex:
+            self._last_arrival = max(self._last_arrival, request.arrival_time)
         return device_name
 
     def execute(self, request: JobRequest, device_name: str) -> JobRecord:
-        """Queue ``request`` on ``device_name`` and report its fidelity."""
+        """Queue ``request`` on ``device_name`` and report its fidelity.
+
+        The queue mutation, the fidelity computation (which shares the
+        simulator-level fidelity caches) and the record append happen under
+        the session lock, so concurrent snapshot readers never observe a
+        half-recorded job.
+        """
         simulator = self._simulator
         backend = self._context.device(device_name)
         service = simulator.config.time_model.service_time_s(request.circuit, backend, request.shots)
-        slot = self._queues[device_name].enqueue(request.name, request.arrival_time, service)
-        fidelity = simulator._job_fidelity(request, backend, self._context)
-        record = JobRecord(request=request, device=device_name, slot=slot, fidelity=fidelity)
-        self._records.append(record)
-        self._last_arrival = request.arrival_time
+        with self._mutex:
+            slot = self._queues[device_name].enqueue(request.name, request.arrival_time, service)
+            fidelity = simulator._job_fidelity(request, backend, self._context)
+            record = JobRecord(request=request, device=device_name, slot=slot, fidelity=fidelity)
+            self._records.append(record)
+            self._last_arrival = max(self._last_arrival, request.arrival_time)
         return record
 
     def submit(self, request: JobRequest) -> JobRecord:
@@ -336,10 +360,16 @@ class CloudSession:
         return self.execute(request, self.route(request))
 
     def result(self) -> CloudSimulationResult:
-        """Snapshot of everything submitted so far as a simulation result."""
+        """Snapshot of everything submitted so far as a simulation result.
+
+        Records are reported in arrival order even when a concurrent service
+        executed them out of order across device lanes.
+        """
+        with self._mutex:
+            records = sorted(self._records, key=lambda record: (record.request.arrival_time, record.request.index))
         return CloudSimulationResult(
             policy_name=self._simulator.policy.name,
-            records=list(self._records),
+            records=records,
             queues=self._queues,
         )
 

@@ -241,18 +241,44 @@ class QRIO:
     # ------------------------------------------------------------------ #
     # Unified service layer (repro.service)
     # ------------------------------------------------------------------ #
-    def service(self) -> "QRIOService":
+    def service(self, *, workers: int = 0, max_pending: Optional[int] = None) -> "QRIOService":
         """The unified job service bound to this orchestrator.
 
         Created lazily on first use (so the fleet can be registered first)
         and cached; its :class:`~repro.service.OrchestratorEngine` shares
         this facade's cluster, servers and scheduler, so vendor-side changes
         (new devices, recalibration, cordons) are visible to service jobs.
+
+        Args:
+            workers: Worker-pool size for the service created on the *first*
+                call: ``0`` (default) keeps the synchronous service, ``N >= 1``
+                attaches a concurrent :class:`~repro.service.ServiceRuntime`.
+                Note the orchestrator engine's execution path mutates this
+                facade's shared cluster, so its RUNNING stage is serialized
+                even with many workers — concurrency shows up in submission,
+                queueing and lifecycle, not in overlapped execution.
+            max_pending: Backpressure bound forwarded to the service (first
+                call only; needs ``workers >= 1``).
+
+        Returns:
+            The cached :class:`~repro.service.QRIOService`.
+
+        Raises:
+            ServiceError: A later call requested a different non-zero
+                ``workers`` than the service was created with.
         """
         from repro.service import OrchestratorEngine, QRIOService
+        from repro.utils.exceptions import ServiceError
 
         if self._service is None:
-            self._service = QRIOService(self.devices(), OrchestratorEngine(qrio=self))
+            self._service = QRIOService(
+                self.devices(), OrchestratorEngine(qrio=self), workers=workers, max_pending=max_pending
+            )
+        elif workers and self._service.workers != workers:
+            raise ServiceError(
+                f"This orchestrator's service already runs with workers={self._service.workers}; "
+                f"it cannot be reconfigured to workers={workers}"
+            )
         return self._service
 
     def submit(self, circuit, requirements=None, *, shots: int = 1024, name: Optional[str] = None):

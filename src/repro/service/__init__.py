@@ -8,12 +8,24 @@ behind one service:
 
 * :class:`QRIOService` — owns a fleet plus a pluggable execution engine,
   exposes ``submit``/``submit_batch`` with an explicit job lifecycle and
-  structural batch deduplication;
+  structural batch deduplication.  ``QRIOService(workers=0)`` (the default)
+  executes synchronously on the caller's thread; ``workers=N`` attaches a
+  :class:`ServiceRuntime` so submission and execution decouple;
+* :class:`ServiceRuntime` — the concurrent runtime: a bounded
+  ``ThreadPoolExecutor``, a priority queue ordered by
+  ``JobRequirements.priority``/``deadline_s``, per-device shard lanes
+  (different devices run concurrently, same-device jobs serialize) and
+  ``max_pending`` backpressure surfacing as
+  :class:`~repro.utils.exceptions.ServiceOverloadedError`;
 * :class:`JobHandle` — ``status()`` / ``result()`` / ``events()`` over the
-  ``QUEUED → MATCHING → RUNNING → DONE/FAILED`` state machine;
+  ``QUEUED → MATCHING → RUNNING → DONE/FAILED`` state machine, plus the
+  futures-style surface a concurrent service needs: ``wait(timeout=...)``,
+  ``done()``, ``add_done_callback`` and streaming ``events(follow=True)``;
 * :class:`ExecutionEngine` + :class:`OrchestratorEngine` /
-  :class:`ClusterEngine` / :class:`CloudEngine` — the one protocol and its
-  three adapters;
+  :class:`ClusterEngine` / :class:`CloudEngine` / :class:`DeviceLatencyEngine`
+  — the one protocol and its adapters (the latter decorates any engine with
+  wall-clock device occupancy, the workload ``BENCH_concurrency.json``
+  measures);
 * the shared request/response dataclasses (:class:`JobSpec`,
   :class:`JobRequirements`, :class:`JobStatus`, :class:`ServiceResult`, ...).
 """
@@ -30,14 +42,17 @@ from repro.service.api import (
     Placement,
     ServiceResult,
 )
-from repro.service.engines import CloudEngine, ClusterEngine, OrchestratorEngine
+from repro.service.engines import CloudEngine, ClusterEngine, DeviceLatencyEngine, OrchestratorEngine
 from repro.service.handle import JobHandle
+from repro.service.runtime import ServiceRuntime
 from repro.service.service import QRIOService, RequirementsLike
+from repro.utils.exceptions import ServiceOverloadedError
 
 __all__ = [
     "ALLOWED_TRANSITIONS",
     "CloudEngine",
     "ClusterEngine",
+    "DeviceLatencyEngine",
     "EngineResult",
     "ExecutionEngine",
     "JobEvent",
@@ -50,5 +65,7 @@ __all__ = [
     "Placement",
     "QRIOService",
     "RequirementsLike",
+    "ServiceOverloadedError",
     "ServiceResult",
+    "ServiceRuntime",
 ]

@@ -68,7 +68,10 @@ class JobRequirements:
     ranking strategy; leaving both unset defaults to a fidelity requirement
     of 1.0 (the paper's evaluation setting: "give me the best device").
     Device-characteristic bounds and classical resources mirror the
-    visualizer's step-2 form.
+    visualizer's step-2 form.  ``priority`` and ``deadline_s`` order the
+    concurrent runtime's dispatch queue (higher priority first, then earliest
+    deadline, then submission order); the synchronous ``workers=0`` service
+    ignores both and stays strictly FIFO.
     """
 
     fidelity_threshold: Optional[float] = None
@@ -81,10 +84,22 @@ class JobRequirements:
     memory_mb: int = 512
     #: Override of the qubit resource request; ``None`` uses the circuit width.
     num_qubits: Optional[int] = None
+    #: Scheduling priority of a concurrent service runtime: higher runs
+    #: earlier.  Ignored by the synchronous (``workers=0``) FIFO path.
+    priority: int = 0
+    #: Soft deadline in seconds since submission.  Among equal priorities the
+    #: runtime dispatches by earliest *absolute* due time (submission time +
+    #: ``deadline_s``); ``None`` sorts after every explicit deadline.  The
+    #: deadline orders the queue — it does not cancel late jobs.
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.num_qubits is not None:
             require_positive_int(self.num_qubits, "num_qubits")
+        if isinstance(self.priority, bool) or not isinstance(self.priority, int):
+            raise ServiceError("priority must be an integer (higher = dispatched earlier)")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ServiceError("deadline_s must be a positive number of seconds")
         if self.fidelity_threshold is not None and self.topology_edges is not None:
             raise ServiceError(
                 "Fidelity and topology requirements are mutually exclusive; pick one"
@@ -233,7 +248,22 @@ class ExecutionEngine(abc.ABC):
     The split into :meth:`match` and :meth:`run` is deliberate: it maps the
     MATCHING and RUNNING lifecycle states onto engine work, so every engine
     reports device selection and execution as separate, observable steps.
+
+    Concurrency contract (used by :class:`~repro.service.ServiceRuntime`):
+    :meth:`match` is always called by exactly one thread at a time (the
+    runtime's dispatcher serializes it), so engines may mutate shared
+    matching state freely.  :meth:`run`, however, is called from worker
+    threads — concurrently for jobs placed on *different* devices — whenever
+    :attr:`supports_concurrent_run` is ``True``.  Engines that cannot execute
+    concurrently keep the default ``False`` and the runtime serializes their
+    ``run`` calls under a global lock (jobs still overlap in queueing and
+    lifecycle, just not in execution).
     """
+
+    #: Whether :meth:`run` may be invoked concurrently from several worker
+    #: threads (for placements on different devices).  Engines whose execution
+    #: path mutates unguarded shared state must leave this ``False``.
+    supports_concurrent_run: bool = False
 
     @property
     def name(self) -> str:

@@ -1,4 +1,4 @@
-"""The three :class:`~repro.service.ExecutionEngine` adapters.
+"""The :class:`~repro.service.ExecutionEngine` adapters.
 
 Each adapter maps the engine protocol's MATCHING/RUNNING split onto one of
 the existing subsystems:
@@ -11,16 +11,31 @@ the existing subsystems:
   plugins, skipping the visualizer and container machinery;
 * :class:`CloudEngine` — the discrete-event cloud simulator via its
   incremental :class:`~repro.cloud.CloudSession`: each submission becomes an
-  arrival routed by an allocation policy onto per-device FCFS queues.
+  arrival routed by an allocation policy onto per-device FCFS queues;
+* :class:`DeviceLatencyEngine` — a decorator adding wall-clock device
+  occupancy around any inner engine's execution, so the concurrent runtime's
+  multi-device overlap is observable in real time (the
+  ``BENCH_concurrency.json`` workload).
 
-All three consume the same :class:`~repro.service.JobSpec` and produce the
+All adapters consume the same :class:`~repro.service.JobSpec` and produce the
 same :class:`~repro.service.Placement` / :class:`~repro.service.EngineResult`
 pair, which is what lets :class:`~repro.service.QRIOService` treat them
 interchangeably.
+
+Concurrency: ``match()`` is always serialized by the service (dispatcher
+thread or caller thread), so adapters may mutate shared matching state
+freely.  ``run()`` is only called concurrently when an engine sets
+``supports_concurrent_run = True`` — :class:`CloudEngine` does (its session
+is internally locked), :class:`OrchestratorEngine` and :class:`ClusterEngine`
+do not (their execution path mutates the shared cluster registry), and
+:class:`DeviceLatencyEngine` does by construction (the inner engine's run is
+re-serialized when it needs to be, only the latency overlaps).
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import List, Optional, Sequence
 
 from repro.backends.backend import Backend
@@ -304,7 +319,19 @@ class CloudEngine(ExecutionEngine):
     ``fidelity_report`` mode) together with queueing detail (wait and
     turnaround times) instead of measurement counts — this is the
     latency-model engine, not a sampling engine.
+
+    Because the simulation runs on a *logical* clock, all of its queueing
+    and fidelity bookkeeping is performed in arrival order during MATCHING
+    (which the service serializes) — ``route`` and ``execute`` happen
+    back-to-back per arrival, so load-aware policies always observe the
+    queue state every earlier arrival already produced, exactly as in a
+    ``workers=0`` or trace-driven run.  The RUNNING stage then just reports
+    the precomputed record, which makes it trivially safe to call
+    concurrently; wall-clock overlap comes from wrapping this engine in
+    :class:`DeviceLatencyEngine`.
     """
+
+    supports_concurrent_run = True
 
     def __init__(
         self,
@@ -373,17 +400,21 @@ class CloudEngine(ExecutionEngine):
         if not feasible:
             return Placement(job_name=job_name, spec=spec, device=None, num_feasible=0)
         device = self.session.route(request, candidates=[backend.name for backend in feasible])
+        # Simulated-time queueing + fidelity reporting happens here, in
+        # arrival order, so every later arrival's routing sees this job
+        # already enqueued (the discrete-event contract) no matter how the
+        # service interleaves the RUNNING stages.
+        record = self.session.execute(request, device)
         return Placement(
             job_name=job_name,
             spec=spec,
             device=device,
             num_feasible=len(feasible),
-            detail={"request": request},
+            detail={"request": request, "record": record},
         )
 
     def run(self, placement: Placement) -> EngineResult:
-        request = placement.detail["request"]
-        record = self.session.execute(request, placement.device)
+        record = placement.detail["record"]
         return EngineResult(
             device=record.device,
             counts={},
@@ -398,3 +429,75 @@ class CloudEngine(ExecutionEngine):
     def simulation_result(self) -> CloudSimulationResult:
         """Everything executed so far as a cloud-simulation result."""
         return self.session.result()
+
+
+class DeviceLatencyEngine(ExecutionEngine):
+    """Decorator engine: add wall-clock device occupancy to any inner engine.
+
+    Every simulator in this repo completes a job as fast as Python allows —
+    real quantum clouds do not: once a job is committed to a QPU, the device
+    is occupied for milliseconds-to-seconds of pulse schedules, readout and
+    classical I/O.  This wrapper makes that occupancy real by sleeping
+    ``latency_s`` after the inner engine's execution, which is exactly the
+    regime the concurrent runtime's per-device lanes are built for: with
+    ``workers >= 2`` the occupancy windows of jobs on *different* devices
+    overlap, while same-device jobs still serialize in their lane.
+    ``BENCH_concurrency.json`` measures precisely this overlap.
+
+    The inner engine's ``run`` is re-serialized under a lock when it does not
+    advertise ``supports_concurrent_run`` itself — only the latency window
+    (where a real deployment would be blocked on the device, not on Python)
+    runs outside the lock.
+    """
+
+    supports_concurrent_run = True
+
+    def __init__(self, inner: ExecutionEngine, *, latency_s: float = 0.05) -> None:
+        """Wrap ``inner``, occupying the placed device ``latency_s`` per job.
+
+        Args:
+            inner: Any execution engine; matching is delegated untouched.
+            latency_s: Wall-clock seconds of device occupancy per executed
+                job group (must be >= 0).
+
+        Raises:
+            ServiceError: Negative ``latency_s``.
+        """
+        if latency_s < 0:
+            raise ServiceError("latency_s must be >= 0")
+        self._inner = inner
+        self._latency_s = latency_s
+        self._run_lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return f"{self._inner.name}+latency"
+
+    @property
+    def inner(self) -> ExecutionEngine:
+        """The wrapped engine."""
+        return self._inner
+
+    @property
+    def latency_s(self) -> float:
+        """Per-job device occupancy in wall-clock seconds."""
+        return self._latency_s
+
+    def attach(self, fleet: Sequence[Backend]) -> None:
+        self._inner.attach(fleet)
+
+    def fleet(self) -> List[Backend]:
+        return self._inner.fleet()
+
+    def match(self, spec: JobSpec, job_name: str) -> Placement:
+        return self._inner.match(spec, job_name)
+
+    def run(self, placement: Placement) -> EngineResult:
+        if self._inner.supports_concurrent_run:
+            outcome = self._inner.run(placement)
+        else:
+            with self._run_lock:
+                outcome = self._inner.run(placement)
+        if self._latency_s:
+            time.sleep(self._latency_s)
+        return outcome

@@ -15,15 +15,32 @@ simulator's trace runner and the cluster scheduling framework) lacked:
 * ``process()`` drains the queue through the engine; ``JobHandle.result()``
   drives it lazily.
 
-The service is deliberately synchronous and in-process — the lifecycle is a
-real state machine, not a thread pool — which keeps every engine
-deterministic under a seed while still exercising the exact API shape a
-networked deployment would expose.
+Execution model — synchronous or concurrent
+-------------------------------------------
+With the default ``workers=0`` the service is deliberately synchronous and
+in-process: the lifecycle is a real state machine driven on the caller's
+thread, which keeps every engine deterministic under a seed while still
+exercising the exact API shape a networked deployment would expose.
+
+With ``workers=N`` (N ≥ 1) the service owns a
+:class:`~repro.service.ServiceRuntime`: submissions are admitted into a
+priority queue (ordered by ``JobRequirements.priority`` then ``deadline_s``
+then FIFO), a dispatcher thread runs the MATCHING stage serially, and the
+RUNNING stage executes on a bounded worker pool with **per-device shard
+lanes** — jobs placed on different devices run concurrently, jobs placed on
+the same device serialize.  ``max_pending`` bounds the queue and
+``submit(..., block=False)`` surfaces backpressure as a typed
+:class:`~repro.utils.exceptions.ServiceOverloadedError`.  Handles become
+futures: ``wait(timeout=...)``, ``done()``, ``add_done_callback`` and the
+streaming ``events(follow=True)`` iterator all work from any thread.  A
+concurrent service should be :meth:`close`\\ d (or used as a context manager)
+so the pool is released deterministically.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -41,6 +58,7 @@ from repro.service.api import (
 )
 from repro.service.engines import OrchestratorEngine
 from repro.service.handle import JobHandle
+from repro.service.runtime import ServiceRuntime
 from repro.utils.exceptions import ReproError, ServiceError
 from repro.utils.rng import SeedLike
 
@@ -74,6 +92,11 @@ class _JobGroup:
     def leader(self) -> JobHandle:
         return self.handles[0]
 
+    def drain_callbacks(self) -> None:
+        """Fire every handle's deferred done-callbacks (post-accounting)."""
+        for handle in self.handles:
+            handle._drain_callbacks()
+
 
 class QRIOService:
     """Fleet + engine + job queue: the one front door for QRIO jobs."""
@@ -84,16 +107,47 @@ class QRIOService:
         engine: Optional[ExecutionEngine] = None,
         *,
         seed: SeedLike = None,
+        workers: int = 0,
+        max_pending: Optional[int] = None,
     ) -> None:
+        """Bind a fleet to an engine, optionally with a concurrent runtime.
+
+        Args:
+            fleet: Devices this service schedules onto.
+            engine: Execution engine; defaults to a fresh
+                :class:`~repro.service.OrchestratorEngine`.
+            seed: Seed for the *default* engine only (mutually exclusive with
+                passing ``engine``).
+            workers: Size of the worker pool.  ``0`` (default) keeps the
+                fully synchronous caller-thread execution model; ``N >= 1``
+                builds a :class:`~repro.service.ServiceRuntime` with priority
+                dispatch and per-device shard lanes.
+            max_pending: Backpressure bound on queued-but-undispatched jobs;
+                only meaningful with ``workers >= 1``.
+
+        Raises:
+            ServiceError: ``seed`` combined with an explicit engine,
+                ``workers < 0``, or ``max_pending`` without workers.
+        """
         if engine is not None and seed is not None:
             raise ServiceError(
                 "seed only configures the default engine; pass the seed to your "
                 "ExecutionEngine instead (e.g. OrchestratorEngine(seed=...))"
             )
+        if workers < 0:
+            raise ServiceError("workers must be >= 0 (0 = synchronous, N = worker-pool size)")
+        if max_pending is not None and workers == 0:
+            raise ServiceError(
+                "max_pending only bounds the concurrent runtime's queue; pass workers >= 1"
+            )
         self._engine = engine if engine is not None else OrchestratorEngine(seed=seed)
         self._engine.attach(list(fleet))
         self._handles: Dict[str, JobHandle] = {}
         self._group_of: Dict[str, _JobGroup] = {}
+        #: Names claimed by submissions not yet admitted by the runtime
+        #: (reserved so concurrent submitters cannot reuse them, but not yet
+        #: published — observers never see a job the runtime may still reject).
+        self._reserved_names: set = set()
         self._pending: Deque[_JobGroup] = deque()
         self._names = itertools.count(1)
         self._counters = {
@@ -103,6 +157,12 @@ class QRIOService:
             "jobs_failed": 0,
             "jobs_deduplicated": 0,
         }
+        #: Guards the name counter, handle registry and counters; submissions
+        #: and worker-thread completions may touch them concurrently.
+        self._state_lock = threading.Lock()
+        self._runtime: Optional[ServiceRuntime] = None
+        if workers:
+            self._runtime = ServiceRuntime(self, workers=workers, max_pending=max_pending)
 
     # ------------------------------------------------------------------ #
     @property
@@ -115,6 +175,21 @@ class QRIOService:
         """The devices this service schedules onto (live view via the engine)."""
         return self._engine.fleet()
 
+    @property
+    def is_concurrent(self) -> bool:
+        """``True`` when a worker-pool runtime executes jobs (``workers >= 1``)."""
+        return self._runtime is not None
+
+    @property
+    def workers(self) -> int:
+        """Worker-pool size (``0`` for the synchronous service)."""
+        return self._runtime.workers if self._runtime is not None else 0
+
+    @property
+    def runtime(self) -> Optional[ServiceRuntime]:
+        """The concurrent runtime, or ``None`` for a synchronous service."""
+        return self._runtime
+
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
@@ -125,15 +200,38 @@ class QRIOService:
         *,
         shots: int = 1024,
         name: Optional[str] = None,
+        block: bool = True,
     ) -> JobHandle:
-        """Queue one job; returns its handle immediately (state QUEUED)."""
+        """Queue one job; returns its handle immediately (state QUEUED).
+
+        Args:
+            circuit: The circuit to schedule and execute.
+            requirements: A :class:`~repro.service.JobRequirements`, a bare
+                fidelity threshold, or ``None`` (= fidelity 1.0).
+            shots: Measurement shots for the execution.
+            name: Explicit job name (must be unique per service); ``None``
+                auto-assigns ``svc-NNNN``.
+            block: Backpressure mode of a concurrent service whose queue is
+                full: ``True`` (default) waits for capacity, ``False`` raises
+                immediately.  Ignored by a synchronous service (its queue is
+                unbounded).
+
+        Returns:
+            The job's :class:`~repro.service.JobHandle` (state QUEUED; on a
+            concurrent service the lifecycle advances in the background).
+
+        Raises:
+            ServiceError: Duplicate job name, or the service was closed.
+            ServiceOverloadedError: Concurrent service, queue full and
+                ``block=False``.
+        """
         spec = JobSpec(
             circuit=circuit,
             requirements=_coerce_requirements(requirements),
             shots=shots,
             name=name,
         )
-        return self.submit_specs([spec])[0]
+        return self.submit_specs([spec], block=block)[0]
 
     def submit_batch(
         self,
@@ -141,92 +239,187 @@ class QRIOService:
         requirements: RequirementsLike = None,
         *,
         shots: int = 1024,
+        block: bool = True,
     ) -> List[JobHandle]:
         """Queue many jobs at once, deduplicating structurally-identical ones.
 
         Handles come back in input order; submissions whose circuit
         structure, requirements and shot budget coincide are grouped so the
-        engine matches and executes each distinct group exactly once.
+        engine matches and executes each distinct group exactly once — on a
+        concurrent service the whole group is one unit of work for one
+        worker, and every handle of the group resolves together.
+
+        Args:
+            circuits: Circuits to submit (one job each).
+            requirements: Shared requirements (same coercion as :meth:`submit`).
+            shots: Shared shot budget.
+            block: Backpressure mode (see :meth:`submit`); the batch is
+                admitted atomically — all groups or none.
+
+        Returns:
+            One handle per input circuit, in input order.
+
+        Raises:
+            ServiceOverloadedError: Concurrent service and the batch exceeds
+                queue capacity (always, when larger than ``max_pending``;
+                otherwise only with ``block=False``).
         """
         coerced = _coerce_requirements(requirements)
         specs = [JobSpec(circuit=circuit, requirements=coerced, shots=shots) for circuit in circuits]
-        return self.submit_specs(specs)
+        return self.submit_specs(specs, block=block)
 
-    def submit_specs(self, specs: Sequence[JobSpec]) -> List[JobHandle]:
+    def submit_specs(self, specs: Sequence[JobSpec], *, block: bool = True) -> List[JobHandle]:
         """Queue pre-built specs (the core submission path).
 
-        Atomic: every name is validated before any spec is queued, so a
-        rejected batch leaves the service untouched.
+        Atomic: every name is validated (and, on a concurrent service, queue
+        capacity secured) before any spec is queued, so a rejected batch
+        leaves the service untouched.
+
+        Args:
+            specs: Fully-built job specs.
+            block: Backpressure mode (see :meth:`submit`).
+
+        Returns:
+            One handle per spec, in input order.
+
+        Raises:
+            ServiceError: A spec reuses an existing job name.
+            ServiceOverloadedError: See :meth:`submit_batch`.
         """
-        names: List[str] = []
-        for spec in specs:
-            if spec.name is None:
-                # Skip generated names a user already claimed explicitly.
-                name = f"svc-{next(self._names):04d}"
-                while name in self._handles or name in names:
-                    name = f"svc-{next(self._names):04d}"
-            else:
-                name = spec.name
-                if name in self._handles or name in names:
-                    raise ServiceError(f"A job named '{name}' was already submitted to this service")
-            names.append(name)
         handles: List[JobHandle] = []
         groups: Dict[Tuple, _JobGroup] = {}
-        for name, spec in zip(names, specs):
-            handle = JobHandle(name=name, spec=spec, service=self)
-            key = spec.dedup_key()
-            group = groups.get(key)
-            if group is None:
-                group = _JobGroup(spec=spec)
-                groups[key] = group
-                self._pending.append(group)
-            group.handles.append(handle)
+        ordered_groups: List[_JobGroup] = []
+        membership: List[Tuple[str, _JobGroup]] = []
+        # Name validation, handle construction and (for the synchronous path)
+        # registration share one critical section, so two concurrent
+        # submitters can never both claim the same job name.
+        with self._state_lock:
+            names: List[str] = []
+            taken = lambda name: name in self._handles or name in self._reserved_names  # noqa: E731
+            for spec in specs:
+                if spec.name is None:
+                    # Skip generated names a user already claimed explicitly.
+                    name = f"svc-{next(self._names):04d}"
+                    while taken(name) or name in names:
+                        name = f"svc-{next(self._names):04d}"
+                else:
+                    name = spec.name
+                    if taken(name) or name in names:
+                        raise ServiceError(f"A job named '{name}' was already submitted to this service")
+                names.append(name)
+            for name, spec in zip(names, specs):
+                handle = JobHandle(name=name, spec=spec, service=self)
+                key = spec.dedup_key()
+                group = groups.get(key)
+                if group is None:
+                    group = _JobGroup(spec=spec)
+                    groups[key] = group
+                    ordered_groups.append(group)
+                group.handles.append(handle)
+                membership.append((name, group))
+                handles.append(handle)
+            if self._runtime is None:
+                self._register_submission(membership, handles)
+                self._pending.extend(ordered_groups)
+                return handles
+            # Concurrent path: only *reserve* the names for now.  Handles are
+            # published after the runtime admits the batch, so observers never
+            # see a job that backpressure may still reject (and a parked
+            # block=True submission is invisible until it is really queued).
+            self._reserved_names.update(names)
+        try:
+            self._runtime.enqueue(ordered_groups, block=block)
+        except ReproError:
+            # Atomicity: a rejected batch leaves the service untouched.
+            with self._state_lock:
+                self._reserved_names.difference_update(names)
+            raise
+        with self._state_lock:
+            self._register_submission(membership, handles)
+            self._reserved_names.difference_update(names)
+        return handles
+
+    def _register_submission(
+        self, membership: List[Tuple[str, _JobGroup]], handles: List[JobHandle]
+    ) -> None:
+        """Publish admitted handles to the registry (caller holds the lock)."""
+        for (name, group), handle in zip(membership, handles):
             self._handles[name] = handle
             self._group_of[name] = group
-            self._counters["submitted"] += 1
-            handles.append(handle)
-        return handles
+        self._counters["submitted"] += len(handles)
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def job(self, name: str) -> JobHandle:
-        """Look up a handle by job name."""
-        if name not in self._handles:
-            raise ServiceError(f"Unknown service job '{name}'")
-        return self._handles[name]
+        """Look up a handle by job name.
+
+        Raises:
+            ServiceError: No job of that name was submitted here.
+        """
+        with self._state_lock:
+            if name not in self._handles:
+                raise ServiceError(f"Unknown service job '{name}'")
+            return self._handles[name]
 
     def jobs(self, state: Optional[JobState] = None) -> List[JobHandle]:
         """Every handle, optionally filtered by lifecycle state."""
-        handles = list(self._handles.values())
+        with self._state_lock:
+            handles = list(self._handles.values())
         if state is None:
             return handles
         return [handle for handle in handles if handle.state == state]
 
     def stats(self) -> Dict[str, object]:
-        """Service-level counters (used by tests and the benchmark report)."""
-        return {
-            "engine": self._engine.name,
-            "pending_groups": len(self._pending),
-            **self._counters,
-        }
+        """Service-level counters (used by tests and the benchmark report).
+
+        A concurrent service adds the runtime's occupancy counters
+        (``workers``, ``queued_jobs``, ``inflight_groups``, ``active_lanes``).
+        """
+        with self._state_lock:
+            counters = dict(self._counters)
+        if self._runtime is not None:
+            runtime = self._runtime.stats()
+            # Same semantics as the synchronous path: groups not yet dispatched.
+            return {
+                "engine": self._engine.name,
+                "pending_groups": runtime["queued_groups"],
+                **counters,
+                **runtime,
+            }
+        return {"engine": self._engine.name, "pending_groups": len(self._pending), **counters}
 
     # ------------------------------------------------------------------ #
     # Processing
     # ------------------------------------------------------------------ #
     def process(self, handle: Optional[JobHandle] = None) -> None:
-        """Drain the queue through the engine, FIFO by group.
+        """Drain the queue through the engine.
 
-        With ``handle`` given, processing stops as soon as that handle's
-        group has run (earlier groups still run first — submission order is
-        part of the API contract).  Without it, everything pending runs.
+        Synchronous service: groups run FIFO on the calling thread.  With
+        ``handle`` given, processing stops as soon as that handle's group has
+        run (earlier groups still run first — submission order is part of the
+        API contract).  Without it, everything pending runs.
+
+        Concurrent service: the workers are already executing; this blocks
+        until ``handle`` (or, without one, every admitted job) reaches a
+        terminal state — i.e. ``process()`` is the drain barrier.
+
+        Raises:
+            ServiceError: ``handle`` belongs to a different service.
         """
         if handle is not None:
-            target = self._group_of.get(handle.name)
+            with self._state_lock:
+                target = self._group_of.get(handle.name)
             if target is None:
                 raise ServiceError(f"Job '{handle.name}' does not belong to this service")
-            if target.processed:
-                return
+        if self._runtime is not None:
+            if handle is not None:
+                self._runtime.wait_handle(handle, timeout=None)
+            else:
+                self._runtime.drain()
+            return
+        if handle is not None and self._group_of[handle.name].processed:
+            return
         while self._pending:
             group = self._pending.popleft()
             self._execute_group(group)
@@ -239,7 +432,54 @@ class QRIOService:
         return self.jobs()
 
     # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the concurrent runtime (drain, then shut the pool down).
+
+        Queued jobs still execute — closing is a drain, not an abort; only
+        new submissions are rejected afterwards.  A synchronous service has
+        nothing to release, so this is a no-op there.  Idempotent.
+        """
+        if self._runtime is not None:
+            self._runtime.close()
+
+    def __enter__(self) -> "QRIOService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle execution (shared by the sync path and the runtime)
+    # ------------------------------------------------------------------ #
+    def _drive(self, handle: JobHandle, timeout: Optional[float] = None) -> None:
+        """Advance ``handle`` to completion: process (sync) or await (concurrent)."""
+        if self._runtime is not None:
+            self._runtime.wait_handle(handle, timeout)
+        else:
+            self.process(handle)
+
     def _execute_group(self, group: _JobGroup) -> None:
+        """Synchronous path: MATCHING then RUNNING on the calling thread."""
+        try:
+            placement = self._match_group(group)
+            if placement is not None:
+                self._run_group(group, placement, reraise=True)
+        finally:
+            # Callbacks fire even when an engine crash is propagating — the
+            # handles are terminal by then.
+            group.drain_callbacks()
+
+    def _match_group(self, group: _JobGroup) -> Optional[Placement]:
+        """Run the engine's MATCHING stage for one group.
+
+        Returns the placement on success, ``None`` when the group failed
+        (infeasible requirements or an engine error — the handles are already
+        terminal).  Non-library engine exceptions propagate *after* the
+        group's lifecycle is terminated, so no handle is ever stuck in a
+        non-terminal state; the runtime's dispatcher catches them.
+        """
         group.processed = True
         size = len(group.handles)
         spec = group.spec
@@ -254,7 +494,7 @@ class QRIOService:
             placement = self._engine.match(spec, leader.name)
         except ReproError as error:
             self._fail_group(group, f"matching failed: {error}", error)
-            return
+            return None
         except Exception as error:
             # Engine bugs still terminate the lifecycle before propagating,
             # so no handle is ever stuck in a non-terminal state.
@@ -267,10 +507,21 @@ class QRIOService:
                 group,
                 f"no feasible device ({placement.num_feasible} of {len(self._engine.fleet())} passed filtering)",
             )
-            return
+            return None
         placement_detail = {"num_feasible": placement.num_feasible, **placement.detail}
         for handle in group.handles:
             handle._set_placement(placement.device, placement.score, dict(placement_detail))
+        return placement
+
+    def _run_group(self, group: _JobGroup, placement: Placement, *, reraise: bool) -> None:
+        """Run the engine's RUNNING stage for one matched group.
+
+        ``reraise=True`` (synchronous path) propagates non-library engine
+        crashes to the caller after failing the group; the runtime passes
+        ``False`` since there is no caller thread to surface them to — the
+        exception is recorded on every handle instead.
+        """
+        for handle in group.handles:
             handle._transition(JobState.RUNNING, f"executing on '{placement.device}'")
         try:
             outcome = self._engine.run(placement)
@@ -279,7 +530,9 @@ class QRIOService:
             return
         except Exception as error:
             self._fail_group(group, f"execution crashed: {error}", error)
-            raise
+            if reraise:
+                raise
+            return
         self._complete_group(group, placement, outcome)
 
     def _fail_group(
@@ -287,7 +540,8 @@ class QRIOService:
     ) -> None:
         for handle in group.handles:
             handle._fail(reason, exception)
-        self._counters["jobs_failed"] += len(group.handles)
+        with self._state_lock:
+            self._counters["jobs_failed"] += len(group.handles)
 
     def _complete_group(self, group: _JobGroup, placement: Placement, outcome: EngineResult) -> None:
         size = len(group.handles)
@@ -307,6 +561,7 @@ class QRIOService:
                     detail=dict(outcome.detail),
                 )
             )
-        self._counters["groups_executed"] += 1
-        self._counters["jobs_succeeded"] += size
-        self._counters["jobs_deduplicated"] += size - 1
+        with self._state_lock:
+            self._counters["groups_executed"] += 1
+            self._counters["jobs_succeeded"] += size
+            self._counters["jobs_deduplicated"] += size - 1

@@ -76,7 +76,22 @@ class ServiceError(ReproError):
 
 
 class JobNotCompletedError(ServiceError):
-    """Raised when a job's result is requested before the job has finished."""
+    """Raised when a job's result is requested before the job has finished.
+
+    Also raised when a concurrent service's blocking wait (``result(timeout=...)``)
+    expires before the job reaches a terminal state.
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when a bounded service runtime rejects a submission.
+
+    A :class:`~repro.service.QRIOService` created with ``workers > 0`` and a
+    ``max_pending`` bound applies backpressure: once the priority queue holds
+    ``max_pending`` not-yet-dispatched jobs, ``submit(..., block=False)``
+    raises this error instead of queueing (with ``block=True`` the submitter
+    blocks until the dispatcher frees capacity).
+    """
 
 
 class JobFailedError(ServiceError):
