@@ -29,6 +29,9 @@ The script **fails loudly** (non-zero exit) when:
   faster than the scalar reference;
 * the cached scheduler path is less than ``--scheduler-floor`` (default 2x)
   faster than the uncached one;
+* a registry-resolved placement policy (``repro.policies``) is more than
+  ``--dispatch-ceiling`` (default 1.5x) slower than the legacy policy object
+  on a pure-dispatch routing trace, or routes any job differently;
 * batch submission through the service is less than ``--service-floor``
   (default 5x) faster than one-at-a-time submission;
 * the concurrent runtime is less than ``--concurrency-floor`` (default 2x)
@@ -79,9 +82,9 @@ from repro.simulators import (  # noqa: E402
 #: run; shots/sec extrapolates fairly because scalar cost is linear in shots.
 _SCALES: Dict[str, Dict[str, int]] = {
     "smoke": {"scalar_shots": 32, "batched_shots": 1024, "repeats": 1, "match_rounds": 4, "jobs": 18,
-              "service_jobs": 32, "concurrent_jobs": 16},
+              "service_jobs": 32, "concurrent_jobs": 16, "dispatch_jobs": 240, "dispatch_repeats": 3},
     "default": {"scalar_shots": 128, "batched_shots": 1024, "repeats": 3, "match_rounds": 8, "jobs": 30,
-                "service_jobs": 32, "concurrent_jobs": 24},
+                "service_jobs": 32, "concurrent_jobs": 24, "dispatch_jobs": 480, "dispatch_repeats": 5},
 }
 
 #: Concurrency workload: 4 devices, 4 workers, fixed per-job device occupancy.
@@ -279,6 +282,67 @@ def bench_scheduler(scale: str, scheduler_floor: float) -> Dict[str, object]:
 
 
 # --------------------------------------------------------------------------- #
+# Placement-policy dispatch overhead (unified registry vs legacy objects)
+# --------------------------------------------------------------------------- #
+def bench_policy_dispatch(scale: str, dispatch_ceiling: float) -> Dict[str, object]:
+    """Registry-resolved pipeline vs the legacy policy object on one trace.
+
+    The unified-policy redesign routes every cloud decision through the
+    generic filter → score → select pipeline (``repro.policies``) instead of
+    the legacy ``AllocationPolicy.select`` fast path.  This measurement pins
+    the cost of that indirection on the cheapest realistic workload —
+    ``least-loaded`` routing with fidelity reporting off, so nothing but
+    dispatch is timed — and fails when the registry-resolved policy is more
+    than ``dispatch_ceiling`` times slower than the legacy object (or routes
+    a single job differently).  The matching/scheduler cache floors measured
+    above are unaffected by construction (those paths are not rerouted), so
+    together the three checks guarantee the redesign cannot silently regress
+    the hot path.
+    """
+    from repro.policies import as_allocation_policy, resolve_policy
+
+    sizes = _SCALES[scale]
+    fleet = three_device_testbed()
+    jobs = sizes["dispatch_jobs"]
+    trace = _repeated_trace(jobs)
+    config = CloudSimulationConfig(fidelity_report="none", seed=5)
+    repeats = sizes["dispatch_repeats"]
+
+    def run(policy_factory):
+        simulator = CloudSimulator(fleet, policy_factory(), config=config)
+        return simulator.run(trace)
+
+    legacy_seconds, legacy_result = time_callable(lambda: run(LeastLoadedPolicy), repeats=repeats)
+    registry_seconds, registry_result = time_callable(
+        lambda: run(lambda: as_allocation_policy(resolve_policy("least-loaded"))),
+        repeats=repeats,
+    )
+    if [r.device for r in legacy_result.records] != [r.device for r in registry_result.records]:
+        raise BenchFailure(
+            "Registry-resolved 'least-loaded' routed the trace differently from the "
+            "legacy LeastLoadedPolicy — the unified pipeline must be routing-neutral"
+        )
+    overhead = registry_seconds / legacy_seconds
+    if overhead > dispatch_ceiling:
+        raise BenchFailure(
+            f"Unified-policy dispatch overhead {overhead:.2f}x exceeds the "
+            f"{dispatch_ceiling:.2f}x ceiling (legacy {jobs / legacy_seconds:.0f} jobs/s, "
+            f"registry {jobs / registry_seconds:.0f} jobs/s)"
+        )
+    return {
+        "jobs": jobs,
+        "devices": len(fleet),
+        "workload": "least-loaded routing, fidelity_report=none (pure dispatch)",
+        "legacy_seconds": legacy_seconds,
+        "registry_seconds": registry_seconds,
+        "legacy_jobs_per_second": jobs / legacy_seconds,
+        "registry_jobs_per_second": jobs / registry_seconds,
+        "overhead": overhead,
+        "ceiling": dispatch_ceiling,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Service-layer throughput (batch dedup)
 # --------------------------------------------------------------------------- #
 def bench_service(scale: str, service_floor: float) -> Dict[str, object]:
@@ -418,17 +482,25 @@ def run_all(
     scheduler_floor: float = 2.0,
     service_floor: float = 5.0,
     concurrency_floor: float = 2.0,
+    dispatch_ceiling: float = 1.5,
 ) -> Dict[str, Path]:
     """Run every measurement and write the BENCH artefacts; returns their paths."""
     stabilizer = bench_stabilizer(scale, stabilizer_floor)
     matching = bench_matching(scale)
     scheduler = bench_scheduler(scale, scheduler_floor)
+    policy_dispatch = bench_policy_dispatch(scale, dispatch_ceiling)
     service = bench_service(scale, service_floor)
     concurrency = bench_concurrency(scale, concurrency_floor)
     paths = {
         "stabilizer": write_bench_json("BENCH_stabilizer.json", {"scale": scale, **stabilizer}),
         "matching": write_bench_json(
-            "BENCH_matching.json", {"scale": scale, "matching": matching, "scheduler": scheduler}
+            "BENCH_matching.json",
+            {
+                "scale": scale,
+                "matching": matching,
+                "scheduler": scheduler,
+                "policy_dispatch": policy_dispatch,
+            },
         ),
         "service": write_bench_json("BENCH_service.json", {"scale": scale, **service}),
         "concurrency": write_bench_json("BENCH_concurrency.json", {"scale": scale, **concurrency}),
@@ -444,6 +516,8 @@ def main(argv=None) -> int:
     parser.add_argument("--service-floor", type=float, default=5.0, help="minimum service batch-vs-sequential speedup")
     parser.add_argument("--concurrency-floor", type=float, default=2.0,
                         help="minimum concurrent-vs-serial runtime speedup on the 4-device fleet")
+    parser.add_argument("--dispatch-ceiling", type=float, default=1.5,
+                        help="maximum slowdown of registry-resolved policies vs legacy policy objects")
     args = parser.parse_args(argv)
     try:
         paths = run_all(
@@ -452,6 +526,7 @@ def main(argv=None) -> int:
             args.scheduler_floor,
             args.service_floor,
             args.concurrency_floor,
+            args.dispatch_ceiling,
         )
     except BenchFailure as failure:
         print(f"PERF REGRESSION: {failure}", file=sys.stderr)
@@ -468,7 +543,8 @@ def main(argv=None) -> int:
         elif name == "matching":
             print(
                 f"matching: warm {payload['matching']['speedup']:.1f}x over cold; "
-                f"scheduler: cached {payload['scheduler']['speedup']:.1f}x over uncached -> {path}"
+                f"scheduler: cached {payload['scheduler']['speedup']:.1f}x over uncached; "
+                f"policy dispatch: {payload['policy_dispatch']['overhead']:.2f}x of legacy -> {path}"
             )
         elif name == "service":
             print(

@@ -15,6 +15,12 @@ The package is organised in layers:
   scheduler, baselines, the :class:`~repro.core.QRIO` facade);
 * ``repro.cloud`` — the discrete-event quantum-cloud simulator (arrival
   traces, per-device queues, allocation policies, calibration drift);
+* ``repro.policies`` — the unified placement-policy API: one
+  :class:`~repro.policies.PlacementPolicy` protocol (filter → score →
+  select), a string-keyed registry with parameterized lookup
+  (``resolve_policy("fidelity:queue_weight=0.3")``), a :class:`Pipeline`
+  composition combinator, and thin adapters so the same policy routes jobs
+  identically under the orchestrator, cluster and cloud engines;
 * ``repro.service`` — the unified job service: one
   :class:`~repro.service.QRIOService` submission API with an explicit
   ``QUEUED → MATCHING → RUNNING → DONE/FAILED`` lifecycle, structural batch
@@ -29,6 +35,14 @@ The package is organised in layers:
 from repro.backends import Backend, BackendProperties, FleetSpec, generate_fleet, three_device_testbed
 from repro.circuits import QuantumCircuit
 from repro.core import QRIO, JobOutcome, UserRequirements
+from repro.policies import (
+    Pipeline,
+    PlacementContext,
+    PlacementDecision,
+    PlacementPolicy,
+    register_policy,
+    resolve_policy,
+)
 from repro.qasm import dump_qasm, parse_qasm
 from repro.service import (
     CloudEngine,
@@ -63,6 +77,10 @@ __all__ = [
     "JobStatus",
     "NoiseModel",
     "OrchestratorEngine",
+    "Pipeline",
+    "PlacementContext",
+    "PlacementDecision",
+    "PlacementPolicy",
     "QRIO",
     "QRIOService",
     "QuantumCircuit",
@@ -74,6 +92,8 @@ __all__ = [
     "generate_fleet",
     "hellinger_fidelity",
     "parse_qasm",
+    "register_policy",
+    "resolve_policy",
     "three_device_testbed",
     "transpile",
 ]

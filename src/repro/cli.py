@@ -9,13 +9,18 @@ The CLI exposes the pieces a new user typically wants without writing Python:
   the paper's tables/figures and print the same rows the paper reports;
 * ``repro-qrio extension cloud-policies|calibration-drift|scalable-matching``
   — run one of the future-work extension experiments;
+* ``repro-qrio policies`` — list the registered placement policies (the
+  unified ``repro.policies`` registry) with their tunable parameters;
 * ``repro-qrio submit <circuit.qasm>`` — schedule a QASM file against a
   generated fleet with either a fidelity or a topology requirement, routed
-  through the unified job service (``--policy`` picks the execution engine:
-  the QRIO orchestrator, the bare cluster framework or a cloud allocation
-  policy; ``--fidelity-report`` controls the cloud engine's fidelity mode;
-  ``--workers N`` runs the job through the concurrent service runtime);
-  the job's lifecycle transitions are printed as they are recorded.
+  through the unified job service (``--engine`` picks the execution engine —
+  orchestrator, cluster framework or cloud simulator; ``--policy`` picks the
+  placement policy by registry name, optionally parameterized, and runs
+  under *any* engine; ``--explain`` prints the per-device score/filter
+  breakdown; ``--fidelity-report`` controls the cloud engine's fidelity
+  mode; ``--workers N`` runs the job through the concurrent service
+  runtime); the job's lifecycle transitions are printed as they are
+  recorded.
 
 Every command accepts ``--seed`` and the experiment commands accept
 ``--scale quick|default|paper`` mirroring the benchmark harness.
@@ -29,13 +34,6 @@ from typing import List, Optional, Sequence
 
 from repro.backends import generate_fleet
 from repro.circuits import ghz
-from repro.cloud.policies import (
-    FidelityPolicy,
-    LeastLoadedPolicy,
-    QueueAwareFidelityPolicy,
-    RandomPolicy,
-    RoundRobinPolicy,
-)
 from repro.cloud.simulation import CloudSimulationConfig
 from repro.core import QRIO
 from repro.experiments import (
@@ -61,8 +59,10 @@ from repro.experiments import (
     table1_rows,
     table2_rows,
 )
+from repro.policies import default_registry, resolve_policy
 from repro.qasm import load_qasm_file
 from repro.service import CloudEngine, ClusterEngine, JobRequirements, QRIOService
+from repro.utils.exceptions import ReproError
 from repro.utils.rng import DEFAULT_SEED
 
 
@@ -152,41 +152,70 @@ def _cmd_extension(args: argparse.Namespace) -> int:
     return 0
 
 
-#: CLI ``--policy`` choices mapped onto cloud allocation policies; ``qrio``
-#: and ``cluster`` select the orchestrator and cluster engines instead.
-_CLOUD_POLICY_BUILDERS = {
-    "random": lambda seed: RandomPolicy(seed=seed),
-    "round-robin": lambda seed: RoundRobinPolicy(),
-    "least-loaded": lambda seed: LeastLoadedPolicy(),
-    "fidelity": lambda seed: FidelityPolicy(seed=seed),
-    "queue-aware": lambda seed: QueueAwareFidelityPolicy(seed=seed),
-}
+#: Historical ``--policy`` values that actually select an *engine*, kept for
+#: backwards compatibility (see the ``--engine`` flag's deprecation note).
+_ENGINE_ALIASES = ("qrio", "cluster")
+
+
+def _infer_engine(policy: Optional[str]) -> str:
+    """Map a legacy ``--policy`` value onto the engine it used to select."""
+    if policy is None or policy == "qrio":
+        return "qrio"
+    if policy == "cluster":
+        return "cluster"
+    return "cloud"
 
 
 def _service_for_submit(args: argparse.Namespace):
-    """Build the (service, qrio-or-None) pair the submit command runs on."""
+    """Build the (service, qrio-or-None, policy-or-None) triple for submit."""
+    engine_name = args.engine if args.engine is not None else _infer_engine(args.policy)
+    policy = None if args.policy in _ENGINE_ALIASES else args.policy
+    if policy is not None:
+        # Fail fast (and with a did-you-mean) before any fleet is generated.
+        resolve_policy(policy, seed=args.seed)
     fleet = generate_fleet(limit=args.devices, seed=args.seed)
-    if args.policy == "qrio":
+    if engine_name == "qrio":
         qrio = QRIO(cluster_name="cli-submit", canary_shots=args.shots, seed=args.seed)
         qrio.register_devices(fleet)
-        return qrio.service(workers=args.workers), qrio
-    if args.policy == "cluster":
+        return qrio.service(workers=args.workers), qrio, policy
+    if engine_name == "cluster":
         engine = ClusterEngine(canary_shots=args.shots, seed=args.seed)
     else:
         engine = CloudEngine(
-            policy=_CLOUD_POLICY_BUILDERS[args.policy](args.seed),
+            policy=policy,
             config=CloudSimulationConfig(
                 fidelity_report=args.fidelity_report,
                 execution_shots=args.shots,
                 seed=args.seed,
             ),
         )
-    return QRIOService(fleet, engine, workers=args.workers), None
+        # The cloud engine resolves the policy itself (engine-level), so the
+        # per-job requirements need not repeat it.
+        policy = None
+    return QRIOService(fleet, engine, workers=args.workers), None, policy
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    """List every registered placement policy with its tunable parameters."""
+    print("Registered placement policies (submit --policy NAME or NAME:key=value,...):")
+    for entry in default_registry.entries():
+        print(f"  {entry.name:<20s} {entry.description}")
+        if entry.parameters:
+            print(f"  {'':<20s}   parameters: {entry.signature()}")
+    print(
+        "\nAny engine (--engine qrio|cluster|cloud) can run any of these; "
+        "add --explain to submit to see the per-device breakdown."
+    )
+    return 0
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
     circuit = load_qasm_file(args.circuit)
-    service, qrio = _service_for_submit(args)
+    try:
+        service, qrio, policy = _service_for_submit(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.topology:
         edges = []
         for chunk in args.topology.split(","):
@@ -195,11 +224,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         requirements = JobRequirements(
             topology_edges=tuple(edges),
             max_avg_two_qubit_error=args.max_two_qubit_error,
+            policy=policy,
         )
     else:
         requirements = JobRequirements(
             fidelity_threshold=args.fidelity,
             max_avg_two_qubit_error=args.max_two_qubit_error,
+            policy=policy,
         )
     handle = service.submit(circuit, requirements, shots=args.shots, name="cli-submitted-job")
     mode = f"{service.workers} workers" if service.is_concurrent else "synchronous"
@@ -212,6 +243,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print()
     if qrio is not None:
         print(qrio.render_job("cli-submitted-job"))
+    if args.explain:
+        decision = handle.status().detail.get("decision")
+        if decision is not None:
+            print("Placement decision:")
+            print(decision.explain())
+            print()
+        else:
+            print("(no per-device breakdown: pass --policy to run a registry policy)\n")
     if handle.failed:
         print("\nThe job could not be scheduled with the given requirements.")
         return 1
@@ -261,6 +300,11 @@ def build_parser() -> argparse.ArgumentParser:
     extension.add_argument("--cycles", type=int, default=8, help="calibration cycles for calibration-drift")
     extension.set_defaults(handler=_cmd_extension)
 
+    policies = subparsers.add_parser(
+        "policies", help="list the registered placement policies and their parameters"
+    )
+    policies.set_defaults(handler=_cmd_policies)
+
     submit = subparsers.add_parser("submit", help="schedule a QASM circuit against a generated fleet")
     submit.add_argument("circuit", help="path to an OpenQASM 2.0 file")
     submit.add_argument("--fidelity", type=float, default=1.0, help="requested fidelity (default 1.0)")
@@ -271,18 +315,33 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--shots", type=int, default=512)
     submit.add_argument("--devices", type=int, default=20)
     submit.add_argument(
+        "--engine",
+        choices=["qrio", "cluster", "cloud"],
+        default=None,
+        help="execution engine: 'qrio' (full orchestrator cycle), 'cluster' (bare "
+             "scheduling framework) or 'cloud' (discrete-event simulator).  Default: "
+             "inferred from --policy for backward compatibility ('qrio'/'cluster' "
+             "select that engine, any other policy name selects 'cloud')",
+    )
+    submit.add_argument(
         "--policy",
-        choices=["qrio", "cluster", *sorted(_CLOUD_POLICY_BUILDERS)],
-        default="qrio",
-        help="execution path: 'qrio' (orchestrator engine), 'cluster' (scheduling-framework "
-             "engine) or a cloud allocation policy (cloud engine)",
+        default=None,
+        help="placement policy by registry name, optionally parameterized, e.g. "
+             "'fidelity' or 'fidelity:queue_weight=0.3' (see 'repro-qrio policies'); "
+             "runs under whichever --engine is selected.  Passing 'qrio' or 'cluster' "
+             "here is DEPRECATED — those are engines, not policies; use --engine",
+    )
+    submit.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the policy's per-device score/filter breakdown (why a device won)",
     )
     submit.add_argument(
         "--fidelity-report",
         choices=["none", "esp", "execute"],
         default="esp",
         dest="fidelity_report",
-        help="how the cloud engine reports per-job fidelity (cloud policies only)",
+        help="how the cloud engine reports per-job fidelity (cloud engine only)",
     )
     submit.add_argument(
         "--workers",

@@ -295,13 +295,23 @@ class CloudSession:
         with self._mutex:
             return list(self._records)
 
-    def route(self, request: JobRequest, candidates: Optional[Sequence[str]] = None) -> str:
+    def route(
+        self,
+        request: JobRequest,
+        candidates: Optional[Sequence[str]] = None,
+        policy: Optional[AllocationPolicy] = None,
+    ) -> str:
         """Pick the device for ``request`` (the policy's arrival-time decision).
 
         ``candidates`` optionally restricts the policy's choice to a subset
         of the fleet (the service layer uses this to enforce user
         requirements the policies themselves do not know about); queues and
         the fidelity cache stay shared with the unrestricted context.
+
+        ``policy`` optionally overrides the simulator's policy for this one
+        arrival — how the unified service layer honours a per-job
+        ``JobRequirements.policy`` while the session's queues, clock and
+        caches stay shared across every arrival.
         """
         with self._mutex:
             if request.arrival_time < self._last_arrival:
@@ -323,11 +333,12 @@ class CloudSession:
                 calibration_epoch=context.calibration_epoch,
                 fidelity_cache=context.fidelity_cache,
             )
-        device_name = simulator.policy.select(request, context)
+        active_policy = policy if policy is not None else simulator.policy
+        device_name = active_policy.select(request, context)
         backend = self._context.device(device_name)
         if backend.num_qubits < request.circuit.num_qubits:
             raise SchedulingError(
-                f"Policy '{simulator.policy.name}' routed job '{request.name}' to "
+                f"Policy '{active_policy.name}' routed job '{request.name}' to "
                 f"'{device_name}', which is too small for it"
             )
         # Only a *successful* routing advances the arrival clock — a failed

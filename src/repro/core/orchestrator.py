@@ -272,7 +272,10 @@ class QRIO:
 
         if self._service is None:
             self._service = QRIOService(
-                self.devices(), OrchestratorEngine(qrio=self), workers=workers, max_pending=max_pending
+                self.devices(),
+                OrchestratorEngine(qrio=self, seed=self._seed),
+                workers=workers,
+                max_pending=max_pending,
             )
         elif workers and self._service.workers != workers:
             raise ServiceError(

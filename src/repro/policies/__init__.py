@@ -1,0 +1,75 @@
+"""Unified placement-policy API: one registry, one filter → score → select pipeline.
+
+This package is the single policy surface shared by all three execution
+engines (orchestrator, cluster, cloud).  A policy written once — a ≤50-line
+:class:`PlacementPolicy` subclass — runs under any engine through
+:class:`~repro.service.QRIOService`, composes via :class:`Pipeline`, and is
+addressable by registry name (``resolve_policy("fidelity:queue_weight=0.3")``)
+from Python or the CLI.  The legacy abstractions
+(:class:`~repro.cloud.policies.AllocationPolicy`,
+:class:`~repro.core.strategies.RankingStrategy`, cluster filter/score
+plugins) keep working through the thin adapters in
+:mod:`repro.policies.adapters`.
+"""
+
+from repro.policies.api import (
+    DeviceScore,
+    PlacementContext,
+    PlacementDecision,
+    PlacementPolicy,
+)
+from repro.policies.registry import (
+    PolicyLike,
+    PolicyRegistry,
+    RegisteredPolicy,
+    default_registry,
+    parse_policy_spec,
+    register_policy,
+    resolve_policy,
+)
+from repro.policies.builtin import (
+    FidelityPlacementPolicy,
+    LeastLoadedPlacementPolicy,
+    RandomPlacementPolicy,
+    RoundRobinPlacementPolicy,
+    ThresholdFidelityPolicy,
+    TopologyPlacementPolicy,
+)
+from repro.policies.pipeline import Pipeline
+from repro.policies.adapters import (
+    AllocationPolicyAdapter,
+    PluginPolicyAdapter,
+    PolicyFilterPlugin,
+    PolicyScorePlugin,
+    RankingStrategyAdapter,
+    as_allocation_policy,
+)
+from repro.utils.exceptions import PolicyNotFoundError
+
+__all__ = [
+    "AllocationPolicyAdapter",
+    "DeviceScore",
+    "FidelityPlacementPolicy",
+    "LeastLoadedPlacementPolicy",
+    "Pipeline",
+    "PlacementContext",
+    "PlacementDecision",
+    "PlacementPolicy",
+    "PluginPolicyAdapter",
+    "PolicyFilterPlugin",
+    "PolicyLike",
+    "PolicyNotFoundError",
+    "PolicyRegistry",
+    "PolicyScorePlugin",
+    "RandomPlacementPolicy",
+    "RankingStrategyAdapter",
+    "RegisteredPolicy",
+    "RoundRobinPlacementPolicy",
+    "ThresholdFidelityPolicy",
+    "TopologyPlacementPolicy",
+    "as_allocation_policy",
+    "default_registry",
+    "parse_policy_spec",
+    "register_policy",
+    "resolve_policy",
+]

@@ -1,0 +1,287 @@
+"""Thin adapters between the legacy placement abstractions and the protocol.
+
+Four bridges keep every historical entry point working, with routing pinned
+bit-for-bit by ``tests/policies/test_adapter_equivalence.py``:
+
+* :class:`AllocationPolicyAdapter` — a legacy cloud
+  :class:`~repro.cloud.policies.AllocationPolicy` as a
+  :class:`~repro.policies.PlacementPolicy`;
+* :func:`as_allocation_policy` — the reverse: any unified policy as an
+  ``AllocationPolicy`` the discrete-event cloud simulator can drive;
+* :class:`RankingStrategyAdapter` — a per-job meta-server
+  :class:`~repro.core.strategies.RankingStrategy` as a unified policy;
+* :class:`PluginPolicyAdapter` / :class:`PolicyFilterPlugin` /
+  :class:`PolicyScorePlugin` — cluster framework filter/score plugins as a
+  unified policy, and a unified policy as framework plugins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.backends.backend import Backend
+from repro.cloud.arrivals import JobRequest
+from repro.cloud.policies import AllocationContext, AllocationPolicy
+from repro.cloud.queueing import ExecutionTimeModel
+from repro.cluster.framework import FilterPlugin, ScorePlugin
+from repro.cluster.job import Job
+from repro.cluster.node import Node
+from repro.core.strategies import RankingStrategy
+from repro.policies.api import DeviceScore, PlacementContext, PlacementDecision, PlacementPolicy
+from repro.utils.exceptions import SchedulingError
+
+
+class _OracleQueue:
+    """Duck-typed stand-in for a :class:`~repro.cloud.queueing.DeviceQueue`.
+
+    Legacy load-aware policies only call ``predicted_wait``; when a unified
+    context (rather than a real cloud session) drives them, this forwards to
+    the context's queue-wait oracle.
+    """
+
+    def __init__(self, device_name: str, ctx: PlacementContext) -> None:
+        self._device_name = device_name
+        self._ctx = ctx
+
+    def predicted_wait(self, arrival_time: float) -> float:
+        return self._ctx.wait_for(self._device_name)
+
+
+class AllocationPolicyAdapter(PlacementPolicy):
+    """A legacy cloud allocation policy behind the unified protocol.
+
+    The filter stage reproduces the legacy qubit-feasibility check; the
+    select stage hands the legacy policy a synthesized
+    :class:`~repro.cloud.policies.AllocationContext` (or the engine-native
+    one when the context carries it), so stateful policies (RNG streams,
+    round-robin cursors) behave exactly as before.
+    """
+
+    def __init__(self, legacy: AllocationPolicy) -> None:
+        self._legacy = legacy
+
+    @property
+    def name(self) -> str:
+        return self._legacy.name
+
+    @property
+    def legacy(self) -> AllocationPolicy:
+        """The wrapped allocation policy."""
+        return self._legacy
+
+    def _allocation_pair(
+        self, ctx: PlacementContext, feasible: Sequence[str]
+    ) -> Tuple[JobRequest, AllocationContext]:
+        native_request = ctx.native.get("allocation_request")
+        native_context = ctx.native.get("allocation_context")
+        if isinstance(native_request, JobRequest) and isinstance(native_context, AllocationContext):
+            return native_request, native_context
+        request = JobRequest(
+            index=0,
+            arrival_time=ctx.arrival_time,
+            workload_key=ctx.workload(),
+            circuit=ctx.circuit,
+            strategy=ctx.strategy,
+            fidelity_threshold=ctx.fidelity_threshold if ctx.strategy == "fidelity" else 0.0,
+            shots=ctx.shots,
+            user="policy",
+        )
+        allowed = set(feasible)
+        fleet = [backend for backend in ctx.fleet if backend.name in allowed]
+        context = AllocationContext(
+            fleet=fleet,
+            queues={backend.name: _OracleQueue(backend.name, ctx) for backend in fleet},
+            time_model=ExecutionTimeModel(),
+            calibration_epoch=ctx.calibration_epoch,
+            fidelity_cache=ctx.fidelity_cache,
+        )
+        return request, context
+
+    def select(self, ctx: PlacementContext, scored: Sequence[DeviceScore]) -> DeviceScore:
+        by_name = {entry.device: entry for entry in scored}
+        request, context = self._allocation_pair(ctx, list(by_name))
+        device = self._legacy.select(request, context)
+        if device not in by_name:
+            raise SchedulingError(
+                f"Legacy policy '{self._legacy.name}' selected '{device}', which the "
+                "unified filter stage had rejected"
+            )
+        return by_name[device]
+
+
+class _SessionPolicyBridge(AllocationPolicy):
+    """A unified policy as an :class:`~repro.cloud.policies.AllocationPolicy`.
+
+    This is what lets the discrete-event cloud simulator (and its
+    incremental session) drive any registered
+    :class:`~repro.policies.PlacementPolicy`: each arrival becomes a
+    placement context built from the simulator's allocation context, the
+    full filter → score → select pipeline runs, and the resulting
+    :class:`~repro.policies.PlacementDecision` is kept on
+    :attr:`last_decision` for explainability.
+    """
+
+    def __init__(self, policy: PlacementPolicy) -> None:
+        self._policy = policy
+        #: Decision of the most recent ``select`` call (engines surface it).
+        self.last_decision: Optional[PlacementDecision] = None
+
+    @property
+    def name(self) -> str:
+        return self._policy.name
+
+    @property
+    def policy(self) -> PlacementPolicy:
+        """The wrapped unified policy."""
+        return self._policy
+
+    def select(self, request: JobRequest, context: AllocationContext) -> str:
+        ctx = PlacementContext(
+            fleet=context.fleet,
+            circuit=request.circuit,
+            job_name=request.name,
+            workload_key=request.workload_key,
+            strategy=request.strategy,
+            fidelity_threshold=request.fidelity_threshold,
+            shots=request.shots,
+            arrival_time=request.arrival_time,
+            calibration_epoch=context.calibration_epoch,
+            predicted_wait=lambda name: context.queues[name].predicted_wait(request.arrival_time),
+            fidelity_cache=context.fidelity_cache,
+            native={"allocation_request": request, "allocation_context": context},
+        )
+        decision = self._policy.decide(ctx)
+        self.last_decision = decision
+        if decision.device is None:
+            raise SchedulingError(
+                f"No device in the fleet can host job '{request.name}' "
+                f"({request.circuit.num_qubits} qubits)"
+            )
+        return decision.device
+
+
+def as_allocation_policy(policy: PlacementPolicy) -> AllocationPolicy:
+    """Wrap a unified policy for use wherever an ``AllocationPolicy`` is expected.
+
+    Unwraps an :class:`AllocationPolicyAdapter` back to its legacy policy so
+    round-tripping never stacks adapters.
+    """
+    if isinstance(policy, AllocationPolicyAdapter):
+        return policy.legacy
+    return _SessionPolicyBridge(policy)
+
+
+class RankingStrategyAdapter(PlacementPolicy):
+    """A per-job meta-server ranking strategy behind the unified protocol.
+
+    Strategies are constructed per job (they hold the job's circuit or
+    topology), so the adapter is per-job too; scores — including the
+    infinite score of infeasible devices — are reported unchanged, and the
+    default lowest-score selection matches the scheduler's ranking stage.
+    """
+
+    def __init__(self, strategy: RankingStrategy) -> None:
+        self._strategy = strategy
+
+    @property
+    def name(self) -> str:
+        return self._strategy.name
+
+    @property
+    def strategy(self) -> RankingStrategy:
+        """The wrapped ranking strategy."""
+        return self._strategy
+
+    def filter(self, ctx: PlacementContext, device: Backend) -> Tuple[bool, str]:
+        return True, "feasible"  # the strategy encodes infeasibility as an infinite score
+
+    def score(self, ctx: PlacementContext, device: Backend) -> float:
+        return self._strategy.score(device)
+
+
+class PluginPolicyAdapter(PlacementPolicy):
+    """Cluster framework filter/score plugins behind the unified protocol.
+
+    The context must carry the engine-native cluster objects:
+    ``ctx.native["job"]`` (the :class:`~repro.cluster.job.Job`) and
+    ``ctx.native["nodes"]`` (device name → :class:`~repro.cluster.node.Node`).
+    Filtering short-circuits on the first rejecting plugin and scoring sums
+    every score plugin, exactly like
+    :class:`~repro.cluster.framework.SchedulingFramework`.
+    """
+
+    def __init__(
+        self,
+        filter_plugins: Sequence[FilterPlugin] = (),
+        score_plugins: Sequence[ScorePlugin] = (),
+        *,
+        name: str = "cluster-plugins",
+    ) -> None:
+        self._filter_plugins = list(filter_plugins)
+        self._score_plugins = list(score_plugins)
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @staticmethod
+    def _cluster_pair(ctx: PlacementContext, device: Backend) -> Tuple[Job, Node]:
+        job = ctx.native.get("job")
+        nodes = ctx.native.get("nodes")
+        if not isinstance(job, Job) or not isinstance(nodes, dict) or device.name not in nodes:
+            raise SchedulingError(
+                "PluginPolicyAdapter needs ctx.native['job'] and ctx.native['nodes'] "
+                "(device name -> Node) — run it under the cluster or orchestrator engine"
+            )
+        return job, nodes[device.name]
+
+    def filter(self, ctx: PlacementContext, device: Backend) -> Tuple[bool, str]:
+        job, node = self._cluster_pair(ctx, device)
+        for plugin in self._filter_plugins:
+            feasible, reason = plugin.filter(job, node)
+            if not feasible:
+                return False, f"{plugin.name}: {reason}"
+        return True, "feasible"
+
+    def score(self, ctx: PlacementContext, device: Backend) -> float:
+        job, node = self._cluster_pair(ctx, device)
+        return sum(plugin.score(job, node) for plugin in self._score_plugins)
+
+
+class _PolicyPluginBase:
+    """Shared machinery of the policy-as-framework-plugin wrappers.
+
+    The framework calls a plugin once per node within one job's scheduling
+    cycle, so a single-entry context cache (keyed by the current job name)
+    is enough to avoid rebuilding the context per node without leaking one
+    context per job on a long-lived framework.
+    """
+
+    def __init__(self, policy: PlacementPolicy, context_factory: Callable[[Job], PlacementContext]) -> None:
+        self._policy = policy
+        self._context_factory = context_factory
+        self._current: Optional[Tuple[str, PlacementContext]] = None
+
+    @property
+    def name(self) -> str:
+        return f"policy:{self._policy.name}"
+
+    def _context(self, job: Job) -> PlacementContext:
+        if self._current is None or self._current[0] != job.name:
+            self._current = (job.name, self._context_factory(job))
+        return self._current[1]
+
+
+class PolicyFilterPlugin(_PolicyPluginBase, FilterPlugin):
+    """A unified policy's filter stage as a cluster framework filter plugin."""
+
+    def filter(self, job: Job, node: Node) -> Tuple[bool, str]:
+        return self._policy.filter(self._context(job), node.backend)
+
+
+class PolicyScorePlugin(_PolicyPluginBase, ScorePlugin):
+    """A unified policy's score stage as a cluster framework score plugin."""
+
+    def score(self, job: Job, node: Node) -> float:
+        return self._policy.score(self._context(job), node.backend)

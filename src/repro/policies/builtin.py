@@ -1,0 +1,323 @@
+"""The built-in unified placement policies (ports of every legacy policy).
+
+Each class below is the :class:`~repro.policies.PlacementPolicy` port of one
+historical abstraction, registered under a short name so any engine can run
+it by string:
+
+========================  ====================================================
+``random``                uniformly random feasible device (the paper's
+                          baseline scheduler; cloud ``RandomPolicy``)
+``round-robin``           cycle through feasible devices in name order
+                          (cloud ``RoundRobinPolicy``)
+``least-loaded``          smallest predicted queueing delay (cloud
+                          ``LeastLoadedPolicy``)
+``fidelity``              best estimated fidelity, optionally traded against
+                          queueing delay via ``queue_weight`` (cloud
+                          ``FidelityPolicy`` / ``QueueAwareFidelityPolicy``)
+``queue-aware``           alias for ``fidelity`` with ``queue_weight=0.3``
+                          (the Ravi et al. scheduler of the related work)
+``threshold-fidelity``    Clifford-canary distance to the job's requested
+                          fidelity (meta server ``FidelityRankingStrategy``)
+``topology``              Mapomatic-style embedding cost of the job's
+                          topology request (``TopologyRankingStrategy``)
+========================  ====================================================
+
+Routing is pinned bit-for-bit against the legacy implementations by
+``tests/policies/test_adapter_equivalence.py``: identical feasibility sets,
+identical RNG consumption, identical tie-breaking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.backends.backend import Backend
+from repro.fidelity.canary import DEFAULT_CANARY_SHOTS, CliffordCanaryEstimator
+from repro.fidelity.estimator import ESPEstimator
+from repro.matching.mapomatic import match_device
+from repro.policies.api import DeviceScore, PlacementContext, PlacementPolicy
+from repro.policies.registry import register_policy
+from repro.utils.exceptions import SchedulingError
+from repro.utils.rng import SeedLike, ensure_generator
+
+#: Weight a fidelity *surplus* above the requested threshold counts at (the
+#: meta server's value: a deficit is penalised at full weight so the
+#: scheduler never prefers a device that misses the requirement).
+SURPLUS_WEIGHT = 0.25
+
+
+@register_policy("random", description="uniformly random feasible device (the paper's baseline)")
+class RandomPlacementPolicy(PlacementPolicy):
+    """Uniformly random choice among feasible devices.
+
+    Port of :class:`~repro.cloud.policies.RandomPolicy`: candidates are
+    considered in stable name order and one RNG draw is consumed per
+    decision, so a seeded instance reproduces the legacy routing exactly.
+    """
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = ensure_generator(seed)
+
+    @property
+    def name(self) -> str:
+        return "random"
+
+    def select(self, ctx: PlacementContext, scored: Sequence[DeviceScore]) -> DeviceScore:
+        ordered = sorted(scored, key=lambda entry: entry.device)
+        return ordered[int(self._rng.integers(0, len(ordered)))]
+
+
+@register_policy("round-robin", description="cycle through feasible devices in name order")
+class RoundRobinPlacementPolicy(PlacementPolicy):
+    """Naive load spreading: port of :class:`~repro.cloud.policies.RoundRobinPolicy`."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    @property
+    def name(self) -> str:
+        return "round-robin"
+
+    def select(self, ctx: PlacementContext, scored: Sequence[DeviceScore]) -> DeviceScore:
+        ordered = sorted(scored, key=lambda entry: entry.device)
+        choice = ordered[self._cursor % len(ordered)]
+        self._cursor += 1
+        return choice
+
+
+@register_policy("least-loaded", description="smallest predicted queueing delay (fidelity-blind)")
+class LeastLoadedPlacementPolicy(PlacementPolicy):
+    """Queue-aware, fidelity-blind: port of :class:`~repro.cloud.policies.LeastLoadedPolicy`.
+
+    The score is the context's predicted wait in seconds; engines without a
+    queueing model report 0.0 everywhere, degrading to name-order selection.
+    """
+
+    @property
+    def name(self) -> str:
+        return "least-loaded"
+
+    def score(self, ctx: PlacementContext, device: Backend) -> float:
+        return ctx.wait_for(device.name)
+
+    def breakdown(self, ctx: PlacementContext, device: Backend) -> Dict[str, float]:
+        return {"predicted_wait_s": ctx.wait_for(device.name)}
+
+
+class _FidelityEstimateMixin:
+    """Shared cached fidelity estimation (ESP or Clifford canary)."""
+
+    def __init__(self, estimator: str, canary_shots: int, seed: SeedLike) -> None:
+        if estimator not in ("esp", "canary"):
+            raise SchedulingError("estimator must be 'esp' or 'canary'")
+        self._estimator_kind = estimator
+        self._esp = ESPEstimator(seed=seed)
+        self._canary = CliffordCanaryEstimator(shots=canary_shots, seed=seed)
+
+    def estimated_fidelity(self, ctx: PlacementContext, device: Backend) -> float:
+        """Cached fidelity estimate of the job's circuit on ``device``.
+
+        Keyed exactly like the cloud layer's allocation cache —
+        ``(workload key, device, calibration epoch)`` — so a unified policy
+        running inside the cloud simulator shares its warm entries, and
+        repeated submissions of the same structural circuit under the
+        orchestrator/cluster engines pay one estimate per device.
+        """
+        if ctx.circuit is None:
+            raise SchedulingError(
+                f"Job '{ctx.job_name}' carries no circuit to estimate fidelity for"
+            )
+        key = (ctx.workload(), device.name, ctx.calibration_epoch)
+        if key in ctx.fidelity_cache:
+            return ctx.fidelity_cache[key]
+        if self._estimator_kind == "esp":
+            value = self._esp.estimate(ctx.circuit, device).esp
+        else:
+            value = self._canary.estimate(ctx.circuit, device).canary_fidelity
+        ctx.fidelity_cache[key] = value
+        return value
+
+
+@register_policy(
+    "fidelity",
+    description="best estimated fidelity, optionally traded against queueing delay",
+)
+class FidelityPlacementPolicy(_FidelityEstimateMixin, PlacementPolicy):
+    """Fidelity-aware placement, optionally queue-aware.
+
+    The score of device *d* is ``(1 - fidelity(d)) + queue_weight *
+    predicted_wait(d) / wait_scale_s`` — the exact complement of the cloud
+    layer's fidelity/queue utility, so lower is better like everywhere else
+    in the unified pipeline.  ``queue_weight=0`` (default) reproduces
+    :class:`~repro.cloud.policies.FidelityPolicy`; positive weights reproduce
+    :class:`~repro.cloud.policies.QueueAwareFidelityPolicy` (register name
+    ``queue-aware`` defaults to the legacy 0.3).  Ties break toward the
+    lexicographically *largest* device name, matching the legacy
+    ``max((utility, name))`` selection bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        estimator: str = "esp",
+        queue_weight: float = 0.0,
+        wait_scale_s: float = 600.0,
+        canary_shots: int = 256,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(estimator, canary_shots, seed)
+        if queue_weight < 0:
+            raise SchedulingError("queue_weight must be non-negative")
+        if wait_scale_s <= 0:
+            raise SchedulingError("wait_scale_s must be positive")
+        self._queue_weight = queue_weight
+        self._wait_scale = wait_scale_s
+
+    @property
+    def name(self) -> str:
+        if self._queue_weight:
+            return f"fidelity[{self._estimator_kind}, queue_weight={self._queue_weight}]"
+        return f"fidelity[{self._estimator_kind}]"
+
+    def score(self, ctx: PlacementContext, device: Backend) -> float:
+        fidelity = self.estimated_fidelity(ctx, device)
+        penalty = 0.0
+        if self._queue_weight:
+            penalty = self._queue_weight * ctx.wait_for(device.name) / self._wait_scale
+        return (1.0 - fidelity) + penalty
+
+    def select(self, ctx: PlacementContext, scored: Sequence[DeviceScore]) -> DeviceScore:
+        best = min(entry.score for entry in scored)
+        # Legacy cloud policies pick ``max((utility, name))``: among tied
+        # utilities the largest device name wins.
+        return max(
+            (entry for entry in scored if entry.score == best),
+            key=lambda entry: entry.device,
+        )
+
+    def breakdown(self, ctx: PlacementContext, device: Backend) -> Dict[str, float]:
+        detail = {"estimated_fidelity": self.estimated_fidelity(ctx, device)}
+        if self._queue_weight:
+            detail["predicted_wait_s"] = ctx.wait_for(device.name)
+        return detail
+
+
+@register_policy(
+    "queue-aware",
+    description="fidelity traded against queueing delay (Ravi et al. style scheduler)",
+)
+def queue_aware_policy(
+    estimator: str = "esp",
+    queue_weight: float = 0.3,
+    wait_scale_s: float = 600.0,
+    canary_shots: int = 256,
+    seed: SeedLike = None,
+) -> FidelityPlacementPolicy:
+    """The adaptive fidelity/queue trade-off with the legacy default weight."""
+    return FidelityPlacementPolicy(
+        estimator=estimator,
+        queue_weight=queue_weight,
+        wait_scale_s=wait_scale_s,
+        canary_shots=canary_shots,
+        seed=seed,
+    )
+
+
+@register_policy(
+    "threshold-fidelity",
+    description="Clifford-canary distance to the job's requested fidelity (meta server ranking)",
+)
+class ThresholdFidelityPolicy(_FidelityEstimateMixin, PlacementPolicy):
+    """Score devices by distance to the job's fidelity requirement.
+
+    Port of the meta server's
+    :class:`~repro.core.strategies.FidelityRankingStrategy`: a fidelity
+    deficit counts at full weight, a surplus at ``surplus_weight``, so the
+    scheduler hands out the device that most closely satisfies the request
+    instead of always consuming the best device in the cluster.  With the
+    paper's evaluation setting (requested fidelity 1.0) the score reduces to
+    ``1 - fidelity``.
+    """
+
+    def __init__(
+        self,
+        estimator: str = "canary",
+        surplus_weight: float = SURPLUS_WEIGHT,
+        canary_shots: int = DEFAULT_CANARY_SHOTS,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(estimator, canary_shots, seed)
+        if surplus_weight < 0:
+            raise SchedulingError("surplus_weight must be non-negative")
+        self._surplus_weight = surplus_weight
+
+    @property
+    def name(self) -> str:
+        return f"threshold-fidelity[{self._estimator_kind}]"
+
+    def score(self, ctx: PlacementContext, device: Backend) -> float:
+        fidelity = self.estimated_fidelity(ctx, device)
+        deficit = max(0.0, ctx.fidelity_threshold - fidelity)
+        surplus = max(0.0, fidelity - ctx.fidelity_threshold)
+        return deficit + self._surplus_weight * surplus
+
+    def breakdown(self, ctx: PlacementContext, device: Backend) -> Dict[str, float]:
+        return {
+            "estimated_fidelity": self.estimated_fidelity(ctx, device),
+            "required_fidelity": ctx.fidelity_threshold,
+        }
+
+
+@register_policy(
+    "topology",
+    description="Mapomatic-style embedding cost of the job's topology request",
+)
+class TopologyPlacementPolicy(PlacementPolicy):
+    """Score devices by how well they host the requested interaction topology.
+
+    Port of :class:`~repro.core.strategies.TopologyRankingStrategy`: the
+    topology circuit is matched against each device's coupling map and the
+    score is the error cost of the best embedding.  Devices with no
+    embedding at all are filtered out (the legacy infinite score).
+    """
+
+    def __init__(self, max_embeddings: int = 100, seed: SeedLike = None) -> None:
+        if max_embeddings <= 0:
+            raise SchedulingError("max_embeddings must be positive")
+        self._max_embeddings = max_embeddings
+        self._seed = seed
+        self._matches: Dict[Tuple[object, str, int], Optional[object]] = {}
+
+    @property
+    def name(self) -> str:
+        return "topology"
+
+    def _match(self, ctx: PlacementContext, device: Backend):
+        key = (ctx.topology_edges, device.name, ctx.calibration_epoch)
+        if key not in self._matches:
+            self._matches[key] = match_device(
+                ctx.topology_circuit(),
+                device,
+                max_embeddings=self._max_embeddings,
+                seed=self._seed,
+            )
+        return self._matches[key]
+
+    def filter(self, ctx: PlacementContext, device: Backend) -> Tuple[bool, str]:
+        feasible, reason = super().filter(ctx, device)
+        if not feasible:
+            return feasible, reason
+        if self._match(ctx, device) is None:
+            return False, "no embedding of the requested topology fits the device"
+        return True, "feasible"
+
+    def score(self, ctx: PlacementContext, device: Backend) -> float:
+        return self._match(ctx, device).score
+
+    def layout_for(self, ctx: PlacementContext, device: Backend) -> Optional[Dict[int, int]]:
+        """Best embedding layout found on ``device`` (``None`` if infeasible)."""
+        match = self._match(ctx, device)
+        return None if match is None else match.layout
+
+    def breakdown(self, ctx: PlacementContext, device: Backend) -> Dict[str, float]:
+        match = self._match(ctx, device)
+        return {"exact_embedding": float(bool(match.exact))} if match is not None else {}

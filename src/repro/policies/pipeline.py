@@ -1,0 +1,124 @@
+"""The :class:`Pipeline` combinator: compose policies without engine code.
+
+A scheduling scenario is usually "these feasibility rules, then this blend
+of rankings".  ``Pipeline`` expresses exactly that: its filter stage is the
+conjunction of every component filter, its score stage the weighted sum of
+every component scorer — so a new policy is a composition, not an engine
+fork::
+
+    Pipeline(
+        filters=[resolve_policy("topology")],
+        scorers=[resolve_policy("fidelity"), resolve_policy("least-loaded")],
+        weights=[1.0, 0.2],
+    )
+
+Components are :class:`~repro.policies.PlacementPolicy` instances (their
+``filter``/``score`` stages are reused) or bare callables with the matching
+stage signature.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+from repro.backends.backend import Backend
+from repro.policies.api import PlacementContext, PlacementPolicy
+from repro.utils.exceptions import SchedulingError
+
+#: A filter component: a policy (its ``filter`` stage) or a bare callable.
+FilterLike = Union[PlacementPolicy, Callable[[PlacementContext, Backend], Tuple[bool, str]]]
+#: A score component: a policy (its ``score`` stage) or a bare callable.
+ScorerLike = Union[PlacementPolicy, Callable[[PlacementContext, Backend], float]]
+
+
+def _component_name(component: object, index: int) -> str:
+    if isinstance(component, PlacementPolicy):
+        return component.name
+    return getattr(component, "__name__", f"component{index}")
+
+
+class Pipeline(PlacementPolicy):
+    """Weighted composition of placement policies.
+
+    * **filter** — base qubit feasibility, then every component filter in
+      order; the first rejection wins (with the component's name prefixed to
+      the reason, mirroring the cluster framework's filter reports);
+    * **score** — ``sum(weight_i * scorer_i(ctx, device))``; weights default
+      to 1.0 each;
+    * **select** — the default lowest-score / name tie-break, or the
+      ``selector`` policy's ``select`` stage for stateful choices.
+    """
+
+    def __init__(
+        self,
+        filters: Sequence[FilterLike] = (),
+        scorers: Sequence[ScorerLike] = (),
+        weights: Optional[Sequence[float]] = None,
+        *,
+        name: str = "pipeline",
+        selector: Optional[PlacementPolicy] = None,
+    ) -> None:
+        """Compose filters and weighted scorers into one policy.
+
+        Args:
+            filters: Feasibility components, evaluated in order.
+            scorers: Ranking components, combined by weighted sum.
+            weights: One weight per scorer (default: all 1.0).
+            name: Name reported in decisions and listings.
+            selector: Policy whose ``select`` stage picks the winner
+                (default: lowest combined score, ties by device name).
+
+        Raises:
+            SchedulingError: No scorers, or a weights/scorers length mismatch.
+        """
+        if not scorers:
+            raise SchedulingError("A Pipeline needs at least one scorer")
+        if weights is None:
+            weights = [1.0] * len(scorers)
+        if len(weights) != len(scorers):
+            raise SchedulingError(
+                f"Pipeline got {len(scorers)} scorers but {len(weights)} weights"
+            )
+        self._filters = list(filters)
+        self._scorers = list(scorers)
+        self._weights = [float(weight) for weight in weights]
+        self._name = name
+        self._selector = selector
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    # ------------------------------------------------------------------ #
+    def filter(self, ctx: PlacementContext, device: Backend) -> Tuple[bool, str]:
+        feasible, reason = super().filter(ctx, device)
+        if not feasible:
+            return feasible, reason
+        for index, component in enumerate(self._filters):
+            check = component.filter if isinstance(component, PlacementPolicy) else component
+            feasible, reason = check(ctx, device)
+            if not feasible:
+                return False, f"{_component_name(component, index)}: {reason}"
+        return True, "feasible"
+
+    def score(self, ctx: PlacementContext, device: Backend) -> float:
+        total = 0.0
+        for weight, component in zip(self._weights, self._scorers):
+            rank = component.score if isinstance(component, PlacementPolicy) else component
+            total += weight * rank(ctx, device)
+        return total
+
+    def select(self, ctx, scored):
+        if self._selector is not None:
+            return self._selector.select(ctx, scored)
+        return super().select(ctx, scored)
+
+    def breakdown(self, ctx: PlacementContext, device: Backend) -> Dict[str, float]:
+        detail: Dict[str, float] = {}
+        for index, (weight, component) in enumerate(zip(self._weights, self._scorers)):
+            rank = component.score if isinstance(component, PlacementPolicy) else component
+            key = _component_name(component, index)
+            if key in detail:  # same-named components must not overwrite each other
+                key = f"{key}#{index}"
+            detail[key] = weight * rank(ctx, device)
+        return detail

@@ -1,0 +1,244 @@
+"""The string-keyed placement-policy registry.
+
+One global :class:`PolicyRegistry` (``default_registry``) maps short names to
+policy factories, in the spirit of the backend registries mature frameworks
+use to decouple strategy from runtime.  Users and the CLI address policies by
+name; engines resolve them on demand:
+
+* ``register_policy("name")`` — decorate a factory (usually the policy class
+  itself) into the default registry;
+* ``resolve_policy("fidelity")`` — a fresh instance of a registered policy;
+* ``resolve_policy("fidelity:queue_weight=0.3,estimator=esp")`` —
+  parameterized lookup: ``key=value`` pairs after the colon are parsed
+  (int / float / bool / str) and passed to the factory as keyword arguments;
+* unknown names raise a typed
+  :class:`~repro.utils.exceptions.PolicyNotFoundError` with a did-you-mean
+  suggestion built from the registered names.
+
+``resolve`` returns a **new instance per call** because policies may be
+stateful (RNG streams, round-robin cursors, per-job caches); sharing one
+instance across engines would entangle their decision streams.
+"""
+
+from __future__ import annotations
+
+import difflib
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.policies.api import PlacementPolicy
+from repro.utils.exceptions import PolicyNotFoundError, SchedulingError
+from repro.utils.rng import SeedLike
+
+#: What policy-accepting APIs take: a registered name (optionally
+#: parameterized ``"name:key=value,..."``) or a ready policy instance.
+PolicyLike = Union[str, PlacementPolicy]
+
+
+def _parse_value(raw: str) -> object:
+    """Parse one ``key=value`` value: int, float, bool or plain string."""
+    text = raw.strip()
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_policy_spec(spec: str) -> Tuple[str, Dict[str, object]]:
+    """Split ``"name:key=value,key=value"`` into ``(name, params)``."""
+    if not isinstance(spec, str) or not spec.strip():
+        raise SchedulingError("A policy spec must be a non-empty string")
+    name, _, raw_params = spec.partition(":")
+    name = name.strip()
+    params: Dict[str, object] = {}
+    if raw_params.strip():
+        for chunk in raw_params.split(","):
+            key, eq, value = chunk.partition("=")
+            if not eq or not key.strip():
+                raise SchedulingError(
+                    f"Malformed policy parameter {chunk!r} in {spec!r} (expected key=value)"
+                )
+            params[key.strip()] = _parse_value(value)
+    return name, params
+
+
+@dataclass(frozen=True)
+class RegisteredPolicy:
+    """One registry entry: factory plus the metadata the CLI listing shows."""
+
+    name: str
+    factory: Callable[..., PlacementPolicy]
+    description: str = ""
+    #: Keyword parameters the factory accepts, with their defaults.
+    parameters: Tuple[Tuple[str, object], ...] = field(default=())
+
+    def signature(self) -> str:
+        """``key=default`` summary of the tunable parameters."""
+        return ", ".join(f"{key}={value!r}" for key, value in self.parameters)
+
+
+class PolicyRegistry:
+    """String-keyed registry of placement-policy factories."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, RegisteredPolicy] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        name: str,
+        factory: Optional[Callable[..., PlacementPolicy]] = None,
+        *,
+        description: str = "",
+        replace: bool = False,
+    ):
+        """Register ``factory`` under ``name`` (usable as a decorator).
+
+        Args:
+            name: Registry key (what users type; lowercase by convention).
+            factory: Callable returning a :class:`PlacementPolicy`; omitted
+                when used as ``@registry.register("name")``.
+            description: One-line summary for the CLI ``policies`` listing;
+                defaults to the factory's docstring head.
+            replace: Allow overwriting an existing entry.
+
+        Raises:
+            SchedulingError: Duplicate name without ``replace=True``.
+        """
+        def _register(target: Callable[..., PlacementPolicy]):
+            if not replace and name in self._entries:
+                raise SchedulingError(f"A policy named '{name}' is already registered")
+            doc = description or (inspect.getdoc(target) or name).strip().splitlines()[0]
+            self._entries[name] = RegisteredPolicy(
+                name=name,
+                factory=target,
+                description=doc,
+                parameters=self._parameters_of(target),
+            )
+            return target
+
+        if factory is not None:
+            return _register(factory)
+        return _register
+
+    @staticmethod
+    def _parameters_of(factory: Callable) -> Tuple[Tuple[str, object], ...]:
+        try:
+            signature = inspect.signature(factory)
+        except (TypeError, ValueError):  # pragma: no cover - builtins only
+            return ()
+        return tuple(
+            (parameter.name, parameter.default)
+            for parameter in signature.parameters.values()
+            if parameter.default is not inspect.Parameter.empty
+        )
+
+    def unregister(self, name: str) -> None:
+        """Remove one entry (used by tests to keep the registry clean)."""
+        self._entries.pop(name, None)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def names(self) -> List[str]:
+        """Registered policy names, sorted."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def entry(self, name: str) -> RegisteredPolicy:
+        """The registry entry for ``name``.
+
+        Raises:
+            PolicyNotFoundError: Unknown name (with a did-you-mean hint).
+        """
+        if name not in self._entries:
+            matches = difflib.get_close_matches(name, self._entries, n=1, cutoff=0.5)
+            raise PolicyNotFoundError(
+                name,
+                known=tuple(self._entries),
+                suggestion=matches[0] if matches else None,
+            )
+        return self._entries[name]
+
+    def entries(self) -> List[RegisteredPolicy]:
+        """Every entry, sorted by name (the CLI listing's data source)."""
+        return [self._entries[name] for name in self.names()]
+
+    def create(self, name: str, **params: object) -> PlacementPolicy:
+        """Instantiate the policy registered under ``name`` with ``params``.
+
+        Raises:
+            PolicyNotFoundError: Unknown name.
+            SchedulingError: Parameters the factory does not accept.
+        """
+        entry = self.entry(name)
+        try:
+            policy = entry.factory(**params)
+        except TypeError as error:
+            raise SchedulingError(
+                f"Policy '{name}' rejected parameters {sorted(params)}: {error}"
+            ) from error
+        if not isinstance(policy, PlacementPolicy):
+            raise SchedulingError(
+                f"Factory for policy '{name}' returned {type(policy).__name__}, "
+                "not a PlacementPolicy"
+            )
+        return policy
+
+    def resolve(self, spec: PolicyLike, *, seed: SeedLike = None) -> PlacementPolicy:
+        """Resolve a policy spec into a fresh :class:`PlacementPolicy`.
+
+        Args:
+            spec: A ready policy instance (returned unchanged) or a string
+                ``"name"`` / ``"name:key=value,..."``.
+            seed: Default seed injected into seed-accepting factories when
+                the spec itself does not pin one.
+
+        Raises:
+            PolicyNotFoundError: Unknown registry name.
+            SchedulingError: Malformed spec or rejected parameters.
+        """
+        if isinstance(spec, PlacementPolicy):
+            return spec
+        name, params = parse_policy_spec(spec)
+        entry = self.entry(name)
+        if seed is not None and "seed" not in params:
+            accepted = {key for key, _ in entry.parameters}
+            if "seed" in accepted:
+                params["seed"] = seed
+        return self.create(name, **params)
+
+
+#: The process-wide registry the engines, service and CLI resolve against.
+default_registry = PolicyRegistry()
+
+
+def register_policy(
+    name: str,
+    factory: Optional[Callable[..., PlacementPolicy]] = None,
+    *,
+    description: str = "",
+    replace: bool = False,
+):
+    """Register into the default registry (see :meth:`PolicyRegistry.register`)."""
+    return default_registry.register(name, factory, description=description, replace=replace)
+
+
+def resolve_policy(spec: PolicyLike, *, seed: SeedLike = None) -> PlacementPolicy:
+    """Resolve against the default registry (see :meth:`PolicyRegistry.resolve`)."""
+    return default_registry.resolve(spec, seed=seed)

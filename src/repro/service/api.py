@@ -26,11 +26,12 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.backends.backend import Backend
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.cache import structural_circuit_hash
+from repro.policies.api import PlacementPolicy
 from repro.utils.exceptions import ServiceError
 from repro.utils.validation import require_positive_int, require_probability
 
@@ -92,6 +93,14 @@ class JobRequirements:
     #: ``deadline_s``); ``None`` sorts after every explicit deadline.  The
     #: deadline orders the queue — it does not cancel late jobs.
     deadline_s: Optional[float] = None
+    #: Placement policy for this job: a registry name (optionally
+    #: parameterized, e.g. ``"fidelity:queue_weight=0.3"``) or a ready
+    #: :class:`~repro.policies.PlacementPolicy` instance.  ``None`` (default)
+    #: keeps each engine's native placement path.  Every engine honours it,
+    #: so the *same* policy routes a job identically whichever engine runs
+    #: it.  The policy is part of the batch-dedup key: jobs under different
+    #: policies never share one placement.
+    policy: Optional[Union[str, PlacementPolicy]] = None
 
     def __post_init__(self) -> None:
         if self.num_qubits is not None:
@@ -100,6 +109,13 @@ class JobRequirements:
             raise ServiceError("priority must be an integer (higher = dispatched earlier)")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ServiceError("deadline_s must be a positive number of seconds")
+        if self.policy is not None and not isinstance(self.policy, (str, PlacementPolicy)):
+            raise ServiceError(
+                "policy must be a registry name (e.g. 'fidelity:queue_weight=0.3') "
+                "or a PlacementPolicy instance"
+            )
+        if isinstance(self.policy, str) and not self.policy.strip():
+            raise ServiceError("policy name must be a non-empty string")
         if self.fidelity_threshold is not None and self.topology_edges is not None:
             raise ServiceError(
                 "Fidelity and topology requirements are mutually exclusive; pick one"

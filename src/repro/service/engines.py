@@ -44,14 +44,126 @@ from repro.cloud.policies import AllocationPolicy, LeastLoadedPolicy
 from repro.cloud.simulation import CloudSession, CloudSimulationConfig, CloudSimulationResult, CloudSimulator
 from repro.cluster.job import DeviceConstraints, JobSpec as ClusterJobSpec, ResourceRequest
 from repro.cluster.registry import ClusterState
+from repro.core.cache import calibration_fingerprint, structural_circuit_hash
 from repro.core.meta_server import MetaServer
 from repro.core.scheduler import QRIOScheduler
 from repro.core.visualizer import MetaServerPayload, TopologyCanvas
+from repro.policies.adapters import as_allocation_policy
+from repro.policies.api import PlacementContext, PlacementPolicy
+from repro.policies.registry import PolicyLike, resolve_policy
 from repro.qasm.exporter import dump_qasm
 from repro.service.api import EngineResult, ExecutionEngine, JobSpec, Placement
 from repro.transpiler.preset import transpile
 from repro.utils.exceptions import ServiceError
 from repro.utils.rng import SeedLike, derive_seed
+
+
+class _PolicyResolver:
+    """Shared per-engine policy resolution: default + per-job overrides.
+
+    Engines accept ``policy`` as a registry name or a
+    :class:`~repro.policies.PlacementPolicy` instance, and every job may
+    override it through ``JobRequirements.policy``.  Resolved string specs
+    are cached per engine so stateful policies (round-robin cursors, RNG
+    streams) keep their state across the jobs of one engine rather than
+    being rebuilt per submission.
+    """
+
+    def __init__(self, default: Optional[PolicyLike], seed: SeedLike = None) -> None:
+        self._default = default
+        self._seed = seed
+        self._resolved: dict = {}
+
+    @property
+    def default(self) -> Optional[PolicyLike]:
+        """The engine-level default policy spec (``None`` = native path)."""
+        return self._default
+
+    def for_requirements(self, requirements) -> Optional[PlacementPolicy]:
+        """The effective policy for one job, or ``None`` for the native path."""
+        spec = requirements.policy if requirements.policy is not None else self._default
+        if spec is None:
+            return None
+        if isinstance(spec, PlacementPolicy):
+            return spec
+        if spec not in self._resolved:
+            self._resolved[spec] = resolve_policy(
+                spec, seed=derive_seed(self._seed, "placement-policy", spec)
+            )
+        return self._resolved[spec]
+
+
+def _schedule_with_policy(
+    cluster: ClusterState,
+    scheduler: QRIOScheduler,
+    policy: PlacementPolicy,
+    spec: JobSpec,
+    job_name: str,
+    fidelity_cache: dict,
+) -> Placement:
+    """One unified scheduling cycle over a cluster: filters, then the policy.
+
+    The scheduler's requirement filters (qubit count, classical resources,
+    device characteristics) still shortlist the nodes — user requirements
+    bind under every engine — and the policy's filter → score → select
+    pipeline then decides among the survivors.  The winning node is bound in
+    the cluster exactly as the native path would, so the RUNNING stage is
+    oblivious to how the decision was made.
+    """
+    job = cluster.job(job_name)
+    report = scheduler.run_filters(job)
+    nodes = {cluster.node(name).backend.name: cluster.node(name) for name in report.feasible}
+    rejected = {
+        cluster.node(name).backend.name: reason for name, reason in report.rejected.items()
+    }
+    requirements = spec.requirements
+    fleet = [node.backend for node in nodes.values()]
+    # Fidelity estimates are reused across jobs through the engine-lifetime
+    # cache, keyed by circuit *structure* plus a fleet-calibration epoch, so
+    # repeat submissions pay one estimate per device while recalibration
+    # silently invalidates every stale entry.
+    epoch = hash(tuple(sorted(calibration_fingerprint(b.properties) for b in fleet)))
+    ctx = PlacementContext(
+        fleet=fleet,
+        circuit=spec.circuit,
+        job_name=job_name,
+        workload_key=structural_circuit_hash(spec.circuit),
+        strategy=requirements.strategy,
+        fidelity_threshold=requirements.effective_fidelity_threshold,
+        topology_edges=requirements.topology_edges,
+        shots=spec.shots,
+        required_qubits=requirements.qubits_for(spec.circuit),
+        calibration_epoch=epoch,
+        fidelity_cache=fidelity_cache,
+        native={"job": job, "nodes": nodes},
+    )
+    decision = policy.decide(ctx, rejected=rejected)
+    if decision.device is None:
+        job.mark_unschedulable(f"no feasible device under policy '{decision.policy}'")
+        cluster.events.record(
+            "Unschedulable", job.name, f"0 feasible nodes under policy '{decision.policy}'"
+        )
+        return Placement(
+            job_name=job_name,
+            spec=spec,
+            device=None,
+            num_feasible=0,
+            detail={"decision": decision},
+        )
+    cluster.bind(job.name, nodes[decision.device].name, score=decision.score)
+    cluster.events.record(
+        "PolicyScheduled",
+        job.name,
+        f"policy '{decision.policy}' selected {decision.device} (score {decision.score:.4f})",
+    )
+    return Placement(
+        job_name=job_name,
+        spec=spec,
+        device=decision.device,
+        score=decision.score,
+        num_feasible=decision.num_feasible,
+        detail={"scores": decision.scores, "decision": decision},
+    )
 
 
 class OrchestratorEngine(ExecutionEngine):
@@ -63,12 +175,27 @@ class OrchestratorEngine(ExecutionEngine):
         *,
         cluster_name: str = "service-cluster",
         canary_shots: int = 512,
+        policy: Optional[PolicyLike] = None,
         seed: SeedLike = None,
     ) -> None:
+        """Wrap (or lazily build) a QRIO facade as an execution engine.
+
+        Args:
+            qrio: An existing facade to drive; ``None`` builds one on attach.
+            cluster_name: Cluster name of a lazily-built facade.
+            canary_shots: Clifford-canary shots of the meta server.
+            policy: Default placement policy (registry name or
+                :class:`~repro.policies.PlacementPolicy`) applied to jobs
+                that do not set ``JobRequirements.policy``; ``None`` keeps
+                the native meta-server ranking path.
+            seed: Base seed for the facade and policy resolution.
+        """
         self._qrio = qrio
         self._cluster_name = cluster_name
         self._canary_shots = canary_shots
         self._seed = seed
+        self._policies = _PolicyResolver(policy, seed=seed)
+        self._policy_fidelity_cache: dict = {}
 
     @property
     def name(self) -> str:
@@ -125,6 +252,16 @@ class OrchestratorEngine(ExecutionEngine):
         else:
             form.request_fidelity(requirements.effective_fidelity_threshold)
         self.qrio.submit_form(form)
+        policy = self._policies.for_requirements(requirements)
+        if policy is not None:
+            return _schedule_with_policy(
+                self.qrio.cluster,
+                self.qrio.scheduler,
+                policy,
+                spec,
+                job_name,
+                self._policy_fidelity_cache,
+            )
         outcome = self.qrio.schedule_job(job_name)
         return Placement(
             job_name=job_name,
@@ -169,8 +306,23 @@ class ClusterEngine(ExecutionEngine):
         cluster_name: str = "service-cluster-engine",
         canary_shots: int = 512,
         extra_filters: Optional[Sequence] = None,
+        policy: Optional[PolicyLike] = None,
         seed: SeedLike = None,
     ) -> None:
+        """Build a standalone cluster-framework engine.
+
+        Args:
+            cluster_name: Name of the cluster registry built on attach.
+            canary_shots: Clifford-canary shots of the meta server.
+            extra_filters: Additional framework filter plugins appended to
+                the default QRIO filter chain.
+            policy: Default placement policy (registry name or
+                :class:`~repro.policies.PlacementPolicy`) applied to jobs
+                that do not set ``JobRequirements.policy``; ``None`` keeps
+                the native filter/score-plugin path.
+            seed: Base seed for the meta server, transpilation and policy
+                resolution.
+        """
         self._cluster_name = cluster_name
         self._canary_shots = canary_shots
         self._extra_filters = list(extra_filters) if extra_filters else None
@@ -178,6 +330,8 @@ class ClusterEngine(ExecutionEngine):
         self._cluster: Optional[ClusterState] = None
         self._meta: Optional[MetaServer] = None
         self._scheduler: Optional[QRIOScheduler] = None
+        self._policies = _PolicyResolver(policy, seed=seed)
+        self._policy_fidelity_cache: dict = {}
 
     @property
     def name(self) -> str:
@@ -239,6 +393,16 @@ class ClusterEngine(ExecutionEngine):
             )
         self._meta.upload_job_metadata(payload)
         job = self.cluster.submit_job(cluster_spec)
+        policy = self._policies.for_requirements(requirements)
+        if policy is not None:
+            return _schedule_with_policy(
+                self.cluster,
+                self._scheduler,
+                policy,
+                spec,
+                job_name,
+                self._policy_fidelity_cache,
+            )
         decision = self._scheduler.schedule(job)
         return Placement(
             job_name=job_name,
@@ -335,12 +499,25 @@ class CloudEngine(ExecutionEngine):
 
     def __init__(
         self,
-        policy: Optional[AllocationPolicy] = None,
+        policy: Optional[object] = None,
         config: Optional[CloudSimulationConfig] = None,
         *,
         inter_arrival_s: float = 1.0,
         user: str = "service",
     ) -> None:
+        """Build a cloud-simulation engine.
+
+        Args:
+            policy: How arrivals are routed: a legacy
+                :class:`~repro.cloud.policies.AllocationPolicy`, a unified
+                :class:`~repro.policies.PlacementPolicy`, a registry name
+                (e.g. ``"fidelity:queue_weight=0.3"``) or ``None`` for the
+                least-loaded default.  Jobs may override it per submission
+                via ``JobRequirements.policy``.
+            config: Simulation knobs (fidelity reporting, time model, seed).
+            inter_arrival_s: Logical gap between consecutive submissions.
+            user: Submitting user recorded on every arrival.
+        """
         if inter_arrival_s < 0:
             raise ServiceError("inter_arrival_s must be non-negative")
         self._policy = policy
@@ -349,6 +526,10 @@ class CloudEngine(ExecutionEngine):
         self._user = user
         self._fleet: List[Backend] = []
         self._session: Optional[CloudSession] = None
+        self._alloc_policy: Optional[AllocationPolicy] = None
+        self._overrides = _PolicyResolver(
+            None, seed=derive_seed(config.seed if config is not None else None, "cloud-policy")
+        )
         self._clock = 0.0
         self._index = 0
 
@@ -365,11 +546,25 @@ class CloudEngine(ExecutionEngine):
 
     def attach(self, fleet: Sequence[Backend]) -> None:
         self._fleet = list(fleet)
-        simulator = CloudSimulator(
-            self._fleet,
-            self._policy if self._policy is not None else LeastLoadedPolicy(),
-            config=self._config,
-        )
+        policy = self._policy
+        if policy is None:
+            policy = LeastLoadedPolicy()
+        elif isinstance(policy, (str, PlacementPolicy)):
+            policy = as_allocation_policy(
+                resolve_policy(
+                    policy,
+                    seed=derive_seed(
+                        self._config.seed if self._config is not None else None, "cloud-policy"
+                    ),
+                )
+            )
+        elif not isinstance(policy, AllocationPolicy):
+            raise ServiceError(
+                "CloudEngine policy must be an AllocationPolicy, a PlacementPolicy, "
+                "a registry name or None"
+            )
+        self._alloc_policy = policy
+        simulator = CloudSimulator(self._fleet, policy, config=self._config)
         self._session = simulator.open_session()
 
     def fleet(self) -> List[Backend]:
@@ -399,18 +594,29 @@ class CloudEngine(ExecutionEngine):
         ]
         if not feasible:
             return Placement(job_name=job_name, spec=spec, device=None, num_feasible=0)
-        device = self.session.route(request, candidates=[backend.name for backend in feasible])
+        override: Optional[AllocationPolicy] = None
+        if requirements.policy is not None:
+            override = as_allocation_policy(self._overrides.for_requirements(requirements))
+        device = self.session.route(
+            request, candidates=[backend.name for backend in feasible], policy=override
+        )
         # Simulated-time queueing + fidelity reporting happens here, in
         # arrival order, so every later arrival's routing sees this job
         # already enqueued (the discrete-event contract) no matter how the
         # service interleaves the RUNNING stages.
         record = self.session.execute(request, device)
+        detail = {"request": request, "record": record}
+        decision = getattr(override if override is not None else self._alloc_policy, "last_decision", None)
+        if decision is not None:
+            detail["decision"] = decision
+            detail["scores"] = decision.scores
         return Placement(
             job_name=job_name,
             spec=spec,
             device=device,
+            score=None if decision is None else decision.score,
             num_feasible=len(feasible),
-            detail={"request": request, "record": record},
+            detail=detail,
         )
 
     def run(self, placement: Placement) -> EngineResult:
@@ -419,6 +625,7 @@ class CloudEngine(ExecutionEngine):
             device=record.device,
             counts={},
             shots=placement.spec.shots,
+            score=placement.score,
             fidelity=record.fidelity,
             detail={
                 "wait_time_s": record.wait_time,

@@ -42,7 +42,7 @@ from __future__ import annotations
 import itertools
 import threading
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.backends.backend import Backend
@@ -78,6 +78,22 @@ def _coerce_requirements(requirements: RequirementsLike) -> JobRequirements:
         f"requirements must be a JobRequirements, a fidelity threshold or None, "
         f"not {type(requirements).__name__}"
     )
+
+
+def _apply_policy(requirements: JobRequirements, policy) -> JobRequirements:
+    """Graft a ``policy`` argument onto coerced requirements.
+
+    An explicit ``requirements.policy`` wins; passing *both* (and different)
+    is ambiguous and raises.
+    """
+    if policy is None:
+        return requirements
+    if requirements.policy is not None and requirements.policy != policy:
+        raise ServiceError(
+            "Conflicting placement policies: requirements.policy="
+            f"{requirements.policy!r} vs policy={policy!r}"
+        )
+    return replace(requirements, policy=policy)
 
 
 @dataclass
@@ -200,6 +216,7 @@ class QRIOService:
         *,
         shots: int = 1024,
         name: Optional[str] = None,
+        policy: Optional[object] = None,
         block: bool = True,
     ) -> JobHandle:
         """Queue one job; returns its handle immediately (state QUEUED).
@@ -211,6 +228,11 @@ class QRIOService:
             shots: Measurement shots for the execution.
             name: Explicit job name (must be unique per service); ``None``
                 auto-assigns ``svc-NNNN``.
+            policy: Placement policy for this job — a registry name
+                (``"fidelity:queue_weight=0.3"``) or a
+                :class:`~repro.policies.PlacementPolicy`; shorthand for
+                setting ``requirements.policy``.  ``None`` keeps the
+                engine's native (or default) placement path.
             block: Backpressure mode of a concurrent service whose queue is
                 full: ``True`` (default) waits for capacity, ``False`` raises
                 immediately.  Ignored by a synchronous service (its queue is
@@ -227,7 +249,7 @@ class QRIOService:
         """
         spec = JobSpec(
             circuit=circuit,
-            requirements=_coerce_requirements(requirements),
+            requirements=_apply_policy(_coerce_requirements(requirements), policy),
             shots=shots,
             name=name,
         )
@@ -239,6 +261,7 @@ class QRIOService:
         requirements: RequirementsLike = None,
         *,
         shots: int = 1024,
+        policy: Optional[object] = None,
         block: bool = True,
     ) -> List[JobHandle]:
         """Queue many jobs at once, deduplicating structurally-identical ones.
@@ -253,6 +276,7 @@ class QRIOService:
             circuits: Circuits to submit (one job each).
             requirements: Shared requirements (same coercion as :meth:`submit`).
             shots: Shared shot budget.
+            policy: Shared placement policy (see :meth:`submit`).
             block: Backpressure mode (see :meth:`submit`); the batch is
                 admitted atomically — all groups or none.
 
@@ -264,7 +288,7 @@ class QRIOService:
                 queue capacity (always, when larger than ``max_pending``;
                 otherwise only with ``block=False``).
         """
-        coerced = _coerce_requirements(requirements)
+        coerced = _apply_policy(_coerce_requirements(requirements), policy)
         specs = [JobSpec(circuit=circuit, requirements=coerced, shots=shots) for circuit in circuits]
         return self.submit_specs(specs, block=block)
 

@@ -62,6 +62,25 @@ class SchedulingError(ClusterError):
     """Raised when a job cannot be scheduled onto any node."""
 
 
+class PolicyNotFoundError(ClusterError):
+    """Raised when a placement-policy name is missing from the registry.
+
+    Subclasses :class:`ClusterError` so scheduling-layer handlers that catch
+    the cluster taxonomy also catch mistyped policy names.  The message
+    carries a did-you-mean suggestion built from the registered names.
+    """
+
+    def __init__(self, name: str, known: "tuple[str, ...]" = (), suggestion: "str | None" = None) -> None:
+        message = f"Unknown placement policy '{name}'"
+        if suggestion:
+            message += f" — did you mean '{suggestion}'?"
+        if known:
+            message += f" (registered: {', '.join(sorted(known))})"
+        super().__init__(message)
+        self.name = name
+        self.suggestion = suggestion
+
+
 class CloudError(ClusterError):
     """Raised by the quantum-cloud simulation substrate (``repro.cloud``).
 

@@ -1,0 +1,162 @@
+"""Registry round-trip: register → resolve → parameterized resolve."""
+
+import pytest
+
+from repro.backends import three_device_testbed
+from repro.circuits import ghz
+from repro.policies import (
+    PlacementContext,
+    PlacementPolicy,
+    Pipeline,
+    PolicyNotFoundError,
+    PolicyRegistry,
+    default_registry,
+    parse_policy_spec,
+    register_policy,
+    resolve_policy,
+)
+from repro.policies.builtin import FidelityPlacementPolicy, LeastLoadedPlacementPolicy
+from repro.utils.exceptions import ClusterError, SchedulingError
+
+
+class SmallestDevicePolicy(PlacementPolicy):
+    """Test policy: prefer the feasible device with the fewest qubits."""
+
+    def __init__(self, bias: float = 0.0, seed=None):
+        self.bias = bias
+        self.seed = seed
+
+    def score(self, ctx, device):
+        return device.num_qubits + self.bias
+
+
+class TestRegistryRoundTrip:
+    def test_register_resolve_round_trip(self):
+        registry = PolicyRegistry()
+        registry.register("smallest", SmallestDevicePolicy)
+        policy = registry.resolve("smallest")
+        assert isinstance(policy, SmallestDevicePolicy)
+        ctx = PlacementContext(fleet=three_device_testbed(), circuit=ghz(3))
+        decision = policy.decide(ctx)
+        assert decision.device is not None
+        assert decision.num_feasible == 3
+
+    def test_parameterized_resolve(self):
+        registry = PolicyRegistry()
+        registry.register("smallest", SmallestDevicePolicy)
+        policy = registry.resolve("smallest:bias=2.5")
+        assert policy.bias == 2.5
+        assert registry.resolve("smallest:bias=3").bias == 3
+        assert isinstance(registry.resolve("smallest:bias=3").bias, int)
+
+    def test_value_parsing_types(self):
+        name, params = parse_policy_spec("p:a=1,b=2.5,c=true,d=text,e=none")
+        assert name == "p"
+        assert params == {"a": 1, "b": 2.5, "c": True, "d": "text", "e": None}
+
+    def test_malformed_spec_raises(self):
+        with pytest.raises(SchedulingError):
+            parse_policy_spec("p:novalue")
+        with pytest.raises(SchedulingError):
+            resolve_policy("")
+
+    def test_resolve_returns_fresh_instances(self):
+        registry = PolicyRegistry()
+        registry.register("smallest", SmallestDevicePolicy)
+        assert registry.resolve("smallest") is not registry.resolve("smallest")
+
+    def test_instances_pass_through(self):
+        policy = SmallestDevicePolicy()
+        assert resolve_policy(policy) is policy
+
+    def test_seed_injection(self):
+        registry = PolicyRegistry()
+        registry.register("smallest", SmallestDevicePolicy)
+        assert registry.resolve("smallest", seed=11).seed == 11
+        # An explicit spec seed wins over the injected default.
+        assert registry.resolve("smallest:seed=3", seed=11).seed == 3
+
+    def test_duplicate_registration_rejected(self):
+        registry = PolicyRegistry()
+        registry.register("smallest", SmallestDevicePolicy)
+        with pytest.raises(SchedulingError):
+            registry.register("smallest", SmallestDevicePolicy)
+        registry.register("smallest", SmallestDevicePolicy, replace=True)
+
+    def test_unknown_parameters_raise(self):
+        with pytest.raises(SchedulingError, match="rejected parameters"):
+            resolve_policy("least-loaded:bogus=1")
+
+
+class TestPolicyNotFound:
+    def test_unknown_name_raises_typed_error(self):
+        with pytest.raises(PolicyNotFoundError):
+            resolve_policy("no-such-policy")
+
+    def test_did_you_mean_suggestion(self):
+        with pytest.raises(PolicyNotFoundError, match="did you mean 'fidelity'"):
+            resolve_policy("fidelty")
+
+    def test_error_is_part_of_cluster_taxonomy(self):
+        with pytest.raises(ClusterError):
+            resolve_policy("fidelty")
+
+
+class TestDefaultRegistry:
+    def test_builtins_registered(self):
+        names = default_registry.names()
+        for expected in ("random", "round-robin", "least-loaded", "fidelity",
+                         "queue-aware", "threshold-fidelity", "topology"):
+            assert expected in names
+
+    def test_issue_example_parameterized_lookup(self):
+        policy = resolve_policy("fidelity:queue_weight=0.3")
+        assert isinstance(policy, FidelityPlacementPolicy)
+        assert "queue_weight=0.3" in policy.name
+
+    def test_register_policy_decorator(self):
+        @register_policy("tiny-test-policy", description="for the round-trip test")
+        class TinyPolicy(PlacementPolicy):
+            def score(self, ctx, device):
+                return 0.0
+
+        try:
+            assert isinstance(resolve_policy("tiny-test-policy"), TinyPolicy)
+            entry = default_registry.entry("tiny-test-policy")
+            assert entry.description == "for the round-trip test"
+        finally:
+            default_registry.unregister("tiny-test-policy")
+
+
+class TestPipeline:
+    def test_weighted_sum_and_composition(self):
+        fleet = three_device_testbed()
+        ctx = PlacementContext(fleet=fleet, circuit=ghz(3))
+        fidelity = FidelityPlacementPolicy(seed=5)
+        load = LeastLoadedPlacementPolicy()
+        pipe = Pipeline(scorers=[fidelity, load], weights=[1.0, 0.5], name="blend")
+        decision = pipe.decide(ctx)
+        assert decision.policy == "blend"
+        for entry in decision.ranked:
+            device = ctx.device(entry.device)
+            expected = fidelity.score(ctx, device) + 0.5 * load.score(ctx, device)
+            assert entry.score == pytest.approx(expected)
+
+    def test_filters_compose(self):
+        fleet = three_device_testbed()
+        ctx = PlacementContext(fleet=fleet, circuit=ghz(3))
+
+        def only_line(ctx, device):
+            return (device.name == "device_line", "not the line device")
+
+        pipe = Pipeline(filters=[only_line], scorers=[LeastLoadedPlacementPolicy()])
+        decision = pipe.decide(ctx)
+        assert decision.device == "device_line"
+        assert decision.num_feasible == 1
+        assert len(decision.rejected) == 2
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            Pipeline(scorers=[])
+        with pytest.raises(SchedulingError):
+            Pipeline(scorers=[LeastLoadedPlacementPolicy()], weights=[1.0, 2.0])
