@@ -24,6 +24,7 @@ from run_benchmarks import (
     bench_concurrency,
     bench_matching,
     bench_policy_dispatch,
+    bench_scenarios,
     bench_scheduler,
     bench_service,
     bench_stabilizer,
@@ -97,6 +98,21 @@ def test_concurrent_runtime_speedup(perf_scale):
     write_bench_json("BENCH_concurrency.json", {"scale": perf_scale, **payload})
 
 
+def test_scenario_replay_floor(perf_scale):
+    """Trace replay must hold its throughput floor and stay routing-neutral.
+
+    Guards the scenario subsystem: replay through ``ScenarioRunner`` must
+    sustain >= 500 jobs/s on the pure-dispatch cloud workload, cost at most
+    10x of feeding the bare discrete-event simulator, route identically to
+    it, and route one shared trace identically under all three engines.
+    """
+    payload = bench_scenarios(perf_scale, replay_floor=500.0, replay_ceiling=10.0)
+    assert payload["replay_jobs_per_second"] >= 500.0
+    assert payload["overhead"] <= 10.0
+    assert payload["cross_engine"]["neutral"] is True
+    write_bench_json("BENCH_scenarios.json", {"scale": perf_scale, **payload})
+
+
 def test_run_benchmarks_smoke_entry_point(tmp_path, monkeypatch):
     """The CI entry point succeeds end-to-end and emits every artefact."""
     monkeypatch.setenv("QRIO_BENCH_DIR", str(tmp_path))
@@ -105,3 +121,4 @@ def test_run_benchmarks_smoke_entry_point(tmp_path, monkeypatch):
     assert (tmp_path / "BENCH_matching.json").exists()
     assert (tmp_path / "BENCH_service.json").exists()
     assert (tmp_path / "BENCH_concurrency.json").exists()
+    assert (tmp_path / "BENCH_scenarios.json").exists()

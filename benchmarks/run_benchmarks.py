@@ -37,6 +37,11 @@ The script **fails loudly** (non-zero exit) when:
 * the concurrent runtime is less than ``--concurrency-floor`` (default 2x)
   faster than serial execution on the 4-device fleet, or schedules jobs onto
   different devices than the serial run;
+* scenario replay through the service layer falls below ``--replay-floor``
+  jobs/sec (default 500), costs more than ``--replay-ceiling`` (default 10x)
+  of feeding the bare discrete-event simulator directly, routes any job
+  differently from the bare simulator, or one policy routes a shared trace
+  differently across the three engines (cross-engine routing neutrality);
 * batched and scalar counts distributions disagree (Hellinger sanity check).
 
 Usage::
@@ -66,7 +71,7 @@ from conftest import time_callable, write_bench_json  # noqa: E402
 from repro.backends import three_device_testbed  # noqa: E402
 from repro.circuits import bernstein_vazirani, ghz  # noqa: E402
 from repro.circuits.random_circuits import random_clifford_circuit  # noqa: E402
-from repro.cloud.arrivals import JobRequest  # noqa: E402
+from repro.scenarios.arrivals import JobRequest  # noqa: E402
 from repro.cloud.policies import LeastLoadedPolicy  # noqa: E402
 from repro.cloud.simulation import CloudSimulationConfig, CloudSimulator  # noqa: E402
 from repro.core.cache import all_cache_stats, clear_all_caches  # noqa: E402
@@ -82,9 +87,11 @@ from repro.simulators import (  # noqa: E402
 #: run; shots/sec extrapolates fairly because scalar cost is linear in shots.
 _SCALES: Dict[str, Dict[str, int]] = {
     "smoke": {"scalar_shots": 32, "batched_shots": 1024, "repeats": 1, "match_rounds": 4, "jobs": 18,
-              "service_jobs": 32, "concurrent_jobs": 16, "dispatch_jobs": 240, "dispatch_repeats": 3},
+              "service_jobs": 32, "concurrent_jobs": 16, "dispatch_jobs": 240, "dispatch_repeats": 3,
+              "replay_jobs": 120, "neutrality_jobs": 6},
     "default": {"scalar_shots": 128, "batched_shots": 1024, "repeats": 3, "match_rounds": 8, "jobs": 30,
-                "service_jobs": 32, "concurrent_jobs": 24, "dispatch_jobs": 480, "dispatch_repeats": 5},
+                "service_jobs": 32, "concurrent_jobs": 24, "dispatch_jobs": 480, "dispatch_repeats": 5,
+                "replay_jobs": 240, "neutrality_jobs": 6},
 }
 
 #: Concurrency workload: 4 devices, 4 workers, fixed per-job device occupancy.
@@ -476,6 +483,116 @@ def bench_concurrency(scale: str, concurrency_floor: float) -> Dict[str, object]
 
 
 # --------------------------------------------------------------------------- #
+# Scenario replay throughput + cross-engine routing neutrality
+# --------------------------------------------------------------------------- #
+def bench_scenarios(scale: str, replay_floor: float, replay_ceiling: float) -> Dict[str, object]:
+    """Trace replay through the scenario layer vs the bare simulator.
+
+    Two guards on the scenario subsystem:
+
+    1. **Replay cost** — replaying a normalised trace through
+       ``ScenarioRunner`` (cloud engine, native policy, fidelity reporting
+       off so nothing but dispatch is timed) must sustain ``replay_floor``
+       jobs/sec and stay within ``replay_ceiling`` of feeding the same trace
+       straight into ``CloudSimulator.run``, and both paths must route every
+       job identically — the service layer adds observability, never
+       different decisions.
+    2. **Cross-engine routing neutrality** — one registered policy
+       (``round-robin``) replaying one small trace must route identically
+       under the orchestrator, cluster and cloud engines, which is what makes
+       sweep rows comparable across engines.
+    """
+    from repro.scenarios import PoissonProcess, ScenarioRunner, Trace, generate_requests
+    from repro.workloads import clifford_suite
+
+    sizes = _SCALES[scale]
+    fleet = three_device_testbed()
+    jobs = sizes["replay_jobs"]
+    trace = Trace.from_requests(
+        "bench-replay",
+        generate_requests(
+            PoissonProcess(rate_per_hour=3600.0),
+            num_jobs=jobs,
+            suite=clifford_suite(),
+            seed=3,
+            shots=128,
+        ),
+    )
+    config = CloudSimulationConfig(fidelity_report="none", seed=5)
+
+    def direct_run():
+        return CloudSimulator(fleet, LeastLoadedPolicy(), config=config).run(list(trace.jobs))
+
+    def scenario_run():
+        runner = ScenarioRunner(fleet, engine="cloud", seed=5, fidelity_report="none")
+        return runner.replay(trace)
+
+    direct_seconds, direct_result = time_callable(direct_run, repeats=1)
+    scenario_seconds, scenario_report = time_callable(scenario_run, repeats=1)
+    if [r.device for r in direct_result.records] != [o.device for o in scenario_report.outcomes]:
+        raise BenchFailure(
+            "Scenario replay routed the trace differently from the bare cloud simulator — "
+            "the scenario layer must be routing-neutral"
+        )
+    throughput = jobs / scenario_seconds
+    if throughput < replay_floor:
+        raise BenchFailure(
+            f"Scenario replay throughput {throughput:.0f} jobs/s is below the "
+            f"{replay_floor:.0f} jobs/s floor"
+        )
+    overhead = scenario_seconds / direct_seconds
+    if overhead > replay_ceiling:
+        raise BenchFailure(
+            f"Scenario-layer replay overhead {overhead:.2f}x exceeds the "
+            f"{replay_ceiling:.2f}x ceiling over the bare simulator"
+        )
+
+    neutrality_trace = Trace.from_requests(
+        "bench-neutrality",
+        generate_requests(
+            PoissonProcess(rate_per_hour=3600.0),
+            num_jobs=sizes["neutrality_jobs"],
+            suite=clifford_suite(),
+            seed=9,
+            shots=64,
+        ),
+    )
+    routes = {}
+    for engine in ("orchestrator", "cluster", "cloud"):
+        runner = ScenarioRunner(
+            fleet,
+            engine=engine,
+            policy="round-robin",
+            seed=7,
+            canary_shots=64,
+            fidelity_report="none",
+        )
+        routes[engine] = [outcome.device for outcome in runner.replay(neutrality_trace).outcomes]
+    if not (routes["orchestrator"] == routes["cluster"] == routes["cloud"]):
+        raise BenchFailure(
+            f"Policy 'round-robin' routed the neutrality trace differently per engine: {routes}"
+        )
+    return {
+        "jobs": jobs,
+        "devices": len(fleet),
+        "workload": "Clifford-suite Poisson trace, cloud engine, fidelity_report=none",
+        "direct_seconds": direct_seconds,
+        "scenario_seconds": scenario_seconds,
+        "direct_jobs_per_second": jobs / direct_seconds,
+        "replay_jobs_per_second": throughput,
+        "replay_floor": replay_floor,
+        "overhead": overhead,
+        "overhead_ceiling": replay_ceiling,
+        "cross_engine": {
+            "jobs": sizes["neutrality_jobs"],
+            "policy": "round-robin",
+            "routes": routes["cloud"],
+            "neutral": True,
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
 def run_all(
     scale: str,
     stabilizer_floor: float = 10.0,
@@ -483,6 +600,8 @@ def run_all(
     service_floor: float = 5.0,
     concurrency_floor: float = 2.0,
     dispatch_ceiling: float = 1.5,
+    replay_floor: float = 500.0,
+    replay_ceiling: float = 10.0,
 ) -> Dict[str, Path]:
     """Run every measurement and write the BENCH artefacts; returns their paths."""
     stabilizer = bench_stabilizer(scale, stabilizer_floor)
@@ -491,6 +610,7 @@ def run_all(
     policy_dispatch = bench_policy_dispatch(scale, dispatch_ceiling)
     service = bench_service(scale, service_floor)
     concurrency = bench_concurrency(scale, concurrency_floor)
+    scenarios = bench_scenarios(scale, replay_floor, replay_ceiling)
     paths = {
         "stabilizer": write_bench_json("BENCH_stabilizer.json", {"scale": scale, **stabilizer}),
         "matching": write_bench_json(
@@ -504,6 +624,7 @@ def run_all(
         ),
         "service": write_bench_json("BENCH_service.json", {"scale": scale, **service}),
         "concurrency": write_bench_json("BENCH_concurrency.json", {"scale": scale, **concurrency}),
+        "scenarios": write_bench_json("BENCH_scenarios.json", {"scale": scale, **scenarios}),
     }
     return paths
 
@@ -518,6 +639,10 @@ def main(argv=None) -> int:
                         help="minimum concurrent-vs-serial runtime speedup on the 4-device fleet")
     parser.add_argument("--dispatch-ceiling", type=float, default=1.5,
                         help="maximum slowdown of registry-resolved policies vs legacy policy objects")
+    parser.add_argument("--replay-floor", type=float, default=500.0,
+                        help="minimum scenario-replay throughput in jobs/sec (cloud engine)")
+    parser.add_argument("--replay-ceiling", type=float, default=10.0,
+                        help="maximum scenario-replay slowdown vs feeding the bare simulator")
     args = parser.parse_args(argv)
     try:
         paths = run_all(
@@ -527,6 +652,8 @@ def main(argv=None) -> int:
             args.service_floor,
             args.concurrency_floor,
             args.dispatch_ceiling,
+            args.replay_floor,
+            args.replay_ceiling,
         )
     except BenchFailure as failure:
         print(f"PERF REGRESSION: {failure}", file=sys.stderr)
@@ -551,10 +678,16 @@ def main(argv=None) -> int:
                 f"service: batch {payload['speedup']:.1f}x over one-at-a-time "
                 f"({payload['jobs']} identical jobs, 1 scheduling pass) -> {path}"
             )
-        else:
+        elif name == "concurrency":
             print(
                 f"concurrency: {payload['workers']} workers {payload['speedup']:.1f}x over serial "
                 f"({payload['jobs']} jobs, {payload['devices']} devices) -> {path}"
+            )
+        else:
+            print(
+                f"scenarios: replay {payload['replay_jobs_per_second']:.0f} jobs/s "
+                f"({payload['overhead']:.1f}x of the bare simulator, routing-neutral "
+                f"across 3 engines) -> {path}"
             )
     return 0
 

@@ -9,8 +9,14 @@ The CLI exposes the pieces a new user typically wants without writing Python:
   the paper's tables/figures and print the same rows the paper reports;
 * ``repro-qrio extension cloud-policies|calibration-drift|scalable-matching``
   — run one of the future-work extension experiments;
-* ``repro-qrio policies`` — list the registered placement policies (the
-  unified ``repro.policies`` registry) with their tunable parameters;
+* ``repro-qrio policies [--json]`` — list the registered placement policies
+  (the unified ``repro.policies`` registry) with their tunable parameters;
+* ``repro-qrio scenarios list|run|replay|sweep`` — the scenario subsystem:
+  list the named workload scenarios (``--json`` for scripts), replay one
+  against any engine × policy × workers configuration (``run``; ``--record``
+  saves the generated trace as a portable JSONL file), replay a previously
+  recorded trace file (``replay``), or run the policy × engine grid over
+  named scenarios and print the comparison table (``sweep``);
 * ``repro-qrio submit <circuit.qasm>`` — schedule a QASM file against a
   generated fleet with either a fidelity or a topology requirement, routed
   through the unified job service (``--engine`` picks the execution engine —
@@ -29,6 +35,7 @@ Every command accepts ``--seed`` and the experiment commands accept
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -197,6 +204,17 @@ def _service_for_submit(args: argparse.Namespace):
 
 def _cmd_policies(args: argparse.Namespace) -> int:
     """List every registered placement policy with its tunable parameters."""
+    if args.json:
+        payload = [
+            {
+                "name": entry.name,
+                "description": entry.description,
+                "parameters": {key: value for key, value in entry.parameters},
+            }
+            for entry in default_registry.entries()
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True, default=repr))
+        return 0
     print("Registered placement policies (submit --policy NAME or NAME:key=value,...):")
     for entry in default_registry.entries():
         print(f"  {entry.name:<20s} {entry.description}")
@@ -206,6 +224,125 @@ def _cmd_policies(args: argparse.Namespace) -> int:
         "\nAny engine (--engine qrio|cluster|cloud) can run any of these; "
         "add --explain to submit to see the per-device breakdown."
     )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Scenario subcommands
+# --------------------------------------------------------------------------- #
+def _print_scenario_report(report, as_json: bool) -> None:
+    from repro.scenarios import SWEEP_COLUMNS, render_metric_table
+
+    if as_json:
+        print(report.to_json())
+        return
+    print(
+        render_metric_table(
+            [report.row()],
+            SWEEP_COLUMNS,
+            title=f"Scenario '{report.scenario}' ({report.wait_clock}-clock waits)",
+        )
+    )
+    print("\nJobs per device:", ", ".join(f"{d}={n}" for d, n in report.jobs_per_device.items()))
+    if report.device_utilisation:
+        print(
+            "Device utilisation:",
+            ", ".join(f"{d}={u:.2f}" for d, u in report.device_utilisation.items()),
+        )
+
+
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import available_scenarios, scenario
+
+    rows = [scenario(name).describe() for name in available_scenarios()]
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    print("Named workload scenarios (scenarios run NAME, scenarios sweep --scenarios a,b):")
+    for row in rows:
+        print(f"  {row['name']:<14s} {row['description']}")
+        print(
+            f"  {'':<14s}   process={row['process']}  jobs={row['num_jobs']}  "
+            f"users={row['num_users']}  suite={row['suite']}"
+        )
+    return 0
+
+
+def _scenario_runner(args: argparse.Namespace, fleet):
+    from repro.scenarios import ScenarioRunner
+
+    return ScenarioRunner(
+        fleet,
+        engine=args.engine,
+        policy=args.policy,
+        workers=args.workers,
+        seed=args.seed,
+        fidelity_report=args.fidelity_report,
+        canary_shots=args.canary_shots,
+    )
+
+
+def _scenario_errors(handler):
+    """Print library errors as ``error: ...`` + exit 2, like ``submit`` does."""
+    def wrapped(args: argparse.Namespace) -> int:
+        try:
+            return handler(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    return wrapped
+
+
+@_scenario_errors
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import build_scenario_trace, record
+
+    trace = build_scenario_trace(args.name, seed=args.seed, num_jobs=args.jobs)
+    if args.record:
+        path = record(trace, args.record)
+        print(f"Trace '{trace.name}' ({len(trace)} jobs) recorded to {path}", file=sys.stderr)
+    fleet = generate_fleet(limit=args.devices, seed=args.seed)
+    report = _scenario_runner(args, fleet).replay(trace)
+    _print_scenario_report(report, args.json)
+    return 0
+
+
+@_scenario_errors
+def _cmd_scenarios_replay(args: argparse.Namespace) -> int:
+    from repro.scenarios import load_trace
+
+    trace = load_trace(args.trace)
+    fleet = generate_fleet(limit=args.devices, seed=args.seed)
+    report = _scenario_runner(args, fleet).replay(trace)
+    _print_scenario_report(report, args.json)
+    return 0
+
+
+@_scenario_errors
+def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
+    from repro.scenarios import NATIVE_POLICY, available_scenarios, render_sweep, run_sweep
+
+    scenarios = args.scenarios.split(",") if args.scenarios else available_scenarios()
+    engines = args.engines.split(",")
+    policies: List[Optional[str]] = [
+        None if name in (NATIVE_POLICY, "") else name for name in args.policies.split(",")
+    ]
+    fleet = generate_fleet(limit=args.devices, seed=args.seed)
+    result = run_sweep(
+        fleet,
+        scenarios,
+        engines=engines,
+        policies=policies,
+        workers=args.workers,
+        seed=args.seed,
+        num_jobs=args.jobs,
+        fidelity_report=args.fidelity_report,
+        canary_shots=args.canary_shots,
+    )
+    if args.json:
+        print(result.to_json())
+    else:
+        print(render_sweep(result, title=f"Scenario sweep ({len(result.reports)} cells)"))
     return 0
 
 
@@ -303,7 +440,74 @@ def build_parser() -> argparse.ArgumentParser:
     policies = subparsers.add_parser(
         "policies", help="list the registered placement policies and their parameters"
     )
+    policies.add_argument(
+        "--json", action="store_true",
+        help="emit the registry as JSON (name, description, parameter defaults) for scripts",
+    )
     policies.set_defaults(handler=_cmd_policies)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="named workload scenarios: list, run, replay a trace file, or sweep"
+    )
+    scenario_sub = scenarios.add_subparsers(dest="scenario_command", required=True)
+
+    def _add_replay_options(sub, *, single_cell: bool = True, workers_default: int = 0) -> None:
+        sub.add_argument("--devices", type=int, default=6, help="fleet size to schedule onto")
+        if single_cell:
+            sub.add_argument(
+                "--engine", choices=["orchestrator", "cluster", "cloud"], default="cloud",
+                help="execution engine the trace replays against (default: cloud)",
+            )
+            sub.add_argument(
+                "--policy", default=None,
+                help="placement policy by registry name (optionally parameterized); "
+                     "default: the engine's native path",
+            )
+        sub.add_argument("--workers", type=int, default=workers_default,
+                         help="service worker-pool size (0 = synchronous)")
+        sub.add_argument("--fidelity-report", choices=["none", "esp", "execute"],
+                         default="esp", dest="fidelity_report",
+                         help="cloud engine's per-job fidelity mode")
+        sub.add_argument("--canary-shots", type=int, default=128, dest="canary_shots",
+                         help="Clifford-canary shots of the orchestrator/cluster engines")
+        sub.add_argument("--json", action="store_true", help="emit the report as JSON")
+
+    scenarios_list = scenario_sub.add_parser("list", help="list the named scenarios")
+    scenarios_list.add_argument("--json", action="store_true",
+                                help="emit the catalogue as JSON for scripts")
+    scenarios_list.set_defaults(handler=_cmd_scenarios_list)
+
+    scenarios_run = scenario_sub.add_parser(
+        "run", help="build a named scenario's trace and replay it against an engine"
+    )
+    scenarios_run.add_argument("name", help="scenario name (see 'scenarios list')")
+    scenarios_run.add_argument("--jobs", type=int, default=None,
+                               help="override the scenario's trace length")
+    scenarios_run.add_argument("--record", default=None, metavar="PATH",
+                               help="also save the generated trace as a JSONL file")
+    _add_replay_options(scenarios_run)
+    scenarios_run.set_defaults(handler=_cmd_scenarios_run)
+
+    scenarios_replay = scenario_sub.add_parser(
+        "replay", help="replay a previously recorded JSONL trace file"
+    )
+    scenarios_replay.add_argument("trace", help="path to a qrio-trace JSONL file")
+    _add_replay_options(scenarios_replay)
+    scenarios_replay.set_defaults(handler=_cmd_scenarios_replay)
+
+    scenarios_sweep = scenario_sub.add_parser(
+        "sweep", help="replay scenarios over a policy × engine grid and compare"
+    )
+    scenarios_sweep.add_argument("--scenarios", default=None,
+                                 help="comma-separated scenario names (default: all)")
+    scenarios_sweep.add_argument("--engines", default="cloud",
+                                 help="comma-separated engines (orchestrator,cluster,cloud)")
+    scenarios_sweep.add_argument("--policies", default="native,least-loaded,fidelity",
+                                 help="comma-separated policy names; 'native' = no policy")
+    scenarios_sweep.add_argument("--jobs", type=int, default=None,
+                                 help="override every scenario's trace length")
+    _add_replay_options(scenarios_sweep, single_cell=False)
+    scenarios_sweep.set_defaults(handler=_cmd_scenarios_sweep)
 
     submit = subparsers.add_parser("submit", help="schedule a QASM circuit against a generated fleet")
     submit.add_argument("circuit", help="path to an OpenQASM 2.0 file")

@@ -7,20 +7,21 @@ characterisation study) — but its prototype schedules a single job at a time.
 This subpackage supplies the missing substrate so the multi-job future-work
 direction can be evaluated end to end:
 
-* :mod:`repro.cloud.arrivals` — Poisson job-arrival traces drawn from the
-  workload suites;
+* :mod:`repro.scenarios.arrivals` — job-arrival traces drawn from the
+  workload suites (``repro.cloud.arrivals`` remains a deprecation shim);
 * :mod:`repro.cloud.queueing` — per-device queues and a service-time model;
 * :mod:`repro.cloud.policies` — allocation policies from random through
   queue-aware fidelity scheduling;
 * :mod:`repro.cloud.calibration` — calibration-cycle drift models;
 * :mod:`repro.cloud.simulation` — the discrete-event simulator tying the
   pieces together;
-* :mod:`repro.cloud.metrics` — wait/fairness/utilisation metrics.
+* :mod:`repro.scenarios.metrics` — wait/fairness/utilisation metrics
+  (``repro.cloud.metrics`` remains a deprecation shim).
 """
 
-from repro.cloud.arrivals import ArrivalSpec, JobRequest, generate_trace, trace_summary
 from repro.cloud.calibration import CalibrationDriftModel, drift_fleet, drift_history
-from repro.cloud.metrics import jain_fairness_index, summarise_waits, wait_fairness
+from repro.scenarios.arrivals import ArrivalSpec, JobRequest, generate_trace, trace_summary
+from repro.scenarios.metrics import jain_fairness_index, summarise_waits, wait_fairness
 from repro.cloud.policies import (
     AllocationContext,
     AllocationPolicy,

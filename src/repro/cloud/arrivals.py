@@ -1,138 +1,38 @@
-"""Job-arrival traces for the multi-job cloud simulation.
+"""Deprecated shim — the arrival machinery moved to :mod:`repro.scenarios.arrivals`.
 
-Real quantum-cloud measurement studies (the IISWC'21 characterisation the
-paper cites) observe bursty streams of mostly-small jobs from many users.
-This module generates synthetic traces with the same coarse structure: a
-Poisson arrival process (optionally modulated by a day/night load factor)
-whose jobs are drawn from a weighted :class:`~repro.workloads.WorkloadSuite`
-and attributed to a fixed population of users.
+The Poisson/diurnal trace generator started life inside the cloud simulator;
+it is now the engine-neutral scenario layer's :class:`ArrivalProcess`
+protocol (with MMPP, Pareto, flash-crowd and closed-loop siblings).  This
+module re-exports the legacy surface unchanged — ``generate_trace`` still
+produces draw-for-draw identical traces — so existing imports keep working,
+but new code should import from :mod:`repro.scenarios` directly.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import warnings
 
-from repro.circuits.circuit import QuantumCircuit
-from repro.utils.exceptions import CloudError
-from repro.utils.rng import SeedLike, ensure_generator
-from repro.utils.validation import require_positive_int
-from repro.workloads.suites import WorkloadSuite, nisq_mix_suite
+from repro.scenarios.arrivals import (  # noqa: F401 - re-exported legacy surface
+    ArrivalSpec,
+    JobRequest,
+    PoissonProcess,
+    generate_requests,
+    generate_trace,
+    trace_summary,
+)
 
+warnings.warn(
+    "repro.cloud.arrivals is deprecated; import from repro.scenarios (e.g. "
+    "repro.scenarios.arrivals) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-@dataclass(frozen=True)
-class JobRequest:
-    """One job in an arrival trace."""
-
-    #: Monotonically increasing arrival index.
-    index: int
-    #: Arrival time in seconds from the start of the trace.
-    arrival_time: float
-    #: Workload-suite entry key the job was drawn from.
-    workload_key: str
-    #: The job's circuit (already built; traces are reproducible artefacts).
-    circuit: QuantumCircuit
-    #: ``"fidelity"`` or ``"topology"`` — the strategy the submitting user picks.
-    strategy: str
-    #: Fidelity requirement carried by fidelity-strategy submissions.
-    fidelity_threshold: float
-    #: Number of shots requested.
-    shots: int
-    #: Identifier of the submitting user (for fairness metrics).
-    user: str
-
-    @property
-    def name(self) -> str:
-        """Unique job name within the trace."""
-        return f"{self.workload_key}-{self.index:04d}"
-
-
-@dataclass(frozen=True)
-class ArrivalSpec:
-    """Parameters of a synthetic arrival trace."""
-
-    #: Mean arrival rate in jobs per hour.
-    rate_per_hour: float = 60.0
-    #: Number of jobs in the trace.
-    num_jobs: int = 100
-    #: Number of distinct users submitting jobs.
-    num_users: int = 8
-    #: Shots requested by every job.
-    shots: int = 1024
-    #: Relative amplitude of the diurnal modulation (0 disables it); the rate
-    #: oscillates between ``rate * (1 - amplitude)`` and ``rate * (1 + amplitude)``
-    #: over a 24-hour period.
-    diurnal_amplitude: float = 0.0
-    #: Workload suite jobs are drawn from; ``None`` uses the NISQ mix.
-    suite: Optional[WorkloadSuite] = None
-
-    def __post_init__(self) -> None:
-        if self.rate_per_hour <= 0:
-            raise CloudError("rate_per_hour must be positive")
-        require_positive_int(self.num_jobs, "num_jobs")
-        require_positive_int(self.num_users, "num_users")
-        require_positive_int(self.shots, "shots")
-        if not 0.0 <= self.diurnal_amplitude < 1.0:
-            raise CloudError("diurnal_amplitude must lie in [0, 1)")
-
-    def workload_suite(self) -> WorkloadSuite:
-        """The suite the trace samples from."""
-        return self.suite if self.suite is not None else nisq_mix_suite()
-
-
-def _instantaneous_rate(spec: ArrivalSpec, time_s: float) -> float:
-    """Arrival rate (jobs per second) at ``time_s`` under the diurnal model."""
-    base = spec.rate_per_hour / 3600.0
-    if spec.diurnal_amplitude <= 0.0:
-        return base
-    phase = 2.0 * math.pi * (time_s / 86_400.0)
-    return base * (1.0 + spec.diurnal_amplitude * math.sin(phase))
-
-
-def generate_trace(spec: ArrivalSpec, seed: SeedLike = None) -> List[JobRequest]:
-    """Generate a reproducible arrival trace from ``spec``.
-
-    Inter-arrival gaps are exponential with the (possibly time-varying) rate
-    evaluated at the previous arrival, jobs are drawn from the suite's
-    weighted mix, and users are assigned uniformly at random.
-    """
-    rng = ensure_generator(seed)
-    suite = spec.workload_suite()
-    requests: List[JobRequest] = []
-    clock = 0.0
-    for index in range(spec.num_jobs):
-        rate = _instantaneous_rate(spec, clock)
-        clock += float(rng.exponential(1.0 / rate))
-        entry = suite.sample(rng=rng)
-        user = f"user-{int(rng.integers(0, spec.num_users)):02d}"
-        requests.append(
-            JobRequest(
-                index=index,
-                arrival_time=clock,
-                workload_key=entry.key,
-                circuit=entry.circuit(),
-                strategy=entry.strategy,
-                fidelity_threshold=entry.fidelity_threshold,
-                shots=spec.shots,
-                user=user,
-            )
-        )
-    return requests
-
-
-def trace_summary(requests: List[JobRequest]) -> Dict[str, object]:
-    """Aggregate description of a trace (used by reports and logs)."""
-    if not requests:
-        return {"num_jobs": 0, "duration_s": 0.0, "workload_mix": {}, "num_users": 0}
-    mix: Dict[str, int] = {}
-    users = set()
-    for request in requests:
-        mix[request.workload_key] = mix.get(request.workload_key, 0) + 1
-        users.add(request.user)
-    return {
-        "num_jobs": len(requests),
-        "duration_s": requests[-1].arrival_time,
-        "workload_mix": dict(sorted(mix.items())),
-        "num_users": len(users),
-    }
+__all__ = [
+    "ArrivalSpec",
+    "JobRequest",
+    "PoissonProcess",
+    "generate_requests",
+    "generate_trace",
+    "trace_summary",
+]

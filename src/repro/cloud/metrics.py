@@ -1,74 +1,39 @@
-"""Wait-time, fairness and utilisation metrics for the cloud simulation."""
+"""Deprecated shim — the metric helpers moved to :mod:`repro.scenarios.metrics`.
+
+Wait-time summaries (now with p50/p95/p99 percentiles), Jain fairness and
+the fixed-width table renderer describe *any* engine's run, not just the
+cloud simulator's, so they live in the engine-neutral scenario layer.  This
+module re-exports them unchanged for existing imports; new code should
+import from :mod:`repro.scenarios` directly.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+import warnings
 
-import numpy as np
+from repro.scenarios.metrics import (  # noqa: F401 - re-exported legacy surface
+    WAIT_PERCENTILES,
+    jain_fairness_index,
+    makespan,
+    per_user_mean_waits,
+    render_metric_table,
+    summarise_waits,
+    wait_fairness,
+)
 
-from repro.utils.exceptions import CloudError
+warnings.warn(
+    "repro.cloud.metrics is deprecated; import from repro.scenarios (e.g. "
+    "repro.scenarios.metrics) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-
-def jain_fairness_index(values: Sequence[float]) -> float:
-    """Jain's fairness index over per-user allocations.
-
-    Ranges from ``1/n`` (one user gets everything) to ``1.0`` (perfectly even).
-    Conventionally computed over *throughput*-like quantities, so callers
-    should pass something where "more is better" (e.g. inverse mean wait).
-    """
-    values = [float(value) for value in values]
-    if not values:
-        raise CloudError("jain_fairness_index needs at least one value")
-    if any(value < 0 for value in values):
-        raise CloudError("jain_fairness_index values must be non-negative")
-    total = sum(values)
-    if total == 0.0:
-        return 1.0
-    squares = sum(value * value for value in values)
-    return (total * total) / (len(values) * squares)
-
-
-def summarise_waits(waits: Sequence[float]) -> Dict[str, float]:
-    """Mean / median / p95 / max of a collection of wait times (seconds)."""
-    if not waits:
-        return {"mean": 0.0, "median": 0.0, "p95": 0.0, "max": 0.0}
-    array = np.asarray(list(waits), dtype=float)
-    return {
-        "mean": float(array.mean()),
-        "median": float(np.median(array)),
-        "p95": float(np.percentile(array, 95)),
-        "max": float(array.max()),
-    }
-
-
-def per_user_mean_waits(waits_by_user: Mapping[str, Sequence[float]]) -> Dict[str, float]:
-    """Mean wait per user (the input to the fairness index)."""
-    return {
-        user: (float(np.mean(list(values))) if len(list(values)) else 0.0)
-        for user, values in waits_by_user.items()
-    }
-
-
-def wait_fairness(waits_by_user: Mapping[str, Sequence[float]]) -> float:
-    """Jain fairness over users' inverse mean waits (higher is fairer)."""
-    means = per_user_mean_waits(waits_by_user)
-    if not means:
-        return 1.0
-    inverse = [1.0 / (mean + 1.0) for mean in means.values()]
-    return jain_fairness_index(inverse)
-
-
-def render_metric_table(rows: List[Dict[str, object]], columns: List[str], title: str) -> str:
-    """Fixed-width text table used by the policy-comparison report."""
-    header = " ".join(f"{column:>18}" for column in columns)
-    lines = [title, header, "-" * len(header)]
-    for row in rows:
-        cells = []
-        for column in columns:
-            value = row.get(column, "")
-            if isinstance(value, float):
-                cells.append(f"{value:>18.4f}")
-            else:
-                cells.append(f"{str(value):>18}")
-        lines.append(" ".join(cells))
-    return "\n".join(lines)
+__all__ = [
+    "WAIT_PERCENTILES",
+    "jain_fairness_index",
+    "makespan",
+    "per_user_mean_waits",
+    "render_metric_table",
+    "summarise_waits",
+    "wait_fairness",
+]

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.backends.backend import Backend
-from repro.cloud.arrivals import JobRequest
+from repro.scenarios.arrivals import JobRequest
 from repro.cloud.queueing import DeviceQueue, ExecutionTimeModel
 from repro.fidelity.canary import CliffordCanaryEstimator
 from repro.fidelity.estimator import ESPEstimator

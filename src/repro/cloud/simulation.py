@@ -16,8 +16,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.backends.backend import Backend
-from repro.cloud.arrivals import JobRequest
-from repro.cloud.metrics import render_metric_table, summarise_waits, wait_fairness
+from repro.scenarios.arrivals import JobRequest
+from repro.scenarios.metrics import render_metric_table, summarise_waits, wait_fairness
 from repro.cloud.policies import AllocationContext, AllocationPolicy, FidelityPolicy
 from repro.cloud.queueing import DeviceQueue, ExecutionTimeModel, QueueSlot, build_queues
 from repro.core.cache import calibration_fingerprint, structural_circuit_hash
@@ -146,13 +146,15 @@ class CloudSimulationResult:
         }
 
     def summary(self) -> Dict[str, object]:
-        """One row of the policy-comparison table."""
+        """One row of the policy-comparison table (tail percentiles included)."""
         waits = self.wait_summary()
         return {
             "policy": self.policy_name,
             "jobs": len(self.records),
             "mean_wait_s": waits["mean"],
+            "p50_wait_s": waits["p50"],
             "p95_wait_s": waits["p95"],
+            "p99_wait_s": waits["p99"],
             "mean_turnaround_s": self.mean_turnaround(),
             "makespan_s": self.makespan(),
             "mean_fidelity": self.mean_fidelity() if self.mean_fidelity() is not None else float("nan"),

@@ -21,8 +21,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.backends.backend import Backend
 from repro.backends.fleet import generate_device
-from repro.cloud.arrivals import ArrivalSpec, JobRequest, generate_trace
-from repro.cloud.metrics import render_metric_table
+from repro.scenarios.arrivals import ArrivalSpec, JobRequest, generate_trace
+from repro.scenarios.metrics import render_metric_table
 from repro.cloud.policies import builtin_policies
 from repro.cloud.simulation import CloudSimulationConfig, CloudSimulationResult, compare_policies
 from repro.experiments.config import ExperimentConfig, default_config

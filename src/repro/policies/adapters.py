@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.backends.backend import Backend
-from repro.cloud.arrivals import JobRequest
+from repro.scenarios.arrivals import JobRequest
 from repro.cloud.policies import AllocationContext, AllocationPolicy
 from repro.cloud.queueing import ExecutionTimeModel
 from repro.cluster.framework import FilterPlugin, ScorePlugin

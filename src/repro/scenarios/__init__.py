@@ -1,0 +1,117 @@
+"""Engine-neutral scenarios: arrival processes, portable traces, sweeps.
+
+The source paper is a workload-characterisation study, yet until this
+subsystem existed the repo's workload machinery was trapped inside the cloud
+simulator.  ``repro.scenarios`` is the missing layer:
+
+* :mod:`repro.scenarios.arrivals` — the pluggable :class:`ArrivalProcess`
+  protocol (Poisson/diurnal, MMPP bursts, Pareto heavy tails, flash crowds,
+  closed client loops) feeding :func:`generate_requests`;
+* :mod:`repro.scenarios.trace` — the versioned JSONL :class:`Trace` format
+  (``save``/:func:`load_trace`), plus :class:`TraceRecorder` for capturing
+  live :class:`~repro.service.QRIOService` runs;
+* :mod:`repro.scenarios.runner` — :class:`ScenarioRunner`, replaying any
+  trace against any engine × policy × workers configuration into a unified
+  :class:`ScenarioReport` (wait percentiles, makespan, utilisation,
+  fidelity, Jain fairness);
+* :mod:`repro.scenarios.catalog` — named, reproducible scenario specs;
+* :mod:`repro.scenarios.sweep` — the policy × engine sweep harness;
+* :mod:`repro.scenarios.metrics` — the shared metric vocabulary (hoisted
+  from ``repro.cloud.metrics``, which remains a deprecation shim).
+
+``repro.cloud.arrivals`` is likewise a deprecation shim over
+:mod:`repro.scenarios.arrivals`; the cloud simulator consumes this layer.
+"""
+
+from repro.scenarios.arrivals import (
+    ArrivalProcess,
+    ArrivalSpec,
+    ClosedLoopProcess,
+    FlashCrowdProcess,
+    JobRequest,
+    MMPPProcess,
+    ParetoProcess,
+    PoissonProcess,
+    generate_requests,
+    generate_trace,
+    trace_summary,
+)
+from repro.scenarios.catalog import (
+    ScenarioSpec,
+    available_scenarios,
+    build_scenario_trace,
+    register_scenario,
+    scenario,
+    unregister_scenario,
+)
+from repro.scenarios.metrics import (
+    WAIT_PERCENTILES,
+    jain_fairness_index,
+    makespan,
+    per_user_mean_waits,
+    render_metric_table,
+    summarise_waits,
+    wait_fairness,
+)
+from repro.scenarios.runner import (
+    ENGINE_NAMES,
+    NATIVE_POLICY,
+    JobOutcome,
+    ScenarioReport,
+    ScenarioRunner,
+    policy_label,
+)
+from repro.scenarios.sweep import SWEEP_COLUMNS, SweepResult, render_sweep, run_sweep
+from repro.scenarios.trace import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    Trace,
+    TraceRecorder,
+    load_trace,
+    record,
+)
+from repro.utils.exceptions import ScenarioError
+
+__all__ = [
+    "ArrivalProcess",
+    "ArrivalSpec",
+    "ClosedLoopProcess",
+    "ENGINE_NAMES",
+    "FlashCrowdProcess",
+    "JobOutcome",
+    "JobRequest",
+    "MMPPProcess",
+    "NATIVE_POLICY",
+    "ParetoProcess",
+    "PoissonProcess",
+    "SWEEP_COLUMNS",
+    "ScenarioError",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "SweepResult",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Trace",
+    "TraceRecorder",
+    "WAIT_PERCENTILES",
+    "available_scenarios",
+    "build_scenario_trace",
+    "generate_requests",
+    "generate_trace",
+    "jain_fairness_index",
+    "load_trace",
+    "makespan",
+    "per_user_mean_waits",
+    "policy_label",
+    "record",
+    "register_scenario",
+    "render_metric_table",
+    "render_sweep",
+    "run_sweep",
+    "scenario",
+    "summarise_waits",
+    "trace_summary",
+    "unregister_scenario",
+    "wait_fairness",
+]

@@ -24,6 +24,7 @@ execution.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -93,6 +94,15 @@ class JobRequirements:
     #: ``deadline_s``); ``None`` sorts after every explicit deadline.  The
     #: deadline orders the queue — it does not cancel late jobs.
     deadline_s: Optional[float] = None
+    #: Simulated arrival time of this job in seconds, honoured by
+    #: latency-model engines (:class:`~repro.service.CloudEngine` stamps the
+    #: arrival on its discrete-event clock instead of spacing submissions
+    #: ``inter_arrival_s`` apart).  ``None`` (default) keeps the engine's own
+    #: clock.  The scenario runner sets this when replaying a recorded trace
+    #: so queueing dynamics reproduce the trace's timeline exactly; other
+    #: engines ignore it.  Part of the dedup key on purpose: two jobs
+    #: arriving at different simulated times are different queueing events.
+    arrival_time_s: Optional[float] = None
     #: Placement policy for this job: a registry name (optionally
     #: parameterized, e.g. ``"fidelity:queue_weight=0.3"``) or a ready
     #: :class:`~repro.policies.PlacementPolicy` instance.  ``None`` (default)
@@ -109,6 +119,8 @@ class JobRequirements:
             raise ServiceError("priority must be an integer (higher = dispatched earlier)")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ServiceError("deadline_s must be a positive number of seconds")
+        if self.arrival_time_s is not None and self.arrival_time_s < 0:
+            raise ServiceError("arrival_time_s must be a non-negative simulated time")
         if self.policy is not None and not isinstance(self.policy, (str, PlacementPolicy)):
             raise ServiceError(
                 "policy must be a registry name (e.g. 'fidelity:queue_weight=0.3') "
@@ -188,6 +200,11 @@ class JobEvent:
     sequence: int
     state: JobState
     message: str
+    #: Monotonic wall-clock stamp of when the transition was recorded.  Only
+    #: differences are meaningful (``time.monotonic`` has an arbitrary
+    #: origin); :meth:`QRIOService.wait_report` turns them into the
+    #: QUEUED→RUNNING wait and drain-makespan statistics.
+    timestamp: float = field(default_factory=time.monotonic)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"[{self.sequence}] {self.state.value}: {self.message}"

@@ -39,7 +39,7 @@ import time
 from typing import List, Optional, Sequence
 
 from repro.backends.backend import Backend
-from repro.cloud.arrivals import JobRequest
+from repro.scenarios.arrivals import JobRequest
 from repro.cloud.policies import AllocationPolicy, LeastLoadedPolicy
 from repro.cloud.simulation import CloudSession, CloudSimulationConfig, CloudSimulationResult, CloudSimulator
 from repro.cluster.job import DeviceConstraints, JobSpec as ClusterJobSpec, ResourceRequest
@@ -572,9 +572,18 @@ class CloudEngine(ExecutionEngine):
 
     def match(self, spec: JobSpec, job_name: str) -> Placement:
         requirements = spec.requirements
+        # An explicit JobRequirements.arrival_time_s pins the job on the
+        # simulated clock (how the scenario runner replays a trace's exact
+        # timeline); otherwise submissions arrive inter_arrival_s apart.
+        if requirements.arrival_time_s is not None:
+            arrival = requirements.arrival_time_s
+            self._clock = max(self._clock, arrival + self._inter_arrival_s)
+        else:
+            arrival = self._clock
+            self._clock = arrival + self._inter_arrival_s
         request = JobRequest(
             index=self._index,
-            arrival_time=self._clock,
+            arrival_time=arrival,
             workload_key=job_name,
             circuit=spec.circuit,
             strategy=requirements.strategy,
@@ -585,7 +594,6 @@ class CloudEngine(ExecutionEngine):
             user=self._user,
         )
         self._index += 1
-        self._clock += self._inter_arrival_s
         required_qubits = requirements.qubits_for(spec.circuit)
         feasible = [
             backend

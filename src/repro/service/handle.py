@@ -66,6 +66,22 @@ class _StateFlag(int):
     __str__ = __repr__
 
 
+def wall_wait_from_events(events: List[JobEvent]) -> Optional[float]:
+    """QUEUED→RUNNING wait of one event list, or ``None`` before RUNNING.
+
+    The one definition of "a job's wall-clock wait", shared by
+    :meth:`JobHandle.wall_wait_s` and callers that already hold an event
+    snapshot (``QRIOService.wait_report`` scans each handle's events once).
+    """
+    if not events:
+        return None
+    queued_at = events[0].timestamp
+    for event in events:
+        if event.state == JobState.RUNNING:
+            return event.timestamp - queued_at
+    return None
+
+
 class JobHandle:
     """Handle to one service job; created by the service, never directly."""
 
@@ -198,6 +214,17 @@ class JobHandle:
             index += len(batch)
             if terminal:
                 return
+
+    def wall_wait_s(self) -> Optional[float]:
+        """Wall-clock seconds from submission (QUEUED) to execution (RUNNING).
+
+        ``None`` when the job has not reached RUNNING (still queued/matching,
+        or failed before execution).  This is the per-job wait sample behind
+        :meth:`QRIOService.wait_report` and the scenario reports.
+        """
+        with self._cv:
+            events = list(self._events)
+        return wall_wait_from_events(events)
 
     def result(self, wait: bool = True, timeout: Optional[float] = None) -> ServiceResult:
         """The job's outcome.

@@ -190,6 +190,17 @@ class ServiceRuntime:
         with self._lock:
             self._idle.wait_for(lambda: self._inflight_groups == 0 and not self._heap)
 
+    def drain_report(self) -> Dict[str, object]:
+        """Drain, then summarise the run's wall-clock waits and makespan.
+
+        Returns :meth:`QRIOService.wait_report` — QUEUED→RUNNING wait
+        percentiles (p50/p95/p99), job counts and the submission-to-last-
+        terminal makespan — so a concurrent drain reports the same vocabulary
+        as a :class:`~repro.cloud.CloudSimulationResult` summary.
+        """
+        self.drain()
+        return self._service.wait_report()
+
     def wait_handle(self, handle, timeout: Optional[float]) -> bool:
         """Block until ``handle`` is terminal (or ``timeout``); returns success."""
         return handle._await_terminal(timeout)

@@ -57,7 +57,7 @@ from repro.service.api import (
     ServiceResult,
 )
 from repro.service.engines import OrchestratorEngine
-from repro.service.handle import JobHandle
+from repro.service.handle import JobHandle, wall_wait_from_events
 from repro.service.runtime import ServiceRuntime
 from repro.utils.exceptions import ReproError, ServiceError
 from repro.utils.rng import SeedLike
@@ -176,6 +176,10 @@ class QRIOService:
         #: Guards the name counter, handle registry and counters; submissions
         #: and worker-thread completions may touch them concurrently.
         self._state_lock = threading.Lock()
+        #: Observers of admitted submissions (``fn(job_name, spec)``), called
+        #: in submission order after a batch is registered — the hook
+        #: :class:`~repro.scenarios.TraceRecorder` captures live runs with.
+        self._submission_listeners: List = []
         self._runtime: Optional[ServiceRuntime] = None
         if workers:
             self._runtime = ServiceRuntime(self, workers=workers, max_pending=max_pending)
@@ -345,23 +349,53 @@ class QRIOService:
             if self._runtime is None:
                 self._register_submission(membership, handles)
                 self._pending.extend(ordered_groups)
-                return handles
-            # Concurrent path: only *reserve* the names for now.  Handles are
-            # published after the runtime admits the batch, so observers never
-            # see a job that backpressure may still reject (and a parked
-            # block=True submission is invisible until it is really queued).
-            self._reserved_names.update(names)
-        try:
-            self._runtime.enqueue(ordered_groups, block=block)
-        except ReproError:
-            # Atomicity: a rejected batch leaves the service untouched.
+            else:
+                # Concurrent path: only *reserve* the names for now.  Handles
+                # are published after the runtime admits the batch, so
+                # observers never see a job that backpressure may still reject
+                # (and a parked block=True submission is invisible until it is
+                # really queued).
+                self._reserved_names.update(names)
+        if self._runtime is not None:
+            try:
+                self._runtime.enqueue(ordered_groups, block=block)
+            except ReproError:
+                # Atomicity: a rejected batch leaves the service untouched.
+                with self._state_lock:
+                    self._reserved_names.difference_update(names)
+                raise
             with self._state_lock:
+                self._register_submission(membership, handles)
                 self._reserved_names.difference_update(names)
-            raise
-        with self._state_lock:
-            self._register_submission(membership, handles)
-            self._reserved_names.difference_update(names)
+        self._notify_submission(handles)
         return handles
+
+    def _notify_submission(self, handles: Sequence[JobHandle]) -> None:
+        """Tell every submission listener about an admitted batch, in order."""
+        if not self._submission_listeners:
+            return
+        with self._state_lock:
+            listeners = list(self._submission_listeners)
+        for handle in handles:
+            for listener in listeners:
+                listener(handle.name, handle.spec)
+
+    def add_submission_listener(self, listener) -> None:
+        """Register ``fn(job_name, spec)`` to observe every admitted job.
+
+        Listeners run on the submitting thread, after the batch is admitted
+        and registered (a rejected batch is never observed).  Listener
+        exceptions propagate to the submitter — a broken recorder should be
+        loud, not silently produce a truncated trace.
+        """
+        with self._state_lock:
+            self._submission_listeners.append(listener)
+
+    def remove_submission_listener(self, listener) -> None:
+        """Deregister a submission listener (no-op when absent)."""
+        with self._state_lock:
+            if listener in self._submission_listeners:
+                self._submission_listeners.remove(listener)
 
     def _register_submission(
         self, membership: List[Tuple[str, _JobGroup]], handles: List[JobHandle]
@@ -412,6 +446,54 @@ class QRIOService:
                 **runtime,
             }
         return {"engine": self._engine.name, "pending_groups": len(self._pending), **counters}
+
+    def wait_report(self) -> Dict[str, object]:
+        """Wall-clock wait/makespan statistics over every job submitted so far.
+
+        A job's *wait* is the time from submission (its QUEUED event) to the
+        start of execution (its RUNNING event); jobs that never reached
+        RUNNING (still queued, or failed during matching) contribute no wait
+        sample.  The *makespan* spans the first submission to the last
+        terminal transition.  Waits are summarised with the same
+        p50/p95/p99 percentile vocabulary the cloud simulator reports
+        (:func:`repro.scenarios.metrics.summarise_waits`), so a concurrent
+        runtime drain and a discrete-event simulation produce comparable
+        rows — the cloud simulator on its logical clock, this report on the
+        wall clock.
+        """
+        from repro.scenarios.metrics import summarise_waits
+
+        handles = self.jobs()
+        waits: List[float] = []
+        first_queued: Optional[float] = None
+        last_terminal: Optional[float] = None
+        finished = 0
+        for handle in handles:
+            events = handle.events()
+            if not events:
+                continue
+            queued_at = events[0].timestamp
+            first_queued = queued_at if first_queued is None else min(first_queued, queued_at)
+            wait = wall_wait_from_events(events)
+            if wait is not None:
+                waits.append(wait)
+            if events[-1].state.terminal:
+                finished += 1
+                last_terminal = (
+                    events[-1].timestamp
+                    if last_terminal is None
+                    else max(last_terminal, events[-1].timestamp)
+                )
+        makespan = 0.0
+        if first_queued is not None and last_terminal is not None:
+            makespan = max(0.0, last_terminal - first_queued)
+        return {
+            "jobs": len(handles),
+            "finished": finished,
+            "waits": summarise_waits(waits),
+            "makespan_s": makespan,
+            "clock": "wall",
+        }
 
     # ------------------------------------------------------------------ #
     # Processing

@@ -90,6 +90,16 @@ class CloudError(ClusterError):
     """
 
 
+class ScenarioError(CloudError):
+    """Raised by the scenario subsystem (``repro.scenarios``).
+
+    Subclasses :class:`CloudError` (and therefore :class:`ClusterError`)
+    because the arrival/metrics machinery moved out of ``repro.cloud`` into
+    the scenario layer — existing handlers around trace generation keep
+    working unchanged.
+    """
+
+
 class ServiceError(ReproError):
     """Raised by the unified job-service layer (``repro.service``)."""
 

@@ -5,8 +5,8 @@ The paper's evaluation schedules one job at a time; its future-work section
 a realistic mix of circuit families.  A :class:`WorkloadSuite` describes such
 a mix: each entry is a circuit factory plus a relative arrival weight, the
 ranking strategy the submitting user would pick (fidelity or topology) and a
-default fidelity requirement.  The cloud-load simulator
-(:mod:`repro.cloud.arrivals`) samples from these suites.
+default fidelity requirement.  The scenario layer's arrival processes
+(:mod:`repro.scenarios.arrivals`) sample from these suites.
 """
 
 from __future__ import annotations

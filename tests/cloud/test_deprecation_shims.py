@@ -1,0 +1,89 @@
+"""The repro.cloud.arrivals / repro.cloud.metrics deprecation shims."""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+
+def _fresh_import(module_name: str):
+    """Import ``module_name`` as if for the first time, capturing warnings.
+
+    The pre-existing module objects are restored afterwards: leaving freshly
+    re-executed modules in ``sys.modules`` would fork every class identity
+    (``isinstance`` checks elsewhere in the suite would then see two
+    ``AllocationPolicy`` classes, for example).
+    """
+    saved = {name: module for name, module in sys.modules.items() if name.startswith("repro")}
+    sys.modules.pop(module_name, None)
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            module = importlib.import_module(module_name)
+    finally:
+        sys.modules.update(saved)
+    return module, caught
+
+
+@pytest.mark.parametrize(
+    "module_name, new_home, symbols",
+    [
+        (
+            "repro.cloud.arrivals",
+            "repro.scenarios.arrivals",
+            ["ArrivalSpec", "JobRequest", "generate_trace", "trace_summary", "generate_requests"],
+        ),
+        (
+            "repro.cloud.metrics",
+            "repro.scenarios.metrics",
+            [
+                "jain_fairness_index",
+                "summarise_waits",
+                "per_user_mean_waits",
+                "wait_fairness",
+                "render_metric_table",
+            ],
+        ),
+    ],
+)
+def test_shim_warns_and_reexports_identical_symbols(module_name, new_home, symbols):
+    shim, caught = _fresh_import(module_name)
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert deprecations, f"importing {module_name} must emit a DeprecationWarning"
+    assert any("repro.scenarios" in str(w.message) for w in deprecations)
+    new_module = importlib.import_module(new_home)
+    for symbol in symbols:
+        assert getattr(shim, symbol) is getattr(new_module, symbol), (
+            f"{module_name}.{symbol} must be the exact object from {new_home}"
+        )
+
+
+def test_importing_repro_cloud_does_not_warn():
+    """The package itself imports from the new home, so it stays quiet."""
+    saved = {name: module for name, module in sys.modules.items() if name.startswith("repro")}
+    for name in list(sys.modules):
+        if name.startswith("repro.cloud"):
+            sys.modules.pop(name)
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.import_module("repro.cloud")
+    finally:
+        sys.modules.update(saved)
+    assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+def test_legacy_trace_generation_through_the_shim_is_unchanged():
+    """The shim's generate_trace must equal the scenario layer's, draw for draw."""
+    from repro.cloud.arrivals import ArrivalSpec as ShimSpec, generate_trace as shim_generate
+    from repro.scenarios import ArrivalSpec, generate_trace
+    from repro.workloads import clifford_suite
+
+    shim_trace = shim_generate(ShimSpec(num_jobs=15, suite=clifford_suite()), seed=19)
+    new_trace = generate_trace(ArrivalSpec(num_jobs=15, suite=clifford_suite()), seed=19)
+    assert [r.name for r in shim_trace] == [r.name for r in new_trace]
+    assert [r.arrival_time for r in shim_trace] == [r.arrival_time for r in new_trace]
+    assert [r.user for r in shim_trace] == [r.user for r in new_trace]

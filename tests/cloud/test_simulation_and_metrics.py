@@ -42,7 +42,9 @@ class TestMetrics:
         summary = summarise_waits([0.0, 10.0, 20.0, 30.0])
         assert summary["mean"] == pytest.approx(15.0)
         assert summary["max"] == 30.0
-        assert summarise_waits([]) == {"mean": 0.0, "median": 0.0, "p95": 0.0, "max": 0.0}
+        assert summarise_waits([]) == {
+            "mean": 0.0, "median": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
 
     def test_wait_fairness_prefers_even_waits(self):
         even = wait_fairness({"a": [10.0, 10.0], "b": [10.0]})

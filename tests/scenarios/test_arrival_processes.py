@@ -1,0 +1,179 @@
+"""Tests for the pluggable arrival processes of the scenario layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    ArrivalSpec,
+    ClosedLoopProcess,
+    FlashCrowdProcess,
+    MMPPProcess,
+    ParetoProcess,
+    PoissonProcess,
+    generate_requests,
+    generate_trace,
+)
+from repro.utils.exceptions import CloudError
+from repro.workloads import clifford_suite
+
+
+def _gaps(process, num_jobs=400, seed=11):
+    requests = generate_requests(process, num_jobs=num_jobs, suite=clifford_suite(), seed=seed)
+    times = [request.arrival_time for request in requests]
+    return np.diff([0.0] + times)
+
+
+class TestPoissonProcess:
+    def test_matches_the_legacy_generator_draw_for_draw(self):
+        """The refactor must not change a single legacy trace."""
+        spec = ArrivalSpec(rate_per_hour=90.0, num_jobs=40, diurnal_amplitude=0.4,
+                           suite=clifford_suite())
+        legacy_shaped = generate_trace(spec, seed=17)
+        via_process = generate_requests(
+            PoissonProcess(rate_per_hour=90.0, diurnal_amplitude=0.4),
+            num_jobs=40,
+            num_users=spec.num_users,
+            shots=spec.shots,
+            suite=clifford_suite(),
+            seed=17,
+        )
+        assert [r.name for r in legacy_shaped] == [r.name for r in via_process]
+        assert [r.arrival_time for r in legacy_shaped] == [r.arrival_time for r in via_process]
+        assert [r.user for r in legacy_shaped] == [r.user for r in via_process]
+
+    def test_mean_rate_is_close_to_requested(self):
+        gaps = _gaps(PoissonProcess(rate_per_hour=3600.0), num_jobs=600)
+        assert np.mean(gaps) == pytest.approx(1.0, rel=0.2)
+
+    def test_diurnal_name_and_validation(self):
+        assert PoissonProcess().name == "poisson"
+        assert PoissonProcess(diurnal_amplitude=0.5).name == "diurnal-poisson"
+        with pytest.raises(CloudError):
+            PoissonProcess(rate_per_hour=0.0)
+        with pytest.raises(CloudError):
+            PoissonProcess(diurnal_amplitude=1.0)
+
+
+class TestMMPPProcess:
+    def test_is_burstier_than_poisson(self):
+        """The MMPP gap stream must have a higher coefficient of variation."""
+        poisson_gaps = _gaps(PoissonProcess(rate_per_hour=3600.0))
+        mmpp_gaps = _gaps(MMPPProcess(rate_per_hour=3600.0, burst_factor=10.0))
+        cv = lambda gaps: np.std(gaps) / np.mean(gaps)  # noqa: E731
+        assert cv(mmpp_gaps) > cv(poisson_gaps)
+        assert cv(mmpp_gaps) > 1.2  # Poisson sits at ~1.0
+
+    def test_mean_rate_is_preserved(self):
+        gaps = _gaps(MMPPProcess(rate_per_hour=3600.0), num_jobs=800)
+        assert np.mean(gaps) == pytest.approx(1.0, rel=0.35)
+
+    def test_state_resets_between_traces(self):
+        process = MMPPProcess()
+        first = generate_requests(process, num_jobs=30, suite=clifford_suite(), seed=5)
+        second = generate_requests(process, num_jobs=30, suite=clifford_suite(), seed=5)
+        assert [r.arrival_time for r in first] == [r.arrival_time for r in second]
+
+    def test_validation(self):
+        with pytest.raises(CloudError):
+            MMPPProcess(burst_factor=1.0)
+        with pytest.raises(CloudError):
+            MMPPProcess(mean_burst_jobs=0.5)
+
+
+class TestParetoProcess:
+    def test_heavy_tail(self):
+        """Pareto gaps have a far larger max/median ratio than exponential."""
+        pareto_gaps = _gaps(ParetoProcess(rate_per_hour=3600.0, alpha=1.3), num_jobs=600)
+        poisson_gaps = _gaps(PoissonProcess(rate_per_hour=3600.0), num_jobs=600)
+        assert np.max(pareto_gaps) / np.median(pareto_gaps) > np.max(poisson_gaps) / np.median(poisson_gaps)
+
+    def test_rejects_infinite_mean_alpha(self):
+        with pytest.raises(CloudError):
+            ParetoProcess(alpha=1.0)
+
+
+class TestFlashCrowdProcess:
+    def test_rate_spikes_inside_the_window(self):
+        process = FlashCrowdProcess(
+            rate_per_hour=3600.0, flash_at_s=100.0, flash_duration_s=50.0, flash_multiplier=20.0
+        )
+        assert process.rate_at(0.0) == pytest.approx(1.0)
+        assert process.rate_at(120.0) == pytest.approx(20.0)
+        assert process.rate_at(151.0) == pytest.approx(1.0)
+
+    def test_arrivals_cluster_in_the_flash_window(self):
+        process = FlashCrowdProcess(
+            rate_per_hour=360.0, flash_at_s=60.0, flash_duration_s=60.0, flash_multiplier=30.0
+        )
+        requests = generate_requests(process, num_jobs=120, suite=clifford_suite(), seed=23)
+        in_window = [r for r in requests if 60.0 <= r.arrival_time < 120.0]
+        # 60s of 30x rate vs the ~20-minute baseline the rest needs: the
+        # window must hold far more than its share of wall-clock time.
+        assert len(in_window) > len(requests) / 3
+
+    def test_validation(self):
+        with pytest.raises(CloudError):
+            FlashCrowdProcess(flash_multiplier=1.0)
+        with pytest.raises(CloudError):
+            FlashCrowdProcess(flash_duration_s=0.0)
+
+
+class TestClosedLoopProcess:
+    def test_rate_saturates_at_population_over_think_time(self):
+        process = ClosedLoopProcess(num_clients=4, think_time_s=10.0)
+        requests = generate_requests(process, num_jobs=400, suite=clifford_suite(), seed=31)
+        duration = requests[-1].arrival_time
+        rate = len(requests) / duration
+        assert rate == pytest.approx(4 / 10.0, rel=0.25)
+
+    def test_doubling_clients_roughly_doubles_throughput(self):
+        small = generate_requests(
+            ClosedLoopProcess(num_clients=2, think_time_s=10.0),
+            num_jobs=300, suite=clifford_suite(), seed=7,
+        )
+        large = generate_requests(
+            ClosedLoopProcess(num_clients=4, think_time_s=10.0),
+            num_jobs=300, suite=clifford_suite(), seed=7,
+        )
+        assert small[-1].arrival_time / large[-1].arrival_time == pytest.approx(2.0, rel=0.3)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            ClosedLoopProcess(num_clients=0)
+        with pytest.raises(CloudError):
+            ClosedLoopProcess(think_time_s=0.0)
+
+
+class TestGenerateRequests:
+    def test_monotonic_times_and_population(self):
+        for process in (
+            PoissonProcess(),
+            MMPPProcess(),
+            ParetoProcess(),
+            FlashCrowdProcess(),
+            ClosedLoopProcess(),
+        ):
+            requests = generate_requests(
+                process, num_jobs=40, num_users=3, shots=256, suite=clifford_suite(), seed=2
+            )
+            times = [r.arrival_time for r in requests]
+            assert len(requests) == 40
+            assert all(later >= earlier for earlier, later in zip(times, times[1:]))
+            assert {r.user for r in requests} <= {f"user-{i:02d}" for i in range(3)}
+            assert all(r.shots == 256 for r in requests)
+
+    def test_deterministic_per_seed(self):
+        process = ParetoProcess()
+        first = generate_requests(process, num_jobs=25, suite=clifford_suite(), seed=13)
+        second = generate_requests(process, num_jobs=25, suite=clifford_suite(), seed=13)
+        other = generate_requests(process, num_jobs=25, suite=clifford_suite(), seed=14)
+        assert [r.arrival_time for r in first] == [r.arrival_time for r in second]
+        assert [r.arrival_time for r in first] != [r.arrival_time for r in other]
+
+    def test_describe_round_trips_the_parameters(self):
+        description = MMPPProcess(rate_per_hour=30.0, burst_factor=5.0).describe()
+        assert description["process"] == "mmpp"
+        assert description["rate_per_hour"] == 30.0
+        assert description["burst_factor"] == 5.0
