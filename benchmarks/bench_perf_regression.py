@@ -23,6 +23,7 @@ import run_benchmarks
 from run_benchmarks import (
     bench_concurrency,
     bench_matching,
+    bench_plans,
     bench_policy_dispatch,
     bench_scenarios,
     bench_scheduler,
@@ -113,6 +114,25 @@ def test_scenario_replay_floor(perf_scale):
     write_bench_json("BENCH_scenarios.json", {"scale": perf_scale, **payload})
 
 
+def test_compiled_plan_replay_floor(perf_scale):
+    """Warm plan replay must beat the cold compile path by >= 5x.
+
+    Guards the compile-once/execute-many subsystem (``repro.plans``): a
+    repeat submission must replay the cached ``ExecutionPlan`` — zero
+    recompiles, proven by the plan-cache statistics — at >= 5x the cold
+    throughput, and the Clifford-fused form of a workload must route and
+    sample bit-identically to the unfused original.
+    """
+    payload = bench_plans(perf_scale, plans_floor=5.0)
+    assert payload["speedup"] >= 5.0
+    assert payload["plan_replays"] == payload["jobs"]
+    assert payload["plan_recompiles"] == 0
+    assert payload["fusion"]["bit_identical"] is True
+    assert payload["fusion"]["hellinger_fidelity"] == 1.0
+    assert payload["fusion"]["gates_after"] < payload["fusion"]["gates_before"]
+    write_bench_json("BENCH_plans.json", {"scale": perf_scale, **payload})
+
+
 def test_run_benchmarks_smoke_entry_point(tmp_path, monkeypatch):
     """The CI entry point succeeds end-to-end and emits every artefact."""
     monkeypatch.setenv("QRIO_BENCH_DIR", str(tmp_path))
@@ -122,3 +142,4 @@ def test_run_benchmarks_smoke_entry_point(tmp_path, monkeypatch):
     assert (tmp_path / "BENCH_service.json").exists()
     assert (tmp_path / "BENCH_concurrency.json").exists()
     assert (tmp_path / "BENCH_scenarios.json").exists()
+    assert (tmp_path / "BENCH_plans.json").exists()

@@ -20,7 +20,12 @@ against:
   service runtime: the same job stream over a 4-device fleet (each job
   occupying its device for a fixed wall-clock latency, via
   ``DeviceLatencyEngine``) executed by ``workers=4`` per-device lanes vs the
-  synchronous ``workers=0`` path.
+  synchronous ``workers=0`` path;
+* ``BENCH_plans.json`` — compile-once/execute-many throughput of the plan
+  subsystem (``repro.plans``): warm plan replay vs cold compile on a
+  repeated-job service trace, with the plan-cache statistics proving the
+  warm path performed zero recompiles, plus the fusion-equivalence check
+  (fused and unfused circuits must be bit-identical).
 
 The script **fails loudly** (non-zero exit) when:
 
@@ -42,6 +47,9 @@ The script **fails loudly** (non-zero exit) when:
   of feeding the bare discrete-event simulator directly, routes any job
   differently from the bare simulator, or one policy routes a shared trace
   differently across the three engines (cross-engine routing neutrality);
+* warm plan replay is less than ``--plans-floor`` (default 5x) faster than
+  the cold compile path, performs even one recompile, or the fused circuit
+  diverges from the unfused original;
 * batched and scalar counts distributions disagree (Hellinger sanity check).
 
 Usage::
@@ -88,10 +96,10 @@ from repro.simulators import (  # noqa: E402
 _SCALES: Dict[str, Dict[str, int]] = {
     "smoke": {"scalar_shots": 32, "batched_shots": 1024, "repeats": 1, "match_rounds": 4, "jobs": 18,
               "service_jobs": 32, "concurrent_jobs": 16, "dispatch_jobs": 240, "dispatch_repeats": 3,
-              "replay_jobs": 120, "neutrality_jobs": 6},
+              "replay_jobs": 120, "neutrality_jobs": 6, "plan_jobs": 10},
     "default": {"scalar_shots": 128, "batched_shots": 1024, "repeats": 3, "match_rounds": 8, "jobs": 30,
                 "service_jobs": 32, "concurrent_jobs": 24, "dispatch_jobs": 480, "dispatch_repeats": 5,
-                "replay_jobs": 240, "neutrality_jobs": 6},
+                "replay_jobs": 240, "neutrality_jobs": 6, "plan_jobs": 24},
 }
 
 #: Concurrency workload: 4 devices, 4 workers, fixed per-job device occupancy.
@@ -593,6 +601,103 @@ def bench_scenarios(scale: str, replay_floor: float, replay_ceiling: float) -> D
 
 
 # --------------------------------------------------------------------------- #
+# Compiled execution plans (warm replay vs cold compile)
+# --------------------------------------------------------------------------- #
+def bench_plans(scale: str, plans_floor: float) -> Dict[str, object]:
+    """Warm plan replay vs cold compile on a repeated-job service trace.
+
+    The compile-once/execute-many split (``repro.plans``): the first
+    submission of a workload pays MATCHING + transpile + lowering and
+    publishes an ``ExecutionPlan`` into the fleet-wide plan cache; repeats
+    replay it.  The cold measurement clears every cache before each
+    submission so all of them pay the full cycle; the warm measurement
+    primes the plan once and times pure replays, asserting through the
+    plan-cache statistics that not one of them recompiled.  A
+    fusion-equivalence check rides along: the fused (Clifford-run-collapsed)
+    form of a workload must produce bit-identical counts to the unfused
+    original under the same job name and seed.
+    """
+    from repro.service import ClusterEngine, QRIOService
+    from repro.transpiler.fusion import fuse_clifford_runs
+
+    jobs = _SCALES[scale]["plan_jobs"]
+    fleet = three_device_testbed()
+
+    def cold_run():
+        service = QRIOService(fleet, ClusterEngine(seed=9, canary_shots=128))
+        for _ in range(jobs):
+            clear_all_caches()
+            service.submit(ghz(6), 0.9, shots=256).result()
+
+    cold_seconds, _ = time_callable(cold_run, repeats=1)
+
+    clear_all_caches()
+    warm_service = QRIOService(fleet, ClusterEngine(seed=9, canary_shots=128))
+    prime = warm_service.submit(ghz(6), 0.9, shots=256).result()  # compile once
+    stats_before = all_cache_stats()["plan"]
+
+    def warm_run():
+        for _ in range(jobs):
+            result = warm_service.submit(ghz(6), 0.9, shots=256).result()
+            assert result.device == prime.device
+
+    warm_seconds, _ = time_callable(warm_run, repeats=1)
+    stats = all_cache_stats()["plan"]
+    replays = stats["hits"] - stats_before["hits"]
+    recompiles = stats["misses"] - stats_before["misses"]
+    if replays != jobs or recompiles != 0:
+        raise BenchFailure(
+            f"Warm plan path recompiled: expected {jobs} replays / 0 misses, "
+            f"got {replays} / {recompiles}"
+        )
+    speedup = cold_seconds / warm_seconds
+    if speedup < plans_floor:
+        raise BenchFailure(
+            f"Warm-plan speedup {speedup:.1f}x is below the {plans_floor:.0f}x floor"
+        )
+
+    # Fusion equivalence: collapse a redundant Clifford run and demand the
+    # canonical form routes and samples bit-identically to the original.
+    unfused = ghz(6, measure=False)
+    unfused.s(0)
+    unfused.sdg(0)
+    unfused.measure_all()
+    fused = fuse_clifford_runs(unfused)
+    results = []
+    for circuit in (unfused, fused):
+        clear_all_caches()
+        service = QRIOService(fleet, ClusterEngine(seed=9, canary_shots=128))
+        results.append(service.submit(circuit, 0.9, shots=256, name="fusion-check").result())
+    fidelity = hellinger_fidelity(results[0].counts, results[1].counts)
+    if results[0].counts != results[1].counts or results[0].device != results[1].device:
+        raise BenchFailure(
+            f"Fused circuit diverged from the unfused original (device "
+            f"{results[1].device} vs {results[0].device}, Hellinger fidelity "
+            f"{fidelity:.3f}) — fusion must be bit-identical"
+        )
+    return {
+        "jobs": jobs,
+        "devices": len(fleet),
+        "workload": "ghz(6) fidelity jobs, 256 shots, canary_shots=128, cluster engine",
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_jobs_per_second": jobs / cold_seconds,
+        "warm_jobs_per_second": jobs / warm_seconds,
+        "speedup": speedup,
+        "plan_replays": replays,
+        "plan_recompiles": recompiles,
+        "plan_cache": dict(stats),
+        "fusion": {
+            "gates_before": len(unfused),
+            "gates_after": len(fused),
+            "hellinger_fidelity": fidelity,
+            "bit_identical": True,
+            "device": results[0].device,
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
 def run_all(
     scale: str,
     stabilizer_floor: float = 10.0,
@@ -602,6 +707,7 @@ def run_all(
     dispatch_ceiling: float = 1.5,
     replay_floor: float = 500.0,
     replay_ceiling: float = 10.0,
+    plans_floor: float = 5.0,
 ) -> Dict[str, Path]:
     """Run every measurement and write the BENCH artefacts; returns their paths."""
     stabilizer = bench_stabilizer(scale, stabilizer_floor)
@@ -611,6 +717,7 @@ def run_all(
     service = bench_service(scale, service_floor)
     concurrency = bench_concurrency(scale, concurrency_floor)
     scenarios = bench_scenarios(scale, replay_floor, replay_ceiling)
+    plans = bench_plans(scale, plans_floor)
     paths = {
         "stabilizer": write_bench_json("BENCH_stabilizer.json", {"scale": scale, **stabilizer}),
         "matching": write_bench_json(
@@ -625,6 +732,7 @@ def run_all(
         "service": write_bench_json("BENCH_service.json", {"scale": scale, **service}),
         "concurrency": write_bench_json("BENCH_concurrency.json", {"scale": scale, **concurrency}),
         "scenarios": write_bench_json("BENCH_scenarios.json", {"scale": scale, **scenarios}),
+        "plans": write_bench_json("BENCH_plans.json", {"scale": scale, **plans}),
     }
     return paths
 
@@ -643,6 +751,8 @@ def main(argv=None) -> int:
                         help="minimum scenario-replay throughput in jobs/sec (cloud engine)")
     parser.add_argument("--replay-ceiling", type=float, default=10.0,
                         help="maximum scenario-replay slowdown vs feeding the bare simulator")
+    parser.add_argument("--plans-floor", type=float, default=5.0,
+                        help="minimum warm-plan-replay vs cold-compile speedup")
     args = parser.parse_args(argv)
     try:
         paths = run_all(
@@ -654,6 +764,7 @@ def main(argv=None) -> int:
             args.dispatch_ceiling,
             args.replay_floor,
             args.replay_ceiling,
+            args.plans_floor,
         )
     except BenchFailure as failure:
         print(f"PERF REGRESSION: {failure}", file=sys.stderr)
@@ -683,11 +794,17 @@ def main(argv=None) -> int:
                 f"concurrency: {payload['workers']} workers {payload['speedup']:.1f}x over serial "
                 f"({payload['jobs']} jobs, {payload['devices']} devices) -> {path}"
             )
-        else:
+        elif name == "scenarios":
             print(
                 f"scenarios: replay {payload['replay_jobs_per_second']:.0f} jobs/s "
                 f"({payload['overhead']:.1f}x of the bare simulator, routing-neutral "
                 f"across 3 engines) -> {path}"
+            )
+        else:
+            print(
+                f"plans: warm replay {payload['speedup']:.1f}x over cold compile "
+                f"({payload['plan_replays']} replays, 0 recompiles, fusion "
+                f"bit-identical) -> {path}"
             )
     return 0
 

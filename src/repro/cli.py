@@ -399,6 +399,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         summary += f"  reported fidelity {result.fidelity:.4f}"
     summary += f"  ({result.num_feasible} devices passed filtering)"
     print(summary)
+    plan_stats = service.cache_stats().get("plan", {})
+    print(
+        f"Plan cache: {int(plan_stats.get('hits', 0))} hits / "
+        f"{int(plan_stats.get('misses', 0))} misses "
+        f"(hit rate {plan_stats.get('hit_rate', 0.0):.0%})"
+    )
     return 0
 
 

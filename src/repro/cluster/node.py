@@ -146,13 +146,19 @@ class Node:
         circuit: QuantumCircuit,
         shots: int = 1024,
         seed: SeedLike = None,
+        precompiled=None,
     ) -> SimulationResult:
-        """Run an already-transpiled circuit on this node's backend."""
+        """Run an already-transpiled circuit on this node's backend.
+
+        ``precompiled`` forwards a cached
+        :class:`~repro.simulators.noisy.PrecompiledExecution` to the backend
+        (the execution-plan replay path).
+        """
         if not circuit.has_measurements():
             raise ClusterError(
                 f"Job circuit '{circuit.name}' has no measurements; nothing would be returned"
             )
-        return self.backend.run(circuit, shots=shots, seed=seed)
+        return self.backend.run(circuit, shots=shots, seed=seed, precompiled=precompiled)
 
     # ------------------------------------------------------------------ #
     def describe(self) -> Dict[str, object]:

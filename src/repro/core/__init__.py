@@ -6,12 +6,15 @@ from repro.core.cache import (
     EmbeddingCache,
     IdealDistributionCache,
     LRUCache,
+    PlanCache,
     all_cache_stats,
     calibration_fingerprint,
     clear_all_caches,
     embedding_cache,
+    fleet_calibration_epoch,
     ideal_distribution_cache,
     pattern_hash,
+    plan_cache,
     structural_circuit_hash,
 )
 from repro.core.master_server import MasterServer, SubmittedJob
@@ -49,12 +52,15 @@ __all__ = [
     "EmbeddingCache",
     "IdealDistributionCache",
     "LRUCache",
+    "PlanCache",
     "all_cache_stats",
     "calibration_fingerprint",
     "clear_all_caches",
     "embedding_cache",
+    "fleet_calibration_epoch",
     "ideal_distribution_cache",
     "pattern_hash",
+    "plan_cache",
     "structural_circuit_hash",
     "DeviceCharacteristicsFilter",
     "DeviceSpec",

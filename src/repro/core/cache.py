@@ -48,11 +48,14 @@ __all__ = [
     "LRUCache",
     "EmbeddingCache",
     "IdealDistributionCache",
+    "PlanCache",
     "structural_circuit_hash",
     "pattern_hash",
     "calibration_fingerprint",
+    "fleet_calibration_epoch",
     "embedding_cache",
     "ideal_distribution_cache",
+    "plan_cache",
     "clear_all_caches",
     "all_cache_stats",
 ]
@@ -136,6 +139,26 @@ class LRUCache:
         """Drop every entry (statistics are kept)."""
         with self._lock:
             self._data.clear()
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Snapshot of the cached keys, least recently used first."""
+        with self._lock:
+            return tuple(self._data)
+
+    def discard(self, key: Hashable) -> bool:
+        """Remove ``key`` if present; ``True`` when an entry was dropped."""
+        with self._lock:
+            return self._data.pop(key, _MISSING) is not _MISSING
+
+    def resize(self, maxsize: int) -> None:
+        """Change the bound; shrinking below the population evicts LRU-first."""
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        with self._lock:
+            self.maxsize = maxsize
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
 
 
 # --------------------------------------------------------------------------- #
@@ -229,6 +252,19 @@ def calibration_fingerprint(properties) -> str:
     return _digest(parts())
 
 
+def fleet_calibration_epoch(fleet: Iterable) -> str:
+    """Stable digest of an entire fleet's calibration state.
+
+    The sorted per-device :func:`calibration_fingerprint` digests are folded
+    into one key, so the epoch is independent of registration order and —
+    unlike the builtin ``hash`` — survives process restarts (``hash`` of a
+    string is salted per process via ``PYTHONHASHSEED``).  Any device drifting
+    changes the epoch, which is what policy fidelity caches and the plan
+    cache key on.
+    """
+    return _digest(sorted(calibration_fingerprint(backend.properties) for backend in fleet))
+
+
 # --------------------------------------------------------------------------- #
 # Domain caches
 # --------------------------------------------------------------------------- #
@@ -315,11 +351,90 @@ class IdealDistributionCache:
         return self._store.stats
 
 
+class PlanCache:
+    """Memoized :class:`~repro.plans.ExecutionPlan` bundles.
+
+    Keys combine the *logical* circuit's structural hash, the placed device's
+    name, that device's calibration fingerprint, and engine-specific context
+    (engine name, base seed, frozen requirements, shot count) so a plan is
+    only ever replayed for a submission that would have recompiled to exactly
+    the same artifact.  Calibration drift invalidates implicitly — the new
+    fingerprint misses — and :meth:`invalidate_device` additionally drops the
+    stale entries eagerly when an epoch change is observed.
+    """
+
+    def __init__(self, maxsize: int = 512) -> None:
+        self._store = LRUCache(maxsize)
+
+    @staticmethod
+    def key(
+        circuit_digest: str,
+        device_name: str,
+        fingerprint: str,
+        *extra: Hashable,
+    ) -> Tuple[Hashable, ...]:
+        """Build a cache key; ``extra`` carries engine-specific context."""
+        return (circuit_digest, device_name, fingerprint) + tuple(extra)
+
+    def get(self, key: Tuple[Hashable, ...]) -> Any:
+        """Cached plan or ``None`` (a miss)."""
+        return self._store.get(key, None)
+
+    def put(self, key: Tuple[Hashable, ...], plan: Any) -> None:
+        """Store a compiled plan."""
+        self._store.put(key, plan)
+
+    def record_miss(self) -> None:
+        """Count a miss decided before any key could be built.
+
+        A submission whose workload has never been placed cannot know which
+        device to probe, so no key exists yet; the cold compile is still a
+        plan-cache miss and must show up in the hit-rate statistics.
+        """
+        self._store.stats.misses += 1
+
+    def invalidate_device(self, device_name: str, *, keep_fingerprint: Optional[str] = None) -> int:
+        """Eagerly drop every plan bound to ``device_name``.
+
+        ``keep_fingerprint`` preserves entries compiled against the current
+        calibration (pass the fresh fingerprint on an epoch change to purge
+        only the stale ones).  Returns the number of entries dropped.
+        """
+        dropped = 0
+        for key in self._store.keys():
+            if len(key) >= 3 and key[1] == device_name and key[2] != keep_fingerprint:
+                if self._store.discard(key):
+                    dropped += 1
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every cached plan."""
+        self._store.clear()
+
+    def resize(self, maxsize: int) -> None:
+        """Re-bound the underlying store (the ``plan_cache_size`` knob)."""
+        self._store.resize(maxsize)
+
+    @property
+    def maxsize(self) -> int:
+        """Current bound of the underlying store."""
+        return self._store.maxsize
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss statistics of the underlying store."""
+        return self._store.stats
+
+
 # --------------------------------------------------------------------------- #
 # Shared instances
 # --------------------------------------------------------------------------- #
 _EMBEDDING_CACHE = EmbeddingCache()
 _IDEAL_DISTRIBUTION_CACHE = IdealDistributionCache()
+_PLAN_CACHE = PlanCache()
 
 
 def embedding_cache() -> EmbeddingCache:
@@ -332,10 +447,16 @@ def ideal_distribution_cache() -> IdealDistributionCache:
     return _IDEAL_DISTRIBUTION_CACHE
 
 
+def plan_cache() -> PlanCache:
+    """The process-wide (fleet-wide) execution-plan cache."""
+    return _PLAN_CACHE
+
+
 def clear_all_caches() -> None:
     """Empty every shared cache (benchmarks call this between cold runs)."""
     _EMBEDDING_CACHE.clear()
     _IDEAL_DISTRIBUTION_CACHE.clear()
+    _PLAN_CACHE.clear()
 
 
 def all_cache_stats() -> Dict[str, Dict[str, float]]:
@@ -343,4 +464,5 @@ def all_cache_stats() -> Dict[str, Dict[str, float]]:
     return {
         "embedding": _EMBEDDING_CACHE.stats.as_dict(),
         "ideal_distribution": _IDEAL_DISTRIBUTION_CACHE.stats.as_dict(),
+        "plan": _PLAN_CACHE.stats.as_dict(),
     }

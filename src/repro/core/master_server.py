@@ -81,13 +81,21 @@ class MasterServer:
         return SubmittedJob(job=job, image=image, manifest=spec.to_manifest())
 
     # ------------------------------------------------------------------ #
-    def execute_bound_job(self, job_name: str, transpile_seed: SeedLike = None) -> SimulationResult:
+    def execute_bound_job(
+        self, job_name: str, transpile_seed: SeedLike = None, plan=None
+    ) -> SimulationResult:
         """Run a job that the scheduler has already bound to a node.
 
         The node "reads the backend object from its backend.py file and uses
         it as the quantum device running their quantum job": the job circuit
         is transpiled to the node's backend and executed under its noise
         model, and the result plus logs are recorded on the job object.
+
+        ``plan`` replays a cached :class:`~repro.plans.ExecutionPlan` for this
+        workload/device/calibration: the QASM parse and the transpile stages
+        are skipped entirely and the plan's precompiled execution dispatch
+        drives the device, while the execution seed stays per-job so repeat
+        submissions sample fresh shots.
         """
         job = self._cluster.job(job_name)
         if job.node_name is None:
@@ -100,27 +108,41 @@ class MasterServer:
         image = self._registry.pull(job.spec.image)
         job.mark_running()
         self._cluster.events.record("Pulled", job_name, f"image {image.reference} pulled on {node.name}")
-        circuit = parse_qasm(job.spec.circuit_qasm, name=job.name)
-        if not circuit.has_measurements():
-            circuit = circuit.copy()
-            circuit.measure_all()
+        if plan is None:
+            circuit = parse_qasm(job.spec.circuit_qasm, name=job.name)
+            if not circuit.has_measurements():
+                circuit = circuit.copy()
+                circuit.measure_all()
         try:
-            compiled = transpile(
-                circuit,
-                node.backend,
-                seed=derive_seed(transpile_seed if transpile_seed is not None else self._seed,
-                                 "master-transpile", job_name, node.backend.name),
-            )
-            job.transpiled = compiled.circuit
-            job.log(
-                f"Transpiled to {node.backend.name}: {compiled.two_qubit_gate_count()} two-qubit gates, "
-                f"{compiled.swaps_inserted} SWAPs inserted"
-            )
-            result = node.execute(
-                compiled.circuit,
-                shots=job.spec.shots,
-                seed=derive_seed(self._seed, "master-execute", job_name, node.backend.name),
-            )
+            if plan is not None:
+                compiled = plan.transpiled
+                job.transpiled = compiled.circuit
+                job.transpile_result = compiled
+                job.log(f"Replayed cached execution plan for {node.backend.name} (transpile skipped)")
+                result = node.execute(
+                    compiled.circuit,
+                    shots=job.spec.shots,
+                    seed=derive_seed(self._seed, "master-execute", job_name, node.backend.name),
+                    precompiled=plan.execution,
+                )
+            else:
+                compiled = transpile(
+                    circuit,
+                    node.backend,
+                    seed=derive_seed(transpile_seed if transpile_seed is not None else self._seed,
+                                     "master-transpile", job_name, node.backend.name),
+                )
+                job.transpiled = compiled.circuit
+                job.transpile_result = compiled
+                job.log(
+                    f"Transpiled to {node.backend.name}: {compiled.two_qubit_gate_count()} two-qubit gates, "
+                    f"{compiled.swaps_inserted} SWAPs inserted"
+                )
+                result = node.execute(
+                    compiled.circuit,
+                    shots=job.spec.shots,
+                    seed=derive_seed(self._seed, "master-execute", job_name, node.backend.name),
+                )
         except Exception as error:  # noqa: BLE001 - report any execution failure on the job
             job.mark_failed(str(error))
             self._cluster.events.record("Failed", job_name, str(error))

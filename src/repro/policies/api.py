@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.backends.backend import Backend
 from repro.circuits.circuit import QuantumCircuit
@@ -73,13 +73,15 @@ class PlacementContext:
     #: Logical arrival time (cloud engine); 0.0 elsewhere.
     arrival_time: float = 0.0
     #: Calibration epoch — part of every fidelity-estimate cache key, so
-    #: recalibration invalidates stale scores without explicit hooks.
-    calibration_epoch: int = 0
+    #: recalibration invalidates stale scores without explicit hooks.  The
+    #: engines pass the stable fleet digest from
+    #: :func:`repro.core.cache.fleet_calibration_epoch`; any hashable works.
+    calibration_epoch: Hashable = 0
     #: Queue-wait oracle: device name -> predicted wait in seconds.  ``None``
     #: when the engine has no queueing model (orchestrator/cluster engines).
     predicted_wait: Optional[Callable[[str], float]] = None
     #: Shared fidelity-estimate cache keyed ``(job key, device, epoch)``.
-    fidelity_cache: Dict[Tuple[str, str, int], float] = field(default_factory=dict)
+    fidelity_cache: Dict[Tuple[str, str, Hashable], float] = field(default_factory=dict)
     #: Engine-native objects for thin adapters (e.g. the cluster ``Job`` and
     #: its ``nodes`` map); generic policies must not depend on these.
     native: Dict[str, object] = field(default_factory=dict)

@@ -43,11 +43,19 @@ from repro.scenarios.arrivals import JobRequest
 from repro.cloud.policies import AllocationPolicy, LeastLoadedPolicy
 from repro.cloud.simulation import CloudSession, CloudSimulationConfig, CloudSimulationResult, CloudSimulator
 from repro.cluster.job import DeviceConstraints, JobSpec as ClusterJobSpec, ResourceRequest
+from repro.cluster.node import Node
 from repro.cluster.registry import ClusterState
-from repro.core.cache import calibration_fingerprint, structural_circuit_hash
+from repro.core.cache import (
+    PlanCache,
+    calibration_fingerprint,
+    fleet_calibration_epoch,
+    plan_cache,
+    structural_circuit_hash,
+)
 from repro.core.meta_server import MetaServer
 from repro.core.scheduler import QRIOScheduler
 from repro.core.visualizer import MetaServerPayload, TopologyCanvas
+from repro.plans import ExecutionPlan, PlanCompiler
 from repro.policies.adapters import as_allocation_policy
 from repro.policies.api import PlacementContext, PlacementPolicy
 from repro.policies.registry import PolicyLike, resolve_policy
@@ -93,6 +101,98 @@ class _PolicyResolver:
         return self._resolved[spec]
 
 
+class _PlanStore:
+    """One engine's view over the fleet-wide execution-plan cache.
+
+    The shared :func:`~repro.core.cache.plan_cache` holds the plans; this
+    helper adds the two pieces an engine needs around it: the *placement
+    memo* (a warm lookup must know which device the workload compiled for —
+    the device is an output of MATCHING, not an input) and the engine
+    context folded into every key (engine name, base seed, the frozen
+    requirements and the shot budget), so plans never replay across engines,
+    seeds or requirement sets that would have compiled differently.
+
+    Plans only serve the engines' *native* scheduling paths.  Registry
+    policies are load- and state-dependent by design (round-robin cursors,
+    queue-aware scores), so policy-routed jobs always run the full
+    filter → score → select pipeline and are never stored or replayed.
+    """
+
+    def __init__(self, engine_name: str, seed: SeedLike) -> None:
+        self._engine = engine_name
+        self._seed = seed
+        self._device_memo: dict = {}
+        self._lock = threading.Lock()
+        self.compiler = PlanCompiler()
+
+    def _context(self, spec: JobSpec) -> tuple:
+        return (self._engine, self._seed, spec.requirements, spec.shots)
+
+    def lookup(self, spec: JobSpec, backends: dict) -> Optional[ExecutionPlan]:
+        """The warm plan for ``spec``, or ``None`` (recorded as a miss).
+
+        A miss with a known placement memo means the device's calibration
+        fingerprint moved since the plan was compiled; the stale entries for
+        that device are eagerly invalidated before the cold path recompiles.
+        """
+        digest = structural_circuit_hash(spec.circuit)
+        context = self._context(spec)
+        with self._lock:
+            device = self._device_memo.get((digest, context))
+        backend = backends.get(device) if device is not None else None
+        if backend is None:
+            plan_cache().record_miss()
+            return None
+        fingerprint = calibration_fingerprint(backend.properties)
+        plan = plan_cache().get(PlanCache.key(digest, device, fingerprint, *context))
+        if plan is None:
+            plan_cache().invalidate_device(device, keep_fingerprint=fingerprint)
+        return plan
+
+    def store(self, spec: JobSpec, plan: ExecutionPlan) -> None:
+        """Publish a cold submit's plan and remember its placement."""
+        digest = structural_circuit_hash(spec.circuit)
+        context = self._context(spec)
+        with self._lock:
+            self._device_memo[(digest, context)] = plan.device
+        plan_cache().put(
+            PlanCache.key(digest, plan.device, plan.calibration_fingerprint, *context), plan
+        )
+
+
+def _node_admits(node: Node, requirements) -> bool:
+    """Cheap warm-path revalidation: the memoized node can take the job now."""
+    return node.is_schedulable() and node.can_host(
+        requirements.cpu_millicores, requirements.memory_mb
+    )
+
+
+def _placement_from_plan(
+    cluster: ClusterState, spec: JobSpec, job_name: str, plan: ExecutionPlan
+) -> Optional[Placement]:
+    """Bind ``job_name`` straight from a warm plan, skipping the scheduler.
+
+    Returns ``None`` when the plan's device is gone, cordoned or full — the
+    caller then falls back to the cold MATCHING path (the plan stays cached;
+    only this submission pays the full cycle).
+    """
+    node = next((n for n in cluster.nodes() if n.backend.name == plan.device), None)
+    if node is None or not _node_admits(node, spec.requirements):
+        return None
+    cluster.bind(job_name, node.name, score=plan.score)
+    cluster.events.record(
+        "PlanScheduled", job_name, f"replayed cached execution plan on {plan.device}"
+    )
+    return Placement(
+        job_name=job_name,
+        spec=spec,
+        device=plan.device,
+        score=plan.score,
+        num_feasible=plan.num_feasible,
+        detail={"scores": dict(plan.scores), "plan": plan},
+    )
+
+
 def _schedule_with_policy(
     cluster: ClusterState,
     scheduler: QRIOScheduler,
@@ -121,8 +221,10 @@ def _schedule_with_policy(
     # Fidelity estimates are reused across jobs through the engine-lifetime
     # cache, keyed by circuit *structure* plus a fleet-calibration epoch, so
     # repeat submissions pay one estimate per device while recalibration
-    # silently invalidates every stale entry.
-    epoch = hash(tuple(sorted(calibration_fingerprint(b.properties) for b in fleet)))
+    # silently invalidates every stale entry.  The epoch is the stable digest
+    # from core.cache — the builtin hash() is salted per process, which would
+    # break any key that outlives a restart.
+    epoch = fleet_calibration_epoch(fleet)
     ctx = PlacementContext(
         fleet=fleet,
         circuit=spec.circuit,
@@ -196,6 +298,7 @@ class OrchestratorEngine(ExecutionEngine):
         self._seed = seed
         self._policies = _PolicyResolver(policy, seed=seed)
         self._policy_fidelity_cache: dict = {}
+        self._plans = _PlanStore("orchestrator", seed)
 
     @property
     def name(self) -> str:
@@ -262,6 +365,13 @@ class OrchestratorEngine(ExecutionEngine):
                 job_name,
                 self._policy_fidelity_cache,
             )
+        # Warm path: a cached plan for (structure, device, calibration) binds
+        # the job directly — no canary ranking, no meta-server cycle.
+        plan = self._plans.lookup(spec, {b.name: b for b in self.qrio.devices()})
+        if plan is not None:
+            placement = _placement_from_plan(self.qrio.cluster, spec, job_name, plan)
+            if placement is not None:
+                return placement
         outcome = self.qrio.schedule_job(job_name)
         return Placement(
             job_name=job_name,
@@ -273,21 +383,62 @@ class OrchestratorEngine(ExecutionEngine):
         )
 
     def run(self, placement: Placement) -> EngineResult:
-        outcome = self.qrio.run_job(placement.job_name)
-        if outcome.result is None:
-            raise ServiceError(f"Job '{placement.job_name}' produced no execution result")
-        # run_job saw an already-bound job (match() scheduled it), so its
-        # outcome carries no ranking data; graft the MATCHING stage's scores
-        # back on to keep the legacy JobOutcome shape intact.
-        outcome.scores = dict(placement.detail.get("scores", {}))
-        outcome.num_filtered = placement.num_feasible
+        from repro.core.orchestrator import JobOutcome
+
+        plan: Optional[ExecutionPlan] = placement.detail.get("plan")
+        if plan is not None:
+            # Warm path: replay the plan's transpiled circuit and precompiled
+            # execution dispatch through the master server (parse and
+            # transpile are skipped); shots are sampled fresh per job.
+            result = self.qrio.master_server.execute_bound_job(placement.job_name, plan=plan)
+            job = self.qrio.cluster.job(placement.job_name)
+            outcome = JobOutcome(
+                job=job,
+                device=plan.device,
+                score=job.score,
+                result=result,
+                scores=dict(placement.detail.get("scores", {})),
+                num_filtered=placement.num_feasible,
+            )
+        else:
+            outcome = self.qrio.run_job(placement.job_name)
+            if outcome.result is None:
+                raise ServiceError(f"Job '{placement.job_name}' produced no execution result")
+            # run_job saw an already-bound job (match() scheduled it), so its
+            # outcome carries no ranking data; graft the MATCHING stage's scores
+            # back on to keep the legacy JobOutcome shape intact.
+            outcome.scores = dict(placement.detail.get("scores", {}))
+            outcome.num_filtered = placement.num_feasible
+            self._store_plan(placement, outcome)
         return EngineResult(
             device=outcome.device,
             counts=dict(outcome.result.counts),
             shots=outcome.result.shots,
             score=outcome.score,
-            detail={"outcome": outcome},
+            detail={"outcome": outcome, "plan_replay": plan is not None},
         )
+
+    def _store_plan(self, placement: Placement, outcome) -> None:
+        """Publish a cold native-path submit as a reusable execution plan."""
+        if "decision" in placement.detail or placement.device is None:
+            return  # policy-routed or unplaced: nothing to replay
+        compiled = getattr(outcome.job, "transpile_result", None)
+        if compiled is None:
+            return
+        backend = next((b for b in self.qrio.devices() if b.name == placement.device), None)
+        if backend is None:
+            return
+        plan = self._plans.compiler.compile(
+            placement.spec.circuit,
+            backend,
+            engine=self.name,
+            shots=placement.spec.shots,
+            transpiled=compiled,
+            score=outcome.score,
+            num_feasible=placement.num_feasible,
+            scores=dict(placement.detail.get("scores", {})),
+        )
+        self._plans.store(placement.spec, plan)
 
 
 class ClusterEngine(ExecutionEngine):
@@ -332,6 +483,7 @@ class ClusterEngine(ExecutionEngine):
         self._scheduler: Optional[QRIOScheduler] = None
         self._policies = _PolicyResolver(policy, seed=seed)
         self._policy_fidelity_cache: dict = {}
+        self._plans = _PlanStore("cluster", seed)
 
     @property
     def name(self) -> str:
@@ -403,6 +555,13 @@ class ClusterEngine(ExecutionEngine):
                 job_name,
                 self._policy_fidelity_cache,
             )
+        # Warm path: a cached plan binds the job directly, skipping the
+        # filter chain and the meta-server canary ranking.
+        plan = self._plans.lookup(spec, {b.name: b for b in self.cluster.backends()})
+        if plan is not None:
+            placement = _placement_from_plan(self.cluster, spec, job_name, plan)
+            if placement is not None:
+                return placement
         decision = self._scheduler.schedule(job)
         return Placement(
             job_name=job_name,
@@ -417,33 +576,59 @@ class ClusterEngine(ExecutionEngine):
         job = self.cluster.job(placement.job_name)
         node = self.cluster.node(job.node_name)
         job.mark_running()
-        circuit = placement.spec.circuit
-        if not circuit.has_measurements():
-            circuit = circuit.copy()
-            circuit.measure_all()
+        plan: Optional[ExecutionPlan] = placement.detail.get("plan")
         try:
-            compiled = transpile(
-                circuit,
-                node.backend,
-                seed=derive_seed(self._seed, "service-transpile", placement.job_name, node.backend.name),
-            )
-            result = node.execute(
-                compiled.circuit,
-                shots=placement.spec.shots,
-                seed=derive_seed(self._seed, "service-execute", placement.job_name, node.backend.name),
-            )
+            if plan is not None:
+                # Warm path: the plan carries the transpiled circuit and the
+                # precompiled execution dispatch; only fresh shots are drawn.
+                compiled = plan.transpiled
+                result = node.execute(
+                    compiled.circuit,
+                    shots=placement.spec.shots,
+                    seed=derive_seed(self._seed, "service-execute", placement.job_name, node.backend.name),
+                    precompiled=plan.execution,
+                )
+            else:
+                circuit = placement.spec.circuit
+                if not circuit.has_measurements():
+                    circuit = circuit.copy()
+                    circuit.measure_all()
+                compiled = transpile(
+                    circuit,
+                    node.backend,
+                    seed=derive_seed(self._seed, "service-transpile", placement.job_name, node.backend.name),
+                )
+                result = node.execute(
+                    compiled.circuit,
+                    shots=placement.spec.shots,
+                    seed=derive_seed(self._seed, "service-execute", placement.job_name, node.backend.name),
+                )
         except Exception as error:
             job.mark_failed(str(error))
             self.cluster.release(placement.job_name)
             raise
         job.mark_succeeded(result)
         self.cluster.release(placement.job_name)
+        if plan is None and "decision" not in placement.detail:
+            self._plans.store(
+                placement.spec,
+                self._plans.compiler.compile(
+                    placement.spec.circuit,
+                    node.backend,
+                    engine=self.name,
+                    shots=placement.spec.shots,
+                    transpiled=compiled,
+                    score=job.score,
+                    num_feasible=placement.num_feasible,
+                    scores=dict(placement.detail.get("scores", {})),
+                ),
+            )
         return EngineResult(
             device=node.backend.name,
             counts=dict(result.counts),
             shots=result.shots,
             score=job.score,
-            detail={"swaps_inserted": compiled.swaps_inserted},
+            detail={"swaps_inserted": compiled.swaps_inserted, "plan_replay": plan is not None},
         )
 
 
@@ -532,10 +717,33 @@ class CloudEngine(ExecutionEngine):
         )
         self._clock = 0.0
         self._index = 0
+        self._epoch_memo: Optional[tuple] = None
 
     @property
     def name(self) -> str:
         return "cloud"
+
+    def _fleet_epoch(self) -> str:
+        """Memoized :func:`fleet_calibration_epoch` of the attached fleet.
+
+        The full epoch digest costs ~100x a feasibility bounds check, so
+        recomputing it per arrival would make the shortlist cache slower
+        than no cache at all.  Instead the digest is memoized behind a
+        cheap probe — the properties objects' identities plus their error
+        tables' sums — which changes under both recalibration styles (a
+        drift model swapping in new properties, or tables edited in place).
+        """
+        probe = tuple(
+            (
+                id(backend.properties),
+                sum(backend.properties.two_qubit_error.values()),
+                sum(backend.properties.readout_error.values()),
+            )
+            for backend in self._fleet
+        )
+        if self._epoch_memo is None or self._epoch_memo[0] != probe:
+            self._epoch_memo = (probe, fleet_calibration_epoch(self._fleet))
+        return self._epoch_memo[1]
 
     @property
     def session(self) -> CloudSession:
@@ -546,6 +754,7 @@ class CloudEngine(ExecutionEngine):
 
     def attach(self, fleet: Sequence[Backend]) -> None:
         self._fleet = list(fleet)
+        self._epoch_memo = None
         policy = self._policy
         if policy is None:
             policy = LeastLoadedPolicy()
@@ -594,12 +803,7 @@ class CloudEngine(ExecutionEngine):
             user=self._user,
         )
         self._index += 1
-        required_qubits = requirements.qubits_for(spec.circuit)
-        feasible = [
-            backend
-            for backend in self._fleet
-            if backend.num_qubits >= required_qubits and _within_device_bounds(backend, requirements)
-        ]
+        feasible = self._feasible_devices(spec)
         if not feasible:
             return Placement(job_name=job_name, spec=spec, device=None, num_feasible=0)
         override: Optional[AllocationPolicy] = None
@@ -626,6 +830,41 @@ class CloudEngine(ExecutionEngine):
             num_feasible=len(feasible),
             detail=detail,
         )
+
+    def _feasible_devices(self, spec: JobSpec) -> List[Backend]:
+        """The devices this spec may route onto, via the plan cache.
+
+        The cloud engine's discrete-event contract requires routing *per
+        arrival* (queue state changes with every job), so there is no
+        placement to replay — its slice of the plan cache is the feasibility
+        shortlist, which depends only on the circuit structure, the device
+        bounds and the fleet calibration epoch.  Calibration drift changes
+        the epoch and the stale shortlist silently stops matching.
+        """
+        requirements = spec.requirements
+        required_qubits = requirements.qubits_for(spec.circuit)
+        key = PlanCache.key(
+            structural_circuit_hash(spec.circuit),
+            "*fleet*",
+            self._fleet_epoch(),
+            self.name,
+            required_qubits,
+            requirements.max_avg_two_qubit_error,
+            requirements.max_avg_readout_error,
+            requirements.min_avg_t1,
+            requirements.min_avg_t2,
+        )
+        cached = plan_cache().get(key)
+        if cached is not None:
+            names = set(cached)
+            return [backend for backend in self._fleet if backend.name in names]
+        feasible = [
+            backend
+            for backend in self._fleet
+            if backend.num_qubits >= required_qubits and _within_device_bounds(backend, requirements)
+        ]
+        plan_cache().put(key, tuple(backend.name for backend in feasible))
+        return feasible
 
     def run(self, placement: Placement) -> EngineResult:
         record = placement.detail["record"]

@@ -56,6 +56,7 @@ from repro.service.api import (
     Placement,
     ServiceResult,
 )
+from repro.core.cache import all_cache_stats, plan_cache
 from repro.service.engines import OrchestratorEngine
 from repro.service.handle import JobHandle, wall_wait_from_events
 from repro.service.runtime import ServiceRuntime
@@ -125,6 +126,7 @@ class QRIOService:
         seed: SeedLike = None,
         workers: int = 0,
         max_pending: Optional[int] = None,
+        plan_cache_size: Optional[int] = None,
     ) -> None:
         """Bind a fleet to an engine, optionally with a concurrent runtime.
 
@@ -140,10 +142,15 @@ class QRIOService:
                 dispatch and per-device shard lanes.
             max_pending: Backpressure bound on queued-but-undispatched jobs;
                 only meaningful with ``workers >= 1``.
+            plan_cache_size: Re-bound the fleet-wide execution-plan cache
+                (:func:`repro.core.cache.plan_cache`) instead of keeping its
+                default size.  The cache is process-wide — the knob resizes
+                the shared instance, it does not create a private one.
 
         Raises:
             ServiceError: ``seed`` combined with an explicit engine,
-                ``workers < 0``, or ``max_pending`` without workers.
+                ``workers < 0``, ``max_pending`` without workers, or a
+                non-positive ``plan_cache_size``.
         """
         if engine is not None and seed is not None:
             raise ServiceError(
@@ -156,6 +163,10 @@ class QRIOService:
             raise ServiceError(
                 "max_pending only bounds the concurrent runtime's queue; pass workers >= 1"
             )
+        if plan_cache_size is not None:
+            if plan_cache_size <= 0:
+                raise ServiceError("plan_cache_size must be positive")
+            plan_cache().resize(plan_cache_size)
         self._engine = engine if engine is not None else OrchestratorEngine(seed=seed)
         self._engine.attach(list(fleet))
         self._handles: Dict[str, JobHandle] = {}
@@ -446,6 +457,15 @@ class QRIOService:
                 **runtime,
             }
         return {"engine": self._engine.name, "pending_groups": len(self._pending), **counters}
+
+    def cache_stats(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss/eviction statistics of every shared cache.
+
+        Includes the fleet-wide execution-plan cache (key ``"plan"``) next to
+        the embedding and canary ideal-distribution caches, so callers can
+        see how many submits replayed a warm plan versus compiling cold.
+        """
+        return all_cache_stats()
 
     def wait_report(self) -> Dict[str, object]:
         """Wall-clock wait/makespan statistics over every job submitted so far.

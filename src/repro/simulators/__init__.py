@@ -26,8 +26,10 @@ from repro.simulators.noisy import (
     BATCHED_STATEVECTOR_LIMIT,
     NoisyStabilizerSimulator,
     NoisyStatevectorSimulator,
+    PrecompiledExecution,
     execute_with_noise,
     is_clifford_circuit,
+    precompile_execution,
 )
 from repro.simulators.result import (
     SimulationResult,
@@ -58,6 +60,7 @@ __all__ = [
     "NoisyStabilizerSimulator",
     "NoisyStatevectorSimulator",
     "PAULI_LABELS",
+    "PrecompiledExecution",
     "ReadoutMitigator",
     "SimulationResult",
     "StabilizerSimulator",
@@ -76,6 +79,7 @@ __all__ = [
     "is_clifford_circuit",
     "is_stabilizer_gate",
     "marginal_counts",
+    "precompile_execution",
     "qubit_busy_times",
     "qubit_finish_times",
     "qubit_idle_times",

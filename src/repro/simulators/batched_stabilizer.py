@@ -313,22 +313,48 @@ class BatchedStabilizerSimulator:
         circuit: QuantumCircuit,
         shots: int = 1024,
         noise_model: Optional[NoiseModel] = None,
+        program: Optional[Sequence[TableauStep]] = None,
     ) -> SimulationResult:
-        """Execute ``circuit`` for ``shots`` trajectories as one array program."""
+        """Execute ``circuit`` for ``shots`` trajectories as one array program.
+
+        ``program`` may carry the circuit's precompiled tableau program (from
+        :func:`~repro.simulators.stabilizer.compile_tableau_program`), in
+        which case the per-gate circuit walk is skipped entirely — the
+        compile-once/execute-many path used by execution plans.  The caller
+        is responsible for the program actually matching the circuit.
+        """
+        if program is None:
+            program = compile_tableau_program(circuit)
+        return self.run_program(
+            program,
+            circuit.num_qubits,
+            circuit.num_clbits,
+            shots=shots,
+            noise_model=noise_model,
+        )
+
+    def run_program(
+        self,
+        program: Sequence[TableauStep],
+        num_qubits: int,
+        num_clbits: int,
+        shots: int = 1024,
+        noise_model: Optional[NoiseModel] = None,
+    ) -> SimulationResult:
+        """Execute a precompiled tableau program without touching a circuit."""
         if shots <= 0:
             raise StabilizerError("shots must be positive")
-        program = compile_tableau_program(circuit)
-        width = max(circuit.num_clbits, 1)
+        width = max(num_clbits, 1)
         ideal = noise_model is None
         if ideal:
-            deterministic = probe_deterministic_outcome(program, circuit.num_qubits, width)
+            deterministic = probe_deterministic_outcome(program, num_qubits, width)
             if deterministic is not None:
                 return SimulationResult(
                     counts=dict(Counter({deterministic: shots})),
                     shots=shots,
                     metadata={"simulator": "stabilizer", "ideal": True, "method": "deterministic"},
                 )
-        counts = self._run_batched(program, circuit.num_qubits, width, shots, noise_model)
+        counts = self._run_batched(program, num_qubits, width, shots, noise_model)
         return SimulationResult(
             counts=counts,
             shots=shots,

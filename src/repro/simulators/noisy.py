@@ -12,6 +12,7 @@ active qubits.
 from __future__ import annotations
 
 from collections import Counter
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -196,8 +197,14 @@ class NoisyStabilizerSimulator:
         circuit: QuantumCircuit,
         noise_model: Optional[NoiseModel] = None,
         shots: int = 1024,
+        program: Optional[Sequence[TableauStep]] = None,
     ) -> SimulationResult:
-        """Execute the Clifford ``circuit`` under ``noise_model``."""
+        """Execute the Clifford ``circuit`` under ``noise_model``.
+
+        ``program`` may carry the circuit's precompiled tableau program so
+        the batched path skips its per-gate circuit walk (the execution-plan
+        replay path); the scalar reference path recompiles regardless.
+        """
         if shots <= 0:
             raise StabilizerError("shots must be positive")
         noise_model = noise_model or NoiseModel.ideal()
@@ -206,7 +213,7 @@ class NoisyStabilizerSimulator:
             from repro.simulators.batched_stabilizer import BatchedStabilizerSimulator
 
             result = BatchedStabilizerSimulator(seed=self._rng).run(
-                circuit, shots=shots, noise_model=noise_model
+                circuit, shots=shots, noise_model=noise_model, program=program
             )
             result.metadata["simulator"] = "noisy_stabilizer"
             result.metadata["ideal"] = False
@@ -295,12 +302,76 @@ def is_clifford_circuit(circuit: QuantumCircuit) -> bool:
 BATCHED_STATEVECTOR_LIMIT = 13
 
 
+@dataclass(frozen=True)
+class PrecompiledExecution:
+    """The frozen outcome of :func:`execute_with_noise`'s per-circuit analysis.
+
+    Everything :func:`execute_with_noise` derives by walking the gate list —
+    the compacted circuit, the active-qubit mapping that restricts the noise
+    model, the engine choice and (on the stabilizer path) the compiled
+    tableau program — captured once so a repeat execution skips straight to
+    the shot loop.  Built by :func:`precompile_execution` and carried inside
+    :class:`~repro.plans.ExecutionPlan`.
+    """
+
+    #: ``"statevector"`` or ``"stabilizer"`` — the engine the dispatch chose.
+    engine: str
+    #: The circuit actually executed (compacted onto its active qubits).
+    circuit: QuantumCircuit
+    #: Physical qubits backing the compacted wires, in wire order; empty when
+    #: the circuit was not compacted (noise model applies verbatim).
+    qubit_mapping: Tuple[int, ...]
+    #: Width of the original (un-compacted) circuit, for cheap validation.
+    source_num_qubits: int
+    #: Precompiled tableau program (stabilizer engine only).
+    program: Optional[Tuple[TableauStep, ...]] = None
+
+
+def precompile_execution(circuit: QuantumCircuit, compact: bool = True) -> PrecompiledExecution:
+    """Run :func:`execute_with_noise`'s analysis stages once, without shots.
+
+    The returned bundle replays through ``execute_with_noise(...,
+    precompiled=...)`` with bit-identical results to a fresh call under the
+    same seed: the compaction is deterministic and the chosen engine consumes
+    its RNG stream identically either way.
+    """
+    target_circuit = circuit
+    mapping_order: Tuple[int, ...] = ()
+    if compact:
+        compacted, mapping = compact_circuit(circuit)
+        if mapping:
+            mapping_order = tuple(
+                physical for physical, _ in sorted(mapping.items(), key=lambda kv: kv[1])
+            )
+            target_circuit = compacted
+    if target_circuit.num_qubits <= BATCHED_STATEVECTOR_LIMIT:
+        return PrecompiledExecution(
+            engine="statevector",
+            circuit=target_circuit,
+            qubit_mapping=mapping_order,
+            source_num_qubits=circuit.num_qubits,
+        )
+    if is_clifford_circuit(target_circuit):
+        return PrecompiledExecution(
+            engine="stabilizer",
+            circuit=target_circuit,
+            qubit_mapping=mapping_order,
+            source_num_qubits=circuit.num_qubits,
+            program=tuple(compile_tableau_program(target_circuit)),
+        )
+    raise SimulationError(
+        f"Circuit '{circuit.name}' is too wide ({target_circuit.num_qubits} active "
+        "qubits) for statevector simulation and contains non-Clifford gates"
+    )
+
+
 def execute_with_noise(
     circuit: QuantumCircuit,
     noise_model: Optional[NoiseModel] = None,
     shots: int = 1024,
     seed: SeedLike = None,
     compact: bool = True,
+    precompiled: Optional[PrecompiledExecution] = None,
 ) -> SimulationResult:
     """Execute ``circuit`` under ``noise_model`` with the best available engine.
 
@@ -310,8 +381,30 @@ def execute_with_noise(
     evolved together — while wider circuits must be Clifford and run on the
     noisy stabilizer engine, which scales polynomially in width.  This is the
     execution path the cluster nodes use when a QRIO job lands on them.
+
+    ``precompiled`` replays a previous :func:`precompile_execution` analysis
+    of the *same* circuit, skipping compaction, engine dispatch and (on the
+    stabilizer path) tableau compilation; the noise model and seed still
+    apply per call, so repeat executions sample fresh shots.
     """
     noise_model = noise_model or NoiseModel.ideal()
+    if precompiled is not None:
+        if precompiled.source_num_qubits != circuit.num_qubits:
+            raise SimulationError(
+                f"Precompiled execution was built for a {precompiled.source_num_qubits}-qubit "
+                f"circuit, got {circuit.num_qubits} qubits"
+            )
+        target_circuit = precompiled.circuit
+        target_noise = (
+            noise_model.restricted_to(list(precompiled.qubit_mapping))
+            if precompiled.qubit_mapping
+            else noise_model
+        )
+        if precompiled.engine == "statevector":
+            return NoisyStatevectorSimulator(seed=seed).run(target_circuit, target_noise, shots=shots)
+        return NoisyStabilizerSimulator(seed=seed).run(
+            target_circuit, target_noise, shots=shots, program=precompiled.program
+        )
     target_circuit = circuit
     target_noise = noise_model
     if compact:

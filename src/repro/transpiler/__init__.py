@@ -2,11 +2,13 @@
 
 from repro.transpiler.context import TranspileContext
 from repro.transpiler.decompositions import decompose_instruction, resynthesise_single_qubit, zyz_angles
+from repro.transpiler.fusion import FuseCliffordRuns, fuse_clifford_runs
 from repro.transpiler.layout import Layout
 from repro.transpiler.passes.base import PassManager, TranspilerPass
 from repro.transpiler.preset import TranspileResult, build_preset_pass_manager, transpile
 
 __all__ = [
+    "FuseCliffordRuns",
     "Layout",
     "PassManager",
     "TranspileContext",
@@ -14,6 +16,7 @@ __all__ = [
     "TranspilerPass",
     "build_preset_pass_manager",
     "decompose_instruction",
+    "fuse_clifford_runs",
     "resynthesise_single_qubit",
     "transpile",
     "zyz_angles",

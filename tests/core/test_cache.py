@@ -11,11 +11,14 @@ from repro.cloud.queueing import ExecutionTimeModel, build_queues
 from repro.cloud.simulation import CloudSimulationConfig, CloudSimulator
 from repro.core.cache import (
     LRUCache,
+    PlanCache,
     calibration_fingerprint,
     clear_all_caches,
     embedding_cache,
+    fleet_calibration_epoch,
     ideal_distribution_cache,
     pattern_hash,
+    plan_cache,
     structural_circuit_hash,
 )
 from repro.fidelity.canary import CliffordCanaryEstimator
@@ -53,6 +56,44 @@ class TestLRUCache:
     def test_maxsize_must_be_positive(self):
         with pytest.raises(ValueError):
             LRUCache(maxsize=0)
+
+    def test_keys_snapshot_is_lru_first(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now the least recently used
+        assert cache.keys() == ("b", "a")
+
+    def test_discard_reports_whether_an_entry_was_dropped(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.discard("a") is True
+        assert cache.discard("a") is False
+        assert "a" not in cache
+
+    def test_resize_shrink_evicts_lru_first(self):
+        cache = LRUCache(maxsize=4)
+        for key in "abcd":
+            cache.put(key, key)
+        cache.get("a")  # refresh: "b" is now the eviction candidate
+        cache.resize(2)
+        assert cache.maxsize == 2
+        assert cache.keys() == ("d", "a")
+        assert cache.stats.evictions == 2
+
+    def test_resize_grow_raises_the_bound(self):
+        cache = LRUCache(maxsize=1)
+        cache.put("a", 1)
+        cache.resize(3)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 0
+
+    def test_resize_rejects_non_positive_bounds(self):
+        cache = LRUCache(maxsize=2)
+        with pytest.raises(ValueError):
+            cache.resize(0)
 
 
 class TestStructuralCircuitHash:
@@ -199,6 +240,86 @@ class TestIdealDistributionCacheWiring:
         ones.x(0).x(1).measure_all()  # same length, width and name
         assert estimator.ideal_distribution(zeros) == {"00": 200}
         assert estimator.ideal_distribution(ones) == {"11": 200}
+
+
+class TestFleetCalibrationEpoch:
+    def test_epoch_is_stable_and_order_independent(self):
+        fleet = three_device_testbed()
+        epoch = fleet_calibration_epoch(fleet)
+        assert isinstance(epoch, str)
+        assert fleet_calibration_epoch(reversed(list(fleet))) == epoch
+        # A rebuilt (but identical) testbed lands on the same epoch — the
+        # property the salted builtin ``hash`` could not give us.
+        assert fleet_calibration_epoch(three_device_testbed()) == epoch
+
+    def test_any_device_drifting_changes_the_epoch(self):
+        fleet = list(three_device_testbed())
+        before = fleet_calibration_epoch(fleet)
+        fleet[1] = CalibrationDriftModel().drift_backend(fleet[1], seed=2)
+        assert fleet_calibration_epoch(fleet) != before
+
+
+class TestPlanCache:
+    def test_key_bundles_identity_and_context(self):
+        key = PlanCache.key("digest", "device_a", "fp0", "cluster", 5)
+        assert key == ("digest", "device_a", "fp0", "cluster", 5)
+        assert PlanCache.key("digest", "device_a", "fp1", "cluster", 5) != key
+
+    def test_get_put_and_stats(self):
+        cache = PlanCache(maxsize=8)
+        key = PlanCache.key("d", "dev", "fp")
+        assert cache.get(key) is None
+        cache.put(key, "plan")
+        assert cache.get(key) == "plan"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert len(cache) == 1
+
+    def test_record_miss_counts_keyless_cold_submits(self):
+        cache = PlanCache(maxsize=8)
+        cache.record_miss()
+        assert cache.stats.misses == 1
+        assert len(cache) == 0
+
+    def test_invalidate_device_drops_only_stale_fingerprints(self):
+        cache = PlanCache(maxsize=8)
+        cache.put(PlanCache.key("d1", "dev_a", "old"), "stale-1")
+        cache.put(PlanCache.key("d2", "dev_a", "old"), "stale-2")
+        cache.put(PlanCache.key("d1", "dev_a", "new"), "fresh")
+        cache.put(PlanCache.key("d1", "dev_b", "old"), "other-device")
+        dropped = cache.invalidate_device("dev_a", keep_fingerprint="new")
+        assert dropped == 2
+        assert cache.get(PlanCache.key("d1", "dev_a", "new")) == "fresh"
+        assert cache.get(PlanCache.key("d1", "dev_b", "old")) == "other-device"
+        assert cache.get(PlanCache.key("d1", "dev_a", "old")) is None
+
+    def test_invalidate_device_without_keep_drops_everything_for_it(self):
+        cache = PlanCache(maxsize=8)
+        cache.put(PlanCache.key("d1", "dev_a", "fp0"), "p0")
+        cache.put(PlanCache.key("d1", "dev_a", "fp1"), "p1")
+        assert cache.invalidate_device("dev_a") == 2
+        assert len(cache) == 0
+
+    def test_resize_and_maxsize_mirror_the_store(self):
+        cache = PlanCache(maxsize=4)
+        assert cache.maxsize == 4
+        cache.resize(2)
+        assert cache.maxsize == 2
+        with pytest.raises(ValueError):
+            cache.resize(-1)
+
+    def test_shared_instance_is_cleared_with_the_other_caches(self):
+        shared = plan_cache()
+        shared.put(PlanCache.key("d", "dev", "fp"), "plan")
+        clear_all_caches()
+        assert len(shared) == 0
+
+    def test_all_cache_stats_exposes_the_plan_entry(self):
+        from repro.core.cache import all_cache_stats
+
+        stats = all_cache_stats()
+        assert "plan" in stats
+        assert {"hits", "misses"} <= set(stats["plan"])
 
 
 class TestAllocationContextEpoch:

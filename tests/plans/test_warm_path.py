@@ -1,0 +1,261 @@
+"""Warm-submit semantics: plans skip transpile/match/lower across the engines.
+
+The acceptance property of the plan subsystem: after one cold submit, a
+repeat submission of the same workload performs **zero** transpile calls,
+**zero** scheduler cycles and **zero** embedding/canary lookups — asserted
+through counting monkeypatches on the compile entry points plus the shared
+cache statistics — while calibration drift forces a recompile and fused
+plans stay bit-identical to the unfused path.
+"""
+
+import pytest
+
+import repro.core.master_server as master_server_module
+import repro.service.engines as engines_module
+from repro.backends import three_device_testbed
+from repro.circuits import ghz
+from repro.core.cache import all_cache_stats, clear_all_caches, plan_cache
+from repro.service import (
+    CloudEngine,
+    ClusterEngine,
+    JobRequirements,
+    OrchestratorEngine,
+    QRIOService,
+)
+from repro.transpiler.fusion import fuse_clifford_runs
+from repro.utils.exceptions import ServiceError
+
+
+@pytest.fixture(autouse=True)
+def _cold_caches():
+    clear_all_caches()
+    yield
+    clear_all_caches()
+
+
+class _CountingTranspile:
+    """Wrap a module's ``transpile`` and count how often it runs."""
+
+    def __init__(self, module):
+        self.calls = 0
+        self._inner = module.transpile
+        self._module = module
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        return self._inner(*args, **kwargs)
+
+
+@pytest.fixture()
+def count_engine_transpile(monkeypatch):
+    counter = _CountingTranspile(engines_module)
+    monkeypatch.setattr(engines_module, "transpile", counter)
+    return counter
+
+
+@pytest.fixture()
+def count_master_transpile(monkeypatch):
+    counter = _CountingTranspile(master_server_module)
+    monkeypatch.setattr(master_server_module, "transpile", counter)
+    return counter
+
+
+def _plan_stats():
+    return all_cache_stats()["plan"]
+
+
+class TestClusterWarmPath:
+    def test_warm_submit_skips_transpile_and_the_scheduler(
+        self, monkeypatch, count_engine_transpile
+    ):
+        service = QRIOService(three_device_testbed(), ClusterEngine(seed=5, canary_shots=64))
+        schedule_calls = []
+        inner_schedule = engines_module.QRIOScheduler.schedule
+        monkeypatch.setattr(
+            engines_module.QRIOScheduler,
+            "schedule",
+            lambda self, job: schedule_calls.append(job.name) or inner_schedule(self, job),
+        )
+        cold = service.submit(ghz(4), 0.9, shots=128).result()
+        assert count_engine_transpile.calls == 1
+        assert len(schedule_calls) == 1
+        assert cold.detail["plan_replay"] is False
+        before = _plan_stats()
+        warm = [service.submit(ghz(4), 0.9, shots=128).result() for _ in range(3)]
+        after = _plan_stats()
+        # Zero transpile, zero scheduler cycles, three pure plan hits.
+        assert count_engine_transpile.calls == 1
+        assert len(schedule_calls) == 1
+        assert after["hits"] - before["hits"] == 3
+        assert after["misses"] - before["misses"] == 0
+        for result in warm:
+            assert result.detail["plan_replay"] is True
+            assert result.device == cold.device
+            assert sum(result.counts.values()) == 128
+
+    def test_warm_submit_touches_no_embedding_or_canary_caches(self, count_engine_transpile):
+        requirements = JobRequirements(topology_edges=((0, 1), (1, 2)))
+        service = QRIOService(three_device_testbed(), ClusterEngine(seed=5, canary_shots=64))
+        service.submit(ghz(3), requirements, shots=64).result()
+        before = all_cache_stats()
+        service.submit(ghz(3), requirements, shots=64).result()
+        after = all_cache_stats()
+        for cache in ("embedding", "ideal_distribution"):
+            assert after[cache]["hits"] == before[cache]["hits"]
+            assert after[cache]["misses"] == before[cache]["misses"]
+
+    def test_calibration_drift_forces_a_recompile(self, count_engine_transpile):
+        fleet = three_device_testbed()
+        service = QRIOService(fleet, ClusterEngine(seed=5, canary_shots=64))
+        cold = service.submit(ghz(4), 0.9, shots=64).result()
+        assert count_engine_transpile.calls == 1
+        cached_before = len(plan_cache())
+        # Drift the placed device's calibration in place: every error rate
+        # moves, so its fingerprint — and the plan key — changes.
+        placed = next(b for b in fleet if b.name == cold.device)
+        for edge in placed.properties.two_qubit_error:
+            placed.properties.two_qubit_error[edge] *= 1.5
+        before = _plan_stats()
+        recompiled = service.submit(ghz(4), 0.9, shots=64).result()
+        after = _plan_stats()
+        # The stale plan missed, was eagerly invalidated, and the cold path
+        # transpiled again; the fresh-fingerprint plan replaced it 1:1.
+        assert after["misses"] - before["misses"] == 1
+        assert after["hits"] - before["hits"] == 0
+        assert count_engine_transpile.calls == 2
+        assert recompiled.detail["plan_replay"] is False
+        assert len(plan_cache()) == cached_before
+        # And the fresh plan is immediately warm again.
+        warm = service.submit(ghz(4), 0.9, shots=64).result()
+        assert warm.detail["plan_replay"] is True
+        assert count_engine_transpile.calls == 2
+
+    def test_different_shots_compile_separate_plans(self, count_engine_transpile):
+        service = QRIOService(three_device_testbed(), ClusterEngine(seed=5, canary_shots=64))
+        service.submit(ghz(3), 0.9, shots=64).result()
+        result = service.submit(ghz(3), 0.9, shots=128).result()
+        # Shot budget is engine context: no replay across budgets.
+        assert result.detail["plan_replay"] is False
+        assert count_engine_transpile.calls == 2
+
+    def test_policy_routed_jobs_never_use_plans(self):
+        service = QRIOService(
+            three_device_testbed(), ClusterEngine(seed=5, canary_shots=64, policy="round-robin")
+        )
+        len_before = len(plan_cache())
+        stats_before = _plan_stats()
+        for _ in range(3):
+            service.submit(ghz(3), 0.9, shots=64).result()
+        # The load-dependent policy path neither stores nor looks up plans.
+        assert len(plan_cache()) == len_before
+        assert _plan_stats() == stats_before
+
+
+class TestOrchestratorWarmPath:
+    def test_warm_submit_skips_master_server_transpile(self, count_master_transpile):
+        service = QRIOService(
+            three_device_testbed(), OrchestratorEngine(seed=5, canary_shots=64)
+        )
+        cold = service.submit(ghz(4), 0.9, shots=128).result()
+        assert count_master_transpile.calls == 1
+        assert cold.detail["plan_replay"] is False
+        before = all_cache_stats()
+        warm = service.submit(ghz(4), 0.9, shots=128).result()
+        after = all_cache_stats()
+        assert count_master_transpile.calls == 1
+        assert warm.detail["plan_replay"] is True
+        assert warm.device == cold.device
+        assert after["plan"]["hits"] - before["plan"]["hits"] == 1
+        # The canary ranking never ran: the ideal-distribution cache is idle.
+        assert after["ideal_distribution"]["hits"] == before["ideal_distribution"]["hits"]
+        assert after["ideal_distribution"]["misses"] == before["ideal_distribution"]["misses"]
+
+    def test_warm_replay_is_recorded_in_the_cluster_events(self):
+        engine = OrchestratorEngine(seed=5, canary_shots=64)
+        service = QRIOService(three_device_testbed(), engine)
+        service.submit(ghz(3), 0.9, shots=64).result()
+        service.submit(ghz(3), 0.9, shots=64).result()
+        assert engine.qrio.cluster.events.of_kind("PlanScheduled")
+
+
+class TestCloudFeasibilityShortlist:
+    def test_second_arrival_hits_the_cached_shortlist(self):
+        service = QRIOService(three_device_testbed(), CloudEngine())
+        first = service.submit(ghz(4), shots=64).result()
+        before = _plan_stats()
+        second = service.submit(ghz(4), shots=64).result()
+        after = _plan_stats()
+        assert after["hits"] - before["hits"] == 1
+        # Routing still ran per arrival: both records carry queueing detail.
+        assert first.fidelity is not None
+        assert second.fidelity is not None
+
+
+class TestFusionEquivalenceAcrossEngines:
+    """Fused and unfused submissions of the same workload are bit-identical:
+    tableau/statevector evolution is global-phase invariant and the seeds
+    derive from the job name, not the gate list."""
+
+    def _workload(self):
+        circuit = ghz(4, measure=False)
+        circuit.s(0)
+        circuit.sdg(0)  # redundant run: fusion has something to collapse
+        circuit.measure_all()
+        return circuit
+
+    @pytest.mark.parametrize(
+        "engine_factory",
+        [
+            lambda: ClusterEngine(seed=5, canary_shots=64),
+            lambda: OrchestratorEngine(seed=5, canary_shots=64),
+        ],
+        ids=["cluster", "orchestrator"],
+    )
+    def test_counts_are_bit_identical(self, engine_factory):
+        results = []
+        for circuit in (self._workload(), fuse_clifford_runs(self._workload())):
+            clear_all_caches()
+            service = QRIOService(three_device_testbed(), engine_factory())
+            results.append(service.submit(circuit, 0.9, shots=256, name="same-job").result())
+        unfused, fused = results
+        assert fused.counts == unfused.counts
+        assert fused.device == unfused.device
+        assert fused.score == unfused.score
+
+    def test_cloud_fidelity_and_routing_are_identical(self):
+        results = []
+        for circuit in (self._workload(), fuse_clifford_runs(self._workload())):
+            clear_all_caches()
+            service = QRIOService(three_device_testbed(), CloudEngine())
+            results.append(service.submit(circuit, shots=256, name="same-job").result())
+        unfused, fused = results
+        assert fused.device == unfused.device
+        assert fused.fidelity == unfused.fidelity
+
+
+class TestServiceKnobs:
+    def test_plan_cache_size_resizes_the_shared_cache(self):
+        original = plan_cache().maxsize
+        try:
+            QRIOService(
+                three_device_testbed(), ClusterEngine(seed=5, canary_shots=64),
+                plan_cache_size=7,
+            )
+            assert plan_cache().maxsize == 7
+        finally:
+            plan_cache().resize(original)
+
+    def test_plan_cache_size_must_be_positive(self):
+        with pytest.raises(ServiceError):
+            QRIOService(
+                three_device_testbed(), ClusterEngine(seed=5, canary_shots=64),
+                plan_cache_size=0,
+            )
+
+    def test_cache_stats_surfaces_the_plan_cache(self):
+        service = QRIOService(three_device_testbed(), ClusterEngine(seed=5, canary_shots=64))
+        service.submit(ghz(3), 0.9, shots=64).result()
+        service.submit(ghz(3), 0.9, shots=64).result()
+        stats = service.cache_stats()
+        assert {"embedding", "ideal_distribution", "plan"} <= set(stats)
+        assert stats["plan"]["hits"] >= 1

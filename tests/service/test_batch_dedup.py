@@ -114,18 +114,24 @@ class TestTopologyBatchDedup:
         assert after["hits"] - before["hits"] == 0
         assert service.stats()["groups_executed"] == 1
 
-    def test_sequential_submission_pays_per_job_lookups(self):
-        # Contrast case: one-at-a-time submission of the same 4 jobs performs
-        # a fresh scheduling pass per job (cache hits, but still per-job work).
+    def test_sequential_submission_replays_the_cached_plan(self):
+        # Contrast case: one-at-a-time submission of the same 4 jobs pays one
+        # cold scheduling pass (one embedding lookup per device); jobs 2-4
+        # bind straight from the execution-plan cache and never touch the
+        # embedding cache at all.
         fleet = three_device_testbed()
         requirements = JobRequirements(topology_edges=((0, 1), (1, 2)))
         service = QRIOService(fleet, ClusterEngine(seed=5, canary_shots=64))
         before = all_cache_stats()["embedding"]
+        before_plan = all_cache_stats()["plan"]
         for circuit in _fresh_ghz_copies(3, 4):
             service.submit(circuit, requirements, shots=64).result()
         after = all_cache_stats()["embedding"]
+        after_plan = all_cache_stats()["plan"]
         assert service.stats()["groups_executed"] == 4
-        assert (after["hits"] + after["misses"]) - (before["hits"] + before["misses"]) == 4 * len(fleet)
+        assert (after["hits"] + after["misses"]) - (before["hits"] + before["misses"]) == len(fleet)
+        assert after_plan["misses"] - before_plan["misses"] == 1
+        assert after_plan["hits"] - before_plan["hits"] == 3
 
 
 class TestBatchedEngineExecution:

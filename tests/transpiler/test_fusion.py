@@ -1,0 +1,140 @@
+"""Tests for single-qubit Clifford run fusion (repro.transpiler.fusion)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, ghz
+from repro.circuits.clifford_utils import closest_single_qubit_clifford
+from repro.simulators import StabilizerSimulator
+from repro.transpiler import FuseCliffordRuns, PassManager, fuse_clifford_runs
+
+
+def _gate_names(circuit):
+    return [instruction.name for instruction in circuit]
+
+
+class TestFuseCliffordRuns:
+    def test_adjacent_run_collapses_to_canonical_sequence(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).s(0).h(0).s(0).h(0).s(0)  # (HS)^3 = phase only
+        fused = fuse_clifford_runs(circuit)
+        # The composition is a global phase: the whole run vanishes.
+        assert len(fused) == 0
+
+    def test_identity_runs_are_dropped(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0).x(0)
+        circuit.h(1).h(1)
+        fused = fuse_clifford_runs(circuit)
+        assert len(fused) == 0
+
+    def test_single_gates_pass_through_verbatim(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.s(1)
+        fused = fuse_clifford_runs(circuit)
+        assert _gate_names(fused) == ["h", "cx", "s"]
+
+    def test_multi_qubit_gates_are_run_boundaries(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0).x(0)  # would fuse to identity...
+        circuit.cx(0, 1)  # ...but only up to the boundary
+        circuit.x(0).x(0)
+        fused = fuse_clifford_runs(circuit)
+        assert _gate_names(fused) == ["cx"]
+
+    def test_measurements_and_barriers_flush_runs(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.h(0)
+        fused = fuse_clifford_runs(circuit)
+        assert _gate_names(fused) == ["h", "barrier", "h", "measure", "h"]
+
+    def test_non_clifford_gates_break_runs_and_survive(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.t(0)  # not Clifford
+        circuit.h(0)
+        fused = fuse_clifford_runs(circuit)
+        assert _gate_names(fused) == ["h", "t", "h"]
+
+    def test_run_collapses_to_shortest_library_sequence(self):
+        circuit = QuantumCircuit(1)
+        # S S = Z: a 2-gate run whose Clifford element has a 1-gate form.
+        circuit.s(0).s(0)
+        fused = fuse_clifford_runs(circuit)
+        assert _gate_names(fused) == ["z"]
+
+    def test_width_name_and_metadata_survive(self):
+        circuit = QuantumCircuit(3, 3, name="workload")
+        circuit.metadata["origin"] = "test"
+        circuit.h(0).s(0)
+        fused = fuse_clifford_runs(circuit)
+        assert fused.num_qubits == 3
+        assert fused.num_clbits == 3
+        assert fused.name == "workload"
+        assert fused.metadata["origin"] == "test"
+
+    def test_source_circuit_is_not_mutated(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0).x(0)
+        before = len(circuit)
+        fuse_clifford_runs(circuit)
+        assert len(circuit) == before
+
+    def test_pass_manager_wrapper_runs_the_same_fusion(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).s(0).sdg(0).h(0)
+        circuit.cx(0, 1)
+        result = PassManager([FuseCliffordRuns()]).run(circuit)
+        assert _gate_names(result) == ["cx"]
+
+
+class TestFusionPreservesStatistics:
+    """Tableau conjugation is global-phase invariant: fused circuits must be
+    bit-identical to their originals on the stabilizer engine (same seed)."""
+
+    def _stabilizer_counts(self, circuit, seed):
+        return StabilizerSimulator(seed=seed).run(circuit, shots=256).counts
+
+    def test_ghz_counts_are_bit_identical(self):
+        circuit = ghz(4)
+        fused = fuse_clifford_runs(circuit)
+        assert self._stabilizer_counts(circuit, 7) == self._stabilizer_counts(fused, 7)
+
+    def test_random_clifford_runs_are_bit_identical(self):
+        rng = np.random.default_rng(11)
+        single = ["h", "s", "sdg", "x", "y", "z", "sx"]
+        for trial in range(5):
+            circuit = QuantumCircuit(3, 3)
+            for _ in range(20):
+                if rng.random() < 0.3:
+                    qubits = rng.choice(3, size=2, replace=False)
+                    circuit.cx(int(qubits[0]), int(qubits[1]))
+                else:
+                    getattr(circuit, str(rng.choice(single)))(int(rng.integers(3)))
+            circuit.measure_all()
+            fused = fuse_clifford_runs(circuit)
+            assert len(fused) <= len(circuit)
+            assert self._stabilizer_counts(circuit, trial) == self._stabilizer_counts(
+                fused, trial
+            )
+
+    def test_fused_run_matrix_matches_composition(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).s(0).h(0)
+        fused = fuse_clifford_runs(circuit)
+        composed = np.eye(2, dtype=complex)
+        for instruction in circuit:
+            composed = instruction.matrix() @ composed
+        _, overlap = closest_single_qubit_clifford(composed)
+        assert overlap == pytest.approx(1.0)
+        refused = np.eye(2, dtype=complex)
+        for instruction in fused:
+            refused = instruction.matrix() @ refused
+        # Equal up to global phase: |tr(A^dag B)| / 2 == 1.
+        assert abs(np.trace(composed.conj().T @ refused)) / 2 == pytest.approx(1.0)
