@@ -29,6 +29,9 @@ against:
 
 The script **fails loudly** (non-zero exit) when:
 
+* the invariant analyzer (``repro.analysis``) preflight reports any
+  non-baselined finding — a tree that violates the determinism invariants
+  benchmarks noise, not code;
 * the batched engine unexpectedly reports the scalar execution path;
 * the batched engine is less than ``--stabilizer-floor`` (default 10x)
   faster than the scalar reference;
@@ -698,6 +701,29 @@ def bench_plans(scale: str, plans_floor: float) -> Dict[str, object]:
 
 
 # --------------------------------------------------------------------------- #
+# Preflight: invariant analyzer
+# --------------------------------------------------------------------------- #
+def preflight_analyze() -> None:
+    """Refuse to benchmark a tree with non-baselined analyzer findings.
+
+    A benchmark run on a tree that violates the determinism invariants
+    (unseeded RNG, wall-clock reads in deterministic packages, process-salted
+    cache keys) measures noise, not the code — so the invariant analyzer of
+    :mod:`repro.analysis` gates every benchmark run the same way it gates CI.
+    """
+    from repro.analysis import analyze_tree
+
+    report = analyze_tree()
+    new = report["new"]
+    if new:
+        details = "\n".join(f"  {finding}" for finding in new)
+        raise BenchFailure(
+            f"invariant analyzer found {len(new)} non-baselined finding(s); "
+            f"fix, pragma or baseline them before benchmarking:\n{details}"
+        )
+
+
+# --------------------------------------------------------------------------- #
 def run_all(
     scale: str,
     stabilizer_floor: float = 10.0,
@@ -710,6 +736,7 @@ def run_all(
     plans_floor: float = 5.0,
 ) -> Dict[str, Path]:
     """Run every measurement and write the BENCH artefacts; returns their paths."""
+    preflight_analyze()
     stabilizer = bench_stabilizer(scale, stabilizer_floor)
     matching = bench_matching(scale)
     scheduler = bench_scheduler(scale, scheduler_floor)

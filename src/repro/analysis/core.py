@@ -1,0 +1,283 @@
+"""The AST-based rule engine behind ``repro-qrio analyze``.
+
+The fleet's headline guarantees — bit-identical scenario replay,
+compile-once plan reuse, thread-safe concurrent dispatch — rest on
+*conventions*: all randomness flows through
+:func:`repro.utils.rng.ensure_generator`, deterministic layers never read
+wall clocks, cache keys never use the per-process-salted builtin ``hash()``,
+and the plan/trace dataclasses stay frozen and picklable.  This module turns
+those conventions into machine-checked invariants:
+
+* :class:`Rule` — the protocol a lint pass implements: a ``rule_id``, a
+  ``severity``, a human description, a per-module :meth:`Rule.check` and an
+  optional cross-module :meth:`Rule.finalize` (used by the lock-order rule,
+  whose graph spans files).
+* :class:`Finding` — one violation, carrying rule id, severity and a
+  clickable ``file:line`` location.
+* :class:`Analyzer` — the runner: walks a package tree, parses every module
+  once, feeds each :class:`ModuleInfo` through every rule, honours inline
+  ``# qrio: allow[RULE-ID] reason`` pragmas, and subtracts the committed
+  baseline (``analysis-baseline.json``) so grandfathered findings do not
+  fail CI while *new* ones do.
+
+Write a new rule in ≤40 lines: subclass nothing, just provide the three
+attributes and ``check`` (see ``docs/analysis.md`` for a worked recipe),
+then add it to :func:`repro.analysis.default_rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "dotted_name",
+    "load_baseline",
+]
+
+#: Inline suppression: ``# qrio: allow[QRIO-D002] reason`` on the offending
+#: line (trailing comment) or on the line directly above it.
+_PRAGMA = re.compile(r"#\s*qrio:\s*allow\[([A-Za-z0-9-]+)\]\s*(.*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    message: str
+
+    @property
+    def location(self) -> str:
+        """Clickable ``file:line`` anchor of the finding."""
+        return f"{self.path}:{self.line}"
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Identity used to match against baseline entries.
+
+        Deliberately excludes the line number so unrelated edits above a
+        grandfathered finding do not un-baseline it.
+        """
+        return (self.rule_id, self.path, self.message)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (the ``analyze --json`` payload)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.location}: {self.rule_id} [{self.severity}] {self.message}"
+
+
+class ModuleInfo:
+    """One parsed source module plus its suppression pragmas."""
+
+    def __init__(self, relpath: str, source: str, *, path: Optional[Path] = None) -> None:
+        self.relpath = relpath.replace("\\", "/")
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=self.relpath)
+        self.lines = source.splitlines()
+        #: line number -> list of (rule_id, comment-only?) pragmas there.
+        self.pragmas: Dict[int, List[Tuple[str, bool]]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _PRAGMA.search(text)
+            if match:
+                standalone = text.lstrip().startswith("#")
+                self.pragmas.setdefault(lineno, []).append((match.group(1), standalone))
+
+    def allows(self, rule_id: str, lineno: int) -> bool:
+        """``True`` when a pragma suppresses ``rule_id`` at ``lineno``.
+
+        A trailing-comment pragma applies to its own line only; a pragma on
+        a comment-only line applies to the line directly below it
+        (annotation-above style), never further.
+        """
+        for allowed, _standalone in self.pragmas.get(lineno, ()):  # noqa: B007
+            if allowed == rule_id:
+                return True
+        for allowed, standalone in self.pragmas.get(lineno - 1, ()):
+            if standalone and allowed == rule_id:
+                return True
+        return False
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Optional[Finding]:
+        """Build a finding for ``node`` unless a pragma suppresses it."""
+        lineno = getattr(node, "lineno", 1)
+        if self.allows(rule.rule_id, lineno):
+            return None
+        return Finding(
+            rule_id=rule.rule_id,
+            severity=rule.severity,
+            path=self.relpath,
+            line=lineno,
+            message=message,
+        )
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """The protocol every lint pass implements.
+
+    ``check`` runs once per module and yields findings local to it;
+    ``finalize`` (optional) runs once after every module has been checked
+    and yields findings that need the whole-tree view (e.g. a lock-order
+    graph spanning files).  Rules are instantiated fresh per analyzer run,
+    so accumulating state across ``check`` calls is safe.
+    """
+
+    rule_id: str
+    severity: str
+    description: str
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Yield the findings of this rule in ``module``."""
+        ...
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """The dotted name of a ``Name``/``Attribute`` chain, or ``None``.
+
+    ``np.random.default_rng`` -> ``"np.random.default_rng"``; anything that
+    is not a pure attribute chain (calls, subscripts) returns ``None``.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered findings.
+
+    Matching is a multiset subtraction on :meth:`Finding.baseline_key`: a
+    baseline entry absorbs at most one live finding, so a *second* identical
+    violation in the same file is still reported as new.
+    """
+
+    entries: List[Dict[str, str]] = field(default_factory=list)
+
+    def subtract(self, findings: Sequence[Finding]) -> Tuple[List[Finding], List[Finding]]:
+        """Split ``findings`` into (new, baselined)."""
+        budget: Dict[Tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            key = (entry["rule"], entry["path"], entry["message"])
+            budget[key] = budget.get(key, 0) + 1
+        new: List[Finding] = []
+        absorbed: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                absorbed.append(finding)
+            else:
+                new.append(finding)
+        return new, absorbed
+
+    @staticmethod
+    def from_findings(findings: Sequence[Finding], reason: str = "grandfathered") -> "Baseline":
+        """A baseline absorbing exactly the given findings."""
+        return Baseline(
+            entries=[
+                {
+                    "rule": finding.rule_id,
+                    "path": finding.path,
+                    "message": finding.message,
+                    "reason": reason,
+                }
+                for finding in findings
+            ]
+        )
+
+    def save(self, path: Path) -> Path:
+        """Write the baseline file (sorted, one finding per entry)."""
+        payload = {
+            "version": 1,
+            "findings": sorted(
+                self.entries, key=lambda entry: (entry["path"], entry["rule"], entry["message"])
+            ),
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        return path
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read ``analysis-baseline.json``; a missing file is an empty baseline."""
+    if not path.exists():
+        return Baseline()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != 1:
+        raise ValueError(f"Unsupported analysis baseline version {payload.get('version')!r}")
+    entries = []
+    for entry in payload.get("findings", []):
+        entries.append(
+            {
+                "rule": str(entry["rule"]),
+                "path": str(entry["path"]),
+                "message": str(entry["message"]),
+                "reason": str(entry.get("reason", "")),
+            }
+        )
+    return Baseline(entries=entries)
+
+
+class Analyzer:
+    """Run a set of rules over a package tree (or individual sources)."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rules = list(rules)
+
+    # ------------------------------------------------------------------ #
+    def run_modules(self, modules: Iterable[ModuleInfo]) -> List[Finding]:
+        """Check every module with every rule, then finalize cross-module rules."""
+        findings: List[Finding] = []
+        for module in modules:
+            for rule in self.rules:
+                findings.extend(rule.check(module))
+        for rule in self.rules:
+            finalize = getattr(rule, "finalize", None)
+            if finalize is not None:
+                findings.extend(finalize())
+        findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+        return findings
+
+    def run_source(self, source: str, relpath: str = "module.py") -> List[Finding]:
+        """Analyze one in-memory module (the docs/doctest entry point)."""
+        return self.run_modules([ModuleInfo(relpath, source)])
+
+    def run(self, root: Path) -> List[Finding]:
+        """Walk ``root`` (a package directory) and analyze every ``.py`` file."""
+        return self.run_modules(self._load_tree(Path(root)))
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _load_tree(root: Path) -> Iterator[ModuleInfo]:
+        if not root.is_dir():
+            raise FileNotFoundError(f"Analysis root '{root}' is not a directory")
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            relpath = path.relative_to(root).as_posix()
+            yield ModuleInfo(relpath, path.read_text(encoding="utf-8"), path=path)

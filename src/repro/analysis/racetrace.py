@@ -1,0 +1,355 @@
+"""Runtime race sanitizer: traced locks that record what threads actually do.
+
+The static lock-order rule (QRIO-C002) reasons about code; this module
+watches executions.  :class:`TracedLock` and :class:`TracedCondition` are
+drop-in replacements for :class:`threading.Lock` / :class:`threading.Condition`
+that report every acquisition to a shared :class:`RaceMonitor`, which
+
+* maintains each thread's stack of currently-held locks,
+* records the directed *acquisition-order* edge ``A -> B`` whenever a thread
+  takes ``B`` while holding ``A``,
+* flags a **lock-order inversion** the moment the reverse edge of an
+  existing edge appears (two code paths disagree on the order — the classic
+  deadlock precondition, caught even when the interleaving that would
+  actually deadlock never happens in this run),
+* flags a **self-deadlock** (re-acquiring a non-reentrant lock the thread
+  already holds), and
+* reports **unreleased holds** — locks still held when
+  :meth:`RaceMonitor.assert_clean` runs (a leaked ``acquire`` without a
+  paired ``release``).
+
+Wiring it into real code never requires editing that code:
+:func:`traced_threading` builds a module-shaped shim whose ``Lock`` /
+``Condition`` constructors hand out traced instances, so a test can
+``monkeypatch.setattr(repro.service.runtime, "threading", shim)`` and run
+the ordinary :class:`~repro.service.ServiceRuntime` suite under the
+sanitizer (``tests/service/conftest.py`` does exactly that when
+``QRIO_RACETRACE=1``).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "LockOrderViolation",
+    "RaceMonitor",
+    "RaceTraceError",
+    "TracedCondition",
+    "TracedLock",
+    "traced_threading",
+]
+
+
+class RaceTraceError(AssertionError):
+    """Raised by :meth:`RaceMonitor.assert_clean` when the run was not clean."""
+
+
+@dataclass(frozen=True)
+class LockOrderViolation:
+    """One detected ordering conflict (or self-deadlock)."""
+
+    kind: str  # "inversion" | "self-deadlock"
+    first: str  # lock acquired first (outer)
+    second: str  # lock acquired second (inner)
+    thread: str
+    #: Where the conflicting (second) acquisition happened, as file:line.
+    site: str
+    #: Where the *original* opposite-order edge was recorded.
+    prior_site: str
+
+    def __str__(self) -> str:
+        if self.kind == "self-deadlock":
+            return (
+                f"self-deadlock: thread '{self.thread}' re-acquired non-reentrant "
+                f"'{self.first}' at {self.site} (held since {self.prior_site})"
+            )
+        return (
+            f"lock-order inversion: thread '{self.thread}' took '{self.second}' while "
+            f"holding '{self.first}' at {self.site}, but the opposite order "
+            f"'{self.second}' -> '{self.first}' was recorded at {self.prior_site}"
+        )
+
+
+def _call_site(depth: int = 2) -> str:
+    """``file:line`` of the caller ``depth`` frames up (best effort)."""
+    try:
+        frame = sys._getframe(depth)
+        return f"{frame.f_code.co_filename.rsplit('/', 1)[-1]}:{frame.f_lineno}"
+    except (ValueError, AttributeError):  # pragma: no cover - shallow stacks
+        return "<unknown>"
+
+
+class RaceMonitor:
+    """Shared recorder of per-thread lock acquisition sequences."""
+
+    def __init__(self) -> None:
+        #: Internal guard; a plain lock so the monitor never participates in
+        #: the orders it audits.
+        self._mutex = threading.Lock()
+        self._counter = 0
+        #: thread ident -> stack of (lock name, acquire site).
+        self._held: Dict[int, List[Tuple[str, str]]] = {}
+        #: (outer, inner) -> site where that order was first observed.
+        self._edges: Dict[Tuple[str, str], str] = {}
+        self._violations: List[LockOrderViolation] = []
+
+    # ------------------------------------------------------------------ #
+    # Factories
+    # ------------------------------------------------------------------ #
+    def lock(self, name: Optional[str] = None) -> "TracedLock":
+        """A new traced lock (named after its creation site by default)."""
+        return TracedLock(self, name or self._auto_name("Lock"))
+
+    def condition(self, lock: Optional["TracedLock"] = None, name: Optional[str] = None) -> "TracedCondition":
+        """A new traced condition, optionally sharing an existing traced lock."""
+        return TracedCondition(self, lock=lock, name=name)
+
+    def _auto_name(self, kind: str) -> str:
+        with self._mutex:
+            self._counter += 1
+            counter = self._counter
+        return f"{kind}-{counter}@{_call_site(3)}"
+
+    # ------------------------------------------------------------------ #
+    # Event hooks (called by the traced primitives)
+    # ------------------------------------------------------------------ #
+    def on_acquire_attempt(self, name: str) -> None:
+        """Record ordering facts *before* blocking (deadlock risk exists now)."""
+        ident = threading.get_ident()
+        site = _call_site(3)
+        thread = threading.current_thread().name
+        with self._mutex:
+            stack = self._held.setdefault(ident, [])
+            for held_name, held_site in stack:
+                if held_name == name:
+                    self._violations.append(
+                        LockOrderViolation(
+                            kind="self-deadlock",
+                            first=name,
+                            second=name,
+                            thread=thread,
+                            site=site,
+                            prior_site=held_site,
+                        )
+                    )
+                    continue
+                edge = (held_name, name)
+                reverse = (name, held_name)
+                if reverse in self._edges and edge not in self._edges:
+                    self._violations.append(
+                        LockOrderViolation(
+                            kind="inversion",
+                            first=held_name,
+                            second=name,
+                            thread=thread,
+                            site=site,
+                            prior_site=self._edges[reverse],
+                        )
+                    )
+                self._edges.setdefault(edge, site)
+
+    def on_acquired(self, name: str) -> None:
+        ident = threading.get_ident()
+        with self._mutex:
+            self._held.setdefault(ident, []).append((name, _call_site(3)))
+
+    def on_release(self, name: str) -> None:
+        ident = threading.get_ident()
+        with self._mutex:
+            stack = self._held.get(ident, [])
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index][0] == name:
+                    del stack[index]
+                    return
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def violations(self) -> List[LockOrderViolation]:
+        """Every ordering violation recorded so far."""
+        with self._mutex:
+            return list(self._violations)
+
+    def held_locks(self) -> Dict[str, List[str]]:
+        """Currently held locks, keyed by thread name-ish ident."""
+        with self._mutex:
+            return {
+                f"thread-{ident}": [f"{name} (acquired at {site})" for name, site in stack]
+                for ident, stack in self._held.items()
+                if stack
+            }
+
+    def edges(self) -> Dict[Tuple[str, str], str]:
+        """The observed acquisition-order graph (edge -> first site)."""
+        with self._mutex:
+            return dict(self._edges)
+
+    def assert_clean(self) -> None:
+        """Fail loudly when violations were recorded or locks are still held.
+
+        Call this after every traced thread has finished (e.g. after
+        ``service.close()``), so still-held locks really are leaks rather
+        than work in progress.
+        """
+        problems = [str(violation) for violation in self.violations()]
+        for thread, held in sorted(self.held_locks().items()):
+            problems.append(f"unreleased hold: {thread} still holds {', '.join(held)}")
+        if problems:
+            raise RaceTraceError(
+                "race sanitizer found {} problem(s):\n  - {}".format(
+                    len(problems), "\n  - ".join(problems)
+                )
+            )
+
+
+class TracedLock:
+    """Drop-in :class:`threading.Lock` reporting to a :class:`RaceMonitor`."""
+
+    def __init__(self, monitor: RaceMonitor, name: str) -> None:
+        self._monitor = monitor
+        self._name = name
+        self._raw = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        """The lock's diagnostic name (unique per instance)."""
+        return self._name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._monitor.on_acquire_attempt(self._name)
+        acquired = self._raw.acquire(blocking, timeout)
+        if acquired:
+            self._monitor.on_acquired(self._name)
+        return acquired
+
+    def release(self) -> None:
+        self._monitor.on_release(self._name)
+        self._raw.release()
+
+    def locked(self) -> bool:
+        return self._raw.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TracedLock({self._name!r}, locked={self._raw.locked()})"
+
+
+class TracedCondition:
+    """Drop-in :class:`threading.Condition` over a :class:`TracedLock`.
+
+    Several conditions may share one traced lock (the
+    :class:`~repro.service.ServiceRuntime` pattern of one mutex with
+    ``_work`` / ``_not_full`` / ``_idle`` wake-up channels); they then share
+    the underlying raw lock exactly as real conditions would.  ``wait``
+    reports the release/re-acquire pair to the monitor, so a thread parked
+    in ``wait`` holds nothing as far as the sanitizer is concerned.
+    """
+
+    def __init__(
+        self,
+        monitor: RaceMonitor,
+        lock: Optional[TracedLock] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self._monitor = monitor
+        self._lock = lock if lock is not None else TracedLock(monitor, name or monitor._auto_name("ConditionLock"))
+        #: The real condition runs on the *raw* lock, so its internal
+        #: waiter bookkeeping and timeout handling stay stock CPython.
+        self._cond = threading.Condition(self._lock._raw)
+
+    @property
+    def traced_lock(self) -> TracedLock:
+        """The traced lock this condition acquires."""
+        return self._lock
+
+    # -- lock face ------------------------------------------------------ #
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        return self._lock.acquire(blocking, timeout)
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    # -- condition face -------------------------------------------------- #
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        # The raw condition releases and re-acquires the raw lock around the
+        # park; mirror that for the monitor so a parked thread holds nothing.
+        self._monitor.on_release(self._lock.name)
+        try:
+            return self._cond.wait(timeout)
+        finally:
+            self._monitor.on_acquire_attempt(self._lock.name)
+            self._monitor.on_acquired(self._lock.name)
+
+    def wait_for(self, predicate, timeout: Optional[float] = None) -> bool:
+        self._monitor.on_release(self._lock.name)
+        try:
+            return self._cond.wait_for(predicate, timeout)
+        finally:
+            self._monitor.on_acquire_attempt(self._lock.name)
+            self._monitor.on_acquired(self._lock.name)
+
+    def notify(self, n: int = 1) -> None:
+        self._cond.notify(n)
+
+    def notify_all(self) -> None:
+        self._cond.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TracedCondition({self._lock.name!r})"
+
+
+class _TracedThreadingShim:
+    """A module-shaped stand-in for :mod:`threading` with traced primitives.
+
+    Everything not overridden (``Thread``, ``get_ident``, ``current_thread``,
+    ``Event`` ...) resolves to the real :mod:`threading` module, so patched
+    code keeps its full behaviour — only ``Lock`` and ``Condition`` hand out
+    traced instances.
+    """
+
+    def __init__(self, monitor: RaceMonitor) -> None:
+        self.monitor = monitor
+
+    def Lock(self) -> TracedLock:  # noqa: N802 - mirrors threading.Lock
+        return self.monitor.lock()
+
+    def Condition(self, lock=None) -> TracedCondition:  # noqa: N802
+        if lock is not None and not isinstance(lock, TracedLock):
+            # A foreign (untraced) lock: trace the condition's own face only.
+            raise TypeError(
+                "traced_threading shim needs a TracedLock (or None) for Condition(); "
+                f"got {type(lock).__name__}"
+            )
+        return self.monitor.condition(lock=lock)
+
+    def __getattr__(self, attr: str):
+        return getattr(threading, attr)
+
+
+def traced_threading(monitor: RaceMonitor) -> _TracedThreadingShim:
+    """A ``threading``-module stand-in wired to ``monitor``.
+
+    Usage (pytest)::
+
+        monitor = RaceMonitor()
+        monkeypatch.setattr(repro.service.runtime, "threading", traced_threading(monitor))
+        monkeypatch.setattr(repro.service.handle, "threading", traced_threading(monitor))
+        ... run the concurrent workload, then ...
+        monitor.assert_clean()
+    """
+    return _TracedThreadingShim(monitor)

@@ -17,6 +17,10 @@ The CLI exposes the pieces a new user typically wants without writing Python:
   saves the generated trace as a portable JSONL file), replay a previously
   recorded trace file (``replay``), or run the policy × engine grid over
   named scenarios and print the comparison table (``sweep``);
+* ``repro-qrio analyze [--json] [--write-baseline]`` — run the invariant
+  analyzer (determinism/concurrency/serialization lint rules of
+  :mod:`repro.analysis`) over the source tree and exit non-zero on any
+  finding not recorded in the committed baseline;
 * ``repro-qrio submit <circuit.qasm>`` — schedule a QASM file against a
   generated fleet with either a fidelity or a topology requirement, routed
   through the unified job service (``--engine`` picks the execution engine —
@@ -346,6 +350,35 @@ def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Run the invariant analyzer; exit 1 on non-baselined findings."""
+    from pathlib import Path
+
+    from repro.analysis import Baseline, analyze_tree
+
+    root = Path(args.root) if args.root else None
+    baseline_path = Path(args.baseline) if args.baseline else None
+    report = analyze_tree(root, baseline_path=baseline_path)
+    new, baselined = report["new"], report["baselined"]
+    if args.write_baseline:
+        Baseline.from_findings(list(new) + list(baselined)).save(Path(report["baseline_path"]))
+        print(f"baseline written to {report['baseline_path']} ({len(new) + len(baselined)} findings)")
+        return 0
+    if args.json:
+        payload = {
+            "root": str(report["root"]),
+            "baseline": str(report["baseline_path"]),
+            "new": [finding.as_dict() for finding in new],
+            "baselined": [finding.as_dict() for finding in baselined],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in new:
+            print(str(finding))
+        print(f"{len(new)} new finding(s); {len(baselined)} baselined")
+    return 1 if new else 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     circuit = load_qasm_file(args.circuit)
     try:
@@ -514,6 +547,19 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="override every scenario's trace length")
     _add_replay_options(scenarios_sweep, single_cell=False)
     scenarios_sweep.set_defaults(handler=_cmd_scenarios_sweep)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="run the determinism/concurrency invariant analyzer over the source tree"
+    )
+    analyze.add_argument("--json", action="store_true",
+                         help="emit findings (new and baselined) as JSON for scripts/CI")
+    analyze.add_argument("--write-baseline", action="store_true", dest="write_baseline",
+                         help="record the current findings as the accepted baseline and exit 0")
+    analyze.add_argument("--root", default=None,
+                         help="source tree to analyze (default: the installed repro package)")
+    analyze.add_argument("--baseline", default=None,
+                         help="baseline file path (default: analysis-baseline.json at the repo root)")
+    analyze.set_defaults(handler=_cmd_analyze)
 
     submit = subparsers.add_parser("submit", help="schedule a QASM circuit against a generated fleet")
     submit.add_argument("circuit", help="path to an OpenQASM 2.0 file")

@@ -243,6 +243,9 @@ class TraceRecorder:
         self._wall_clock = wall_clock
         self._user = user
         self._jobs: List[JobRequest] = []
+        # The recorder's capture clock is wall time by design; replay runs on
+        # the recorded (logical or clamped) arrival timeline.
+        # qrio: allow[QRIO-D002] capture clock of the trace recorder
         self._started = time.monotonic()
         self._attached = True
         #: Concurrent submitters notify on their own threads; the lock keeps
@@ -257,6 +260,7 @@ class TraceRecorder:
         with self._mutex:
             index = len(self._jobs)
             if self._wall_clock:
+                # qrio: allow[QRIO-D002] wall_clock=True explicitly opts into host-time stamps
                 arrival = time.monotonic() - self._started
             elif requirements.arrival_time_s is not None:
                 arrival = requirements.arrival_time_s

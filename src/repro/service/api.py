@@ -204,6 +204,9 @@ class JobEvent:
     #: differences are meaningful (``time.monotonic`` has an arbitrary
     #: origin); :meth:`QRIOService.wait_report` turns them into the
     #: QUEUED→RUNNING wait and drain-makespan statistics.
+    # Event timestamps are observability metadata (wait reports), never
+    # replay inputs; only differences between them are used.
+    # qrio: allow[QRIO-D002] observability timestamp, not simulated time
     timestamp: float = field(default_factory=time.monotonic)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

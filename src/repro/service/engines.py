@@ -735,7 +735,7 @@ class CloudEngine(ExecutionEngine):
         """
         probe = tuple(
             (
-                id(backend.properties),
+                id(backend.properties),  # qrio: allow[QRIO-D003] process-local drift probe, never persisted or pickled
                 sum(backend.properties.two_qubit_error.values()),
                 sum(backend.properties.readout_error.values()),
             )

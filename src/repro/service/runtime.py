@@ -163,6 +163,9 @@ class ServiceRuntime:
                         "retry later or submit with block=True"
                     )
                 self._not_full.wait()
+            # EDF needs absolute due times: deadline_s is relative to real
+            # submission time, which only the host clock knows.
+            # qrio: allow[QRIO-D002] wall-clock deadline arithmetic of the live runtime
             now = time.monotonic()
             for group in groups:
                 requirements = group.spec.requirements

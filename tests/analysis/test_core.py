@@ -1,0 +1,223 @@
+"""Analyzer mechanics: pragmas, baselines, tree walking, the CLI surface.
+
+The rules themselves are covered in ``test_rules.py``; this module pins the
+machinery around them — inline ``# qrio: allow[...]`` suppression in both
+placements, the multiset baseline subtraction, ``analyze_tree`` end to end
+over a temp tree, and the ``repro-qrio analyze`` subcommand's exit codes,
+``--json`` payload and ``--write-baseline`` workflow.  The final test is the
+repo's own gate: the live source tree must analyze clean.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Analyzer,
+    Baseline,
+    Finding,
+    UnseededRandomRule,
+    WallClockRule,
+    analyze_tree,
+    load_baseline,
+)
+from repro.cli import main
+
+
+def analyze(source, relpath="module.py", rules=None):
+    return Analyzer(rules or [UnseededRandomRule()]).run_source(textwrap.dedent(source), relpath)
+
+
+# --------------------------------------------------------------------------- #
+# Pragmas
+# --------------------------------------------------------------------------- #
+class TestPragmas:
+    def test_trailing_pragma_suppresses(self):
+        findings = analyze(
+            """
+            import random
+
+            value = random.random()  # qrio: allow[QRIO-D001] test fixture noise
+            """
+        )
+        assert findings == []
+
+    def test_line_above_pragma_suppresses(self):
+        findings = analyze(
+            """
+            import random
+
+            # qrio: allow[QRIO-D001] test fixture noise
+            value = random.random()
+            """
+        )
+        assert findings == []
+
+    def test_pragma_two_lines_above_does_not_reach(self):
+        findings = analyze(
+            """
+            import random
+
+            # qrio: allow[QRIO-D001] too far away
+            # an unrelated comment in between
+            value = random.random()
+            """
+        )
+        assert [f.rule_id for f in findings] == ["QRIO-D001"]
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        findings = analyze(
+            """
+            import random
+
+            value = random.random()  # qrio: allow[QRIO-D002] wrong rule id
+            """
+        )
+        assert [f.rule_id for f in findings] == ["QRIO-D001"]
+
+    def test_pragma_only_covers_its_line(self):
+        findings = analyze(
+            """
+            import random
+
+            first = random.random()  # qrio: allow[QRIO-D001] only this one
+            second = random.random()
+            """
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 5
+
+
+# --------------------------------------------------------------------------- #
+# Baseline
+# --------------------------------------------------------------------------- #
+def _finding(message, line=10, rule="QRIO-D001", path="pkg/mod.py"):
+    return Finding(rule_id=rule, severity="error", path=path, line=line, message=message)
+
+
+class TestBaseline:
+    def test_subtract_splits_new_and_baselined(self):
+        old = _finding("grandfathered")
+        baseline = Baseline.from_findings([old])
+        new, absorbed = baseline.subtract([old, _finding("fresh violation")])
+        assert [f.message for f in absorbed] == ["grandfathered"]
+        assert [f.message for f in new] == ["fresh violation"]
+
+    def test_line_drift_does_not_unbaseline(self):
+        baseline = Baseline.from_findings([_finding("stable message", line=10)])
+        new, absorbed = baseline.subtract([_finding("stable message", line=99)])
+        assert new == [] and len(absorbed) == 1
+
+    def test_multiset_semantics_absorb_at_most_once(self):
+        baseline = Baseline.from_findings([_finding("dup")])
+        new, absorbed = baseline.subtract([_finding("dup", line=1), _finding("dup", line=2)])
+        assert len(absorbed) == 1 and len(new) == 1
+
+    def test_save_load_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings([_finding("kept"), _finding("also kept", rule="QRIO-C001")])
+        path = baseline.save(tmp_path / "baseline.json")
+        loaded = load_baseline(path)
+        assert {entry["message"] for entry in loaded.entries} == {"kept", "also kept"}
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json").entries == []
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+# --------------------------------------------------------------------------- #
+# analyze_tree over a temp tree
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def dirty_tree(tmp_path):
+    """A mini source tree with one D001 and one D002 violation."""
+    root = tmp_path / "pkg"
+    (root / "simulators").mkdir(parents=True)
+    (root / "simulators" / "noise.py").write_text(
+        textwrap.dedent(
+            """
+            import random
+            import time
+
+            def sample():
+                return random.random(), time.time()
+            """
+        )
+    )
+    (root / "__pycache__").mkdir()
+    (root / "__pycache__" / "stale.py").write_text("import random\nx = random.random()\n")
+    return root
+
+
+class TestAnalyzeTree:
+    def test_reports_both_findings_and_skips_pycache(self, dirty_tree, tmp_path):
+        report = analyze_tree(dirty_tree, baseline_path=tmp_path / "baseline.json")
+        assert sorted(f.rule_id for f in report["new"]) == ["QRIO-D001", "QRIO-D002"]
+        assert all("__pycache__" not in f.path for f in report["new"])
+
+    def test_baseline_absorbs(self, dirty_tree, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        first = analyze_tree(dirty_tree, baseline_path=baseline_path)
+        Baseline.from_findings(first["new"]).save(baseline_path)
+        second = analyze_tree(dirty_tree, baseline_path=baseline_path)
+        assert second["new"] == []
+        assert len(second["baselined"]) == 2
+
+
+# --------------------------------------------------------------------------- #
+# CLI: repro-qrio analyze
+# --------------------------------------------------------------------------- #
+class TestAnalyzeCommand:
+    def test_dirty_tree_exits_nonzero(self, dirty_tree, tmp_path, capsys):
+        code = main(
+            ["analyze", "--root", str(dirty_tree), "--baseline", str(tmp_path / "baseline.json")]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "QRIO-D001" in out and "QRIO-D002" in out
+
+    def test_json_payload(self, dirty_tree, tmp_path, capsys):
+        code = main(
+            ["analyze", "--json", "--root", str(dirty_tree),
+             "--baseline", str(tmp_path / "baseline.json")]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert {f["rule"] for f in payload["new"]} == {"QRIO-D001", "QRIO-D002"}
+        assert payload["baselined"] == []
+
+    def test_write_baseline_then_clean(self, dirty_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["analyze", "--write-baseline", "--root", str(dirty_tree),
+                     "--baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        code = main(["analyze", "--root", str(dirty_tree), "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 new finding(s); 2 baselined" in out
+
+
+# --------------------------------------------------------------------------- #
+# The repo's own gate
+# --------------------------------------------------------------------------- #
+def test_live_source_tree_is_clean():
+    """The committed tree must carry zero non-baselined findings."""
+    report = analyze_tree()
+    assert report["new"] == [], "\n".join(str(f) for f in report["new"])
+
+
+def test_committed_baseline_is_not_growing():
+    """The baseline absorbs only findings that still exist (no dead entries)."""
+    report = analyze_tree()
+    baseline = load_baseline(Path(report["baseline_path"]))
+    assert len(baseline.entries) == len(report["baselined"]), (
+        "analysis-baseline.json contains entries that no longer match any live "
+        "finding; re-run 'repro-qrio analyze --write-baseline' to shrink it"
+    )

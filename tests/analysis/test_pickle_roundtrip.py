@@ -1,0 +1,110 @@
+"""Executable twin of QRIO-S001: shard-crossing objects survive a real hop.
+
+The static rule pins the *structure* (frozen dataclass, no lock/lambda
+fields); these tests prove the *behaviour* — an :class:`ExecutionPlan` and a
+:class:`Trace` pickled here, shipped to a freshly spawned Python process
+(its own interpreter, its own ``PYTHONHASHSEED`` salt), unpickled,
+re-pickled and shipped back, come home semantically identical.  That hop is
+exactly what the process-shard roadmap item needs to work.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.backends import three_device_testbed
+from repro.circuits import ghz
+from repro.plans import ExecutionPlan, PlanCompiler
+from repro.scenarios import PoissonProcess, Trace, generate_requests
+from repro.workloads import clifford_suite
+
+_REPO_SRC = Path(__file__).resolve().parent.parent.parent / "src"
+
+#: The child does nothing repo-specific: unpickle stdin, re-pickle to stdout.
+#: Unpickling alone imports and reconstructs the full object graph in the
+#: fresh process, so a missing/unpicklable field fails loudly.
+_CHILD = "import pickle,sys; sys.stdout.buffer.write(pickle.dumps(pickle.load(sys.stdin.buffer)))"
+
+
+def round_trip_through_subprocess(obj):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    # A different hash salt per hop makes any hash()-keyed state visible.
+    env["PYTHONHASHSEED"] = "random"
+    completed = subprocess.run(
+        [sys.executable, "-c", _CHILD],
+        input=pickle.dumps(obj),
+        capture_output=True,
+        env=env,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr.decode()
+    return pickle.loads(completed.stdout)
+
+
+@pytest.fixture(scope="module")
+def plan() -> ExecutionPlan:
+    backend = three_device_testbed()[0]
+    return PlanCompiler().compile(ghz(4), backend, engine="cluster", shots=128)
+
+
+@pytest.fixture(scope="module")
+def trace() -> Trace:
+    return Trace.from_requests(
+        "pickle-roundtrip",
+        generate_requests(
+            PoissonProcess(rate_per_hour=3600.0),
+            num_jobs=4,
+            suite=clifford_suite(),
+            seed=3,
+            shots=64,
+        ),
+        origin="test",
+    )
+
+
+class TestExecutionPlanRoundTrip:
+    def test_survives_spawned_process(self, plan):
+        returned = round_trip_through_subprocess(plan)
+        assert isinstance(returned, ExecutionPlan)
+        assert returned.structural_hash == plan.structural_hash
+        assert returned.fused_hash == plan.fused_hash
+        assert returned.device == plan.device
+        assert returned.calibration_fingerprint == plan.calibration_fingerprint
+        assert returned.shots == plan.shots
+        assert returned.embedding_reference == plan.embedding_reference
+        assert len(returned.fused_circuit) == len(plan.fused_circuit)
+        assert len(returned.transpiled.circuit) == len(plan.transpiled.circuit)
+
+    def test_cache_key_is_stable_across_the_hop(self, plan):
+        # The key the fleet-wide PlanCache would use must not depend on
+        # anything the child process salts differently.
+        returned = round_trip_through_subprocess(plan)
+        assert returned.cache_key("cluster", 9) == plan.cache_key("cluster", 9)
+
+
+class TestTraceRoundTrip:
+    def test_survives_spawned_process(self, trace):
+        returned = round_trip_through_subprocess(trace)
+        assert isinstance(returned, Trace)
+        assert returned.name == trace.name
+        assert returned.metadata == trace.metadata
+        assert len(returned) == len(trace)
+        for before, after in zip(trace, returned):
+            assert after.index == before.index
+            assert after.arrival_time == before.arrival_time
+            assert after.workload_key == before.workload_key
+            assert after.shots == before.shots
+            assert len(after.circuit) == len(before.circuit)
+
+    def test_round_tripped_trace_saves_identically(self, trace, tmp_path):
+        # Byte-identical JSONL from parent and child copies: the full
+        # serialisation path is hop-invariant, not just the field values.
+        returned = round_trip_through_subprocess(trace)
+        original_path = trace.save(tmp_path / "original.jsonl")
+        returned_path = returned.save(tmp_path / "returned.jsonl")
+        assert original_path.read_bytes() == returned_path.read_bytes()

@@ -1,0 +1,191 @@
+"""The runtime race sanitizer: seeded violations fire, clean code stays clean.
+
+The first half seeds deliberate violations — an inverted lock pair taken
+from two threads, a self-deadlocking re-acquire, a leaked hold — and asserts
+the :class:`~repro.analysis.RaceMonitor` reports each one.  The second half
+patches the traced ``threading`` shim into the real service modules and
+drives a concurrent :class:`~repro.service.QRIOService` workload end to end,
+asserting the monitor saw real acquisition edges and zero violations — the
+same check CI runs over the whole ``tests/service`` suite under
+``QRIO_RACETRACE=1``.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import RaceMonitor, RaceTraceError, TracedLock, traced_threading
+from repro.backends import three_device_testbed
+from repro.circuits import ghz
+
+
+# --------------------------------------------------------------------------- #
+# Seeded violations
+# --------------------------------------------------------------------------- #
+class TestLockOrderInversion:
+    def test_inverted_pair_across_threads_fires(self):
+        monitor = RaceMonitor()
+        lock_a = monitor.lock("A")
+        lock_b = monitor.lock("B")
+
+        def a_then_b():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def b_then_a():
+            with lock_b:
+                with lock_a:
+                    pass
+
+        # Run the two orders sequentially on separate threads: no interleaving
+        # can deadlock, yet the order conflict is still a recorded fact.
+        for target in (a_then_b, b_then_a):
+            thread = threading.Thread(target=target)
+            thread.start()
+            thread.join()
+
+        violations = monitor.violations()
+        assert len(violations) == 1
+        assert violations[0].kind == "inversion"
+        assert {violations[0].first, violations[0].second} == {"A", "B"}
+        with pytest.raises(RaceTraceError, match="inversion"):
+            monitor.assert_clean()
+
+    def test_consistent_order_is_clean(self):
+        monitor = RaceMonitor()
+        lock_a = monitor.lock("A")
+        lock_b = monitor.lock("B")
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+        assert monitor.violations() == []
+        assert ("A", "B") in monitor.edges()
+        monitor.assert_clean()
+
+    def test_repeated_same_edge_reports_once(self):
+        monitor = RaceMonitor()
+        lock_a = monitor.lock("A")
+        lock_b = monitor.lock("B")
+        with lock_a:
+            with lock_b:
+                pass
+        for _ in range(3):
+            with lock_b:
+                with lock_a:
+                    pass
+        assert len([v for v in monitor.violations() if v.kind == "inversion"]) == 1
+
+
+class TestSelfDeadlock:
+    def test_reacquire_fires(self):
+        monitor = RaceMonitor()
+        lock = monitor.lock("L")
+        with lock:
+            # Non-blocking, so the test cannot hang; the *attempt* while
+            # already holding L is the bug being detected.
+            assert lock.acquire(blocking=False) is False
+        violations = monitor.violations()
+        assert [v.kind for v in violations] == ["self-deadlock"]
+        assert violations[0].first == "L"
+
+
+class TestUnreleasedHold:
+    def test_leaked_acquire_fires(self):
+        monitor = RaceMonitor()
+        lock = monitor.lock("leaky")
+        lock.acquire()
+        with pytest.raises(RaceTraceError, match="unreleased hold"):
+            monitor.assert_clean()
+        lock.release()
+        monitor.assert_clean()
+
+
+class TestTracedCondition:
+    def test_wait_releases_the_lock_for_the_monitor(self):
+        monitor = RaceMonitor()
+        shim = traced_threading(monitor)
+        lock = shim.Lock()
+        cond = shim.Condition(lock)
+        released = threading.Event()
+        state = {"notified": False}
+
+        def waiter():
+            with cond:
+                while not state["notified"]:
+                    released.set()
+                    cond.wait(timeout=5)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert released.wait(5)
+        with cond:  # acquirable because the waiter parked -> monitor agrees
+            state["notified"] = True
+            cond.notify_all()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        monitor.assert_clean()
+
+    def test_conditions_sharing_one_lock(self):
+        # The ServiceRuntime pattern: three wake-up channels, one mutex.
+        monitor = RaceMonitor()
+        shim = traced_threading(monitor)
+        lock = shim.Lock()
+        first, second = shim.Condition(lock), shim.Condition(lock)
+        with first:
+            first.notify_all()
+        with second:
+            second.notify_all()
+        monitor.assert_clean()
+
+    def test_foreign_lock_rejected(self):
+        shim = traced_threading(RaceMonitor())
+        with pytest.raises(TypeError):
+            shim.Condition(threading.Lock())
+
+
+class TestShim:
+    def test_lock_and_condition_are_traced(self):
+        monitor = RaceMonitor()
+        shim = traced_threading(monitor)
+        assert isinstance(shim.Lock(), TracedLock)
+        assert isinstance(shim.Condition().traced_lock, TracedLock)
+
+    def test_everything_else_delegates(self):
+        shim = traced_threading(RaceMonitor())
+        assert shim.Thread is threading.Thread
+        assert shim.Event is threading.Event
+        assert shim.get_ident is threading.get_ident
+
+
+# --------------------------------------------------------------------------- #
+# The real service runtime under the sanitizer
+# --------------------------------------------------------------------------- #
+class TestServiceRuntimeClean:
+    def test_concurrent_service_run_is_clean(self, monkeypatch):
+        import repro.service.engines as engines_module
+        import repro.service.handle as handle_module
+        import repro.service.runtime as runtime_module
+        import repro.service.service as service_module
+        from repro.service import OrchestratorEngine, QRIOService
+
+        monitor = RaceMonitor()
+        shim = traced_threading(monitor)
+        for module in (runtime_module, handle_module, service_module, engines_module):
+            monkeypatch.setattr(module, "threading", shim)
+
+        service = QRIOService(
+            three_device_testbed(),
+            OrchestratorEngine(seed=11, canary_shots=64),
+            workers=2,
+        )
+        handles = [service.submit(ghz(3), 0.5, shots=64 + index) for index in range(6)]
+        service.process()
+        assert all(handle.done for handle in handles)
+        service.close()
+
+        # The workload exercised real lock nesting (runtime mutex around
+        # handle condition updates), and none of it inverted or leaked.
+        assert monitor.edges(), "sanitizer saw no acquisitions — shim not wired?"
+        monitor.assert_clean()

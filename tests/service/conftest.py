@@ -1,0 +1,40 @@
+"""Service-suite fixtures: the opt-in runtime race sanitizer.
+
+With ``QRIO_RACETRACE=1`` in the environment (the CI ``analysis`` job sets
+it), every test in ``tests/service`` runs with the service layer's
+``threading.Lock`` / ``threading.Condition`` replaced by the traced drop-ins
+of :mod:`repro.analysis.racetrace`.  Each test gets a fresh
+:class:`~repro.analysis.RaceMonitor`; at teardown the monitor must be clean —
+any lock-order inversion, self-deadlock or lock still held after the test
+fails that test with the recorded sites.
+
+Without the flag the fixture is a no-op, so the ordinary tier-1 run is
+untouched.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def racetrace_sanitizer(monkeypatch):
+    """Wrap the service layer's locks in the race sanitizer when opted in."""
+    if os.environ.get("QRIO_RACETRACE") != "1":
+        yield None
+        return
+
+    import repro.service.engines as engines_module
+    import repro.service.handle as handle_module
+    import repro.service.runtime as runtime_module
+    import repro.service.service as service_module
+    from repro.analysis import RaceMonitor, traced_threading
+
+    monitor = RaceMonitor()
+    shim = traced_threading(monitor)
+    for module in (runtime_module, handle_module, service_module, engines_module):
+        monkeypatch.setattr(module, "threading", shim)
+    yield monitor
+    monitor.assert_clean()
