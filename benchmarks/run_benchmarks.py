@@ -50,6 +50,10 @@ The script **fails loudly** (non-zero exit) when:
   of feeding the bare discrete-event simulator directly, routes any job
   differently from the bare simulator, or one policy routes a shared trace
   differently across the three engines (cross-engine routing neutrality);
+* a fault-augmented trace (outage + calibration jump + straggler) replays
+  more than ``--fault-replay-ceiling`` (default 1.3x) slower than its
+  fault-free twin, is not bit-identical across two replays of every
+  engine × policy × workers cell, or produces no resilience metrics;
 * warm plan replay is less than ``--plans-floor`` (default 5x) faster than
   the cold compile path, performs even one recompile, or the fused circuit
   diverges from the unfused original;
@@ -496,10 +500,12 @@ def bench_concurrency(scale: str, concurrency_floor: float) -> Dict[str, object]
 # --------------------------------------------------------------------------- #
 # Scenario replay throughput + cross-engine routing neutrality
 # --------------------------------------------------------------------------- #
-def bench_scenarios(scale: str, replay_floor: float, replay_ceiling: float) -> Dict[str, object]:
+def bench_scenarios(
+    scale: str, replay_floor: float, replay_ceiling: float, fault_ceiling: float
+) -> Dict[str, object]:
     """Trace replay through the scenario layer vs the bare simulator.
 
-    Two guards on the scenario subsystem:
+    Three guards on the scenario subsystem:
 
     1. **Replay cost** — replaying a normalised trace through
        ``ScenarioRunner`` (cloud engine, native policy, fidelity reporting
@@ -512,8 +518,21 @@ def bench_scenarios(scale: str, replay_floor: float, replay_ceiling: float) -> D
        (``round-robin``) replaying one small trace must route identically
        under the orchestrator, cluster and cloud engines, which is what makes
        sweep rows comparable across engines.
+    3. **Resilience** — a fault-augmented twin of the replay trace (outage +
+       calibration jump + straggler laid out over the trace's arrival span)
+       must replay within ``fault_ceiling`` of the fault-free replay, must be
+       bit-identical when replayed twice on every engine × policy × workers
+       cell, and must populate the report's resilience metrics.
     """
-    from repro.scenarios import PoissonProcess, ScenarioRunner, Trace, generate_requests
+    from repro.scenarios import (
+        CalibrationJump,
+        DeviceOutage,
+        PoissonProcess,
+        ScenarioRunner,
+        StragglerSlowdown,
+        Trace,
+        generate_requests,
+    )
     from repro.workloads import clifford_suite
 
     sizes = _SCALES[scale]
@@ -583,6 +602,80 @@ def bench_scenarios(scale: str, replay_floor: float, replay_ceiling: float) -> D
         raise BenchFailure(
             f"Policy 'round-robin' routed the neutrality trace differently per engine: {routes}"
         )
+
+    # ---- Resilience row: fault-replay overhead + cross-config determinism.
+    device_names = sorted(backend.name for backend in fleet)
+    span = trace.jobs[-1].arrival_time
+    fault_events = (
+        StragglerSlowdown(time_s=0.1 * span, device=device_names[2], duration_s=0.8 * span, factor=2.0),
+        DeviceOutage(time_s=0.25 * span, device=device_names[0], duration_s=0.4 * span),
+        CalibrationJump(time_s=0.5 * span, device=device_names[1]),
+    )
+    fault_trace = Trace.from_requests("bench-faults", list(trace.jobs), events=fault_events)
+    fault_free_trace = Trace.from_requests("bench-faults", list(trace.jobs))
+
+    def plain_replay():
+        clear_all_caches()
+        return ScenarioRunner(fleet, engine="cloud", seed=5, fidelity_report="none").replay(
+            fault_free_trace
+        )
+
+    def fault_replay():
+        clear_all_caches()
+        return ScenarioRunner(fleet, engine="cloud", seed=5, fidelity_report="none").replay(
+            fault_trace
+        )
+
+    plain_seconds, _ = time_callable(plain_replay, repeats=sizes["repeats"])
+    fault_seconds, fault_report = time_callable(fault_replay, repeats=sizes["repeats"])
+    fault_overhead = fault_seconds / plain_seconds
+    if fault_overhead > fault_ceiling:
+        raise BenchFailure(
+            f"Fault-augmented replay overhead {fault_overhead:.2f}x exceeds the "
+            f"{fault_ceiling:.2f}x ceiling over the fault-free replay"
+        )
+    if fault_report.resilience is None:
+        raise BenchFailure("Fault-augmented replay produced no resilience metrics")
+
+    # Determinism grid: every engine × policy × workers cell must replay the
+    # fault trace bit-identically (routing and results signatures).
+    grid_span = neutrality_trace.jobs[-1].arrival_time
+    grid_events = (
+        StragglerSlowdown(time_s=0.0, device=device_names[2], duration_s=grid_span, factor=2.0),
+        DeviceOutage(time_s=0.2 * grid_span, device=device_names[0], duration_s=0.5 * grid_span),
+        CalibrationJump(time_s=0.6 * grid_span, device=device_names[1]),
+    )
+    grid_trace = Trace.from_requests(
+        "bench-fault-grid", list(neutrality_trace.jobs), events=grid_events
+    )
+    grid_cells = 0
+    for engine in ("orchestrator", "cluster", "cloud"):
+        for policy in (None, "round-robin"):
+            for workers in (0, 2):
+                signatures = []
+                for _ in range(2):
+                    runner = ScenarioRunner(
+                        fleet,
+                        engine=engine,
+                        policy=policy,
+                        workers=workers,
+                        seed=7,
+                        canary_shots=64,
+                        fidelity_report="none",
+                    )
+                    report = runner.replay(grid_trace)
+                    if report.resilience is None:
+                        raise BenchFailure(
+                            f"Fault-grid cell ({engine}, {policy}, workers={workers}) "
+                            "produced no resilience metrics"
+                        )
+                    signatures.append((report.routing_signature(), report.results_signature()))
+                if signatures[0] != signatures[1]:
+                    raise BenchFailure(
+                        f"Fault replay is not bit-identical on cell "
+                        f"({engine}, {policy}, workers={workers})"
+                    )
+                grid_cells += 1
     return {
         "jobs": jobs,
         "devices": len(fleet),
@@ -599,6 +692,18 @@ def bench_scenarios(scale: str, replay_floor: float, replay_ceiling: float) -> D
             "policy": "round-robin",
             "routes": routes["cloud"],
             "neutral": True,
+        },
+        "resilience": {
+            "jobs": jobs,
+            "events": len(fault_events),
+            "fault_free_seconds": plain_seconds,
+            "fault_seconds": fault_seconds,
+            "fault_overhead": fault_overhead,
+            "fault_overhead_ceiling": fault_ceiling,
+            "slo_violations": fault_report.resilience["slo_violations"],
+            "jobs_rerouted": fault_report.resilience["jobs_rerouted"],
+            "determinism_grid_cells": grid_cells,
+            "bit_identical": True,
         },
     }
 
@@ -734,6 +839,7 @@ def run_all(
     replay_floor: float = 500.0,
     replay_ceiling: float = 10.0,
     plans_floor: float = 5.0,
+    fault_replay_ceiling: float = 1.3,
 ) -> Dict[str, Path]:
     """Run every measurement and write the BENCH artefacts; returns their paths."""
     preflight_analyze()
@@ -743,7 +849,7 @@ def run_all(
     policy_dispatch = bench_policy_dispatch(scale, dispatch_ceiling)
     service = bench_service(scale, service_floor)
     concurrency = bench_concurrency(scale, concurrency_floor)
-    scenarios = bench_scenarios(scale, replay_floor, replay_ceiling)
+    scenarios = bench_scenarios(scale, replay_floor, replay_ceiling, fault_replay_ceiling)
     plans = bench_plans(scale, plans_floor)
     paths = {
         "stabilizer": write_bench_json("BENCH_stabilizer.json", {"scale": scale, **stabilizer}),
@@ -780,6 +886,8 @@ def main(argv=None) -> int:
                         help="maximum scenario-replay slowdown vs feeding the bare simulator")
     parser.add_argument("--plans-floor", type=float, default=5.0,
                         help="minimum warm-plan-replay vs cold-compile speedup")
+    parser.add_argument("--fault-replay-ceiling", type=float, default=1.3,
+                        help="maximum fault-augmented replay slowdown vs the fault-free replay")
     args = parser.parse_args(argv)
     try:
         paths = run_all(
@@ -792,6 +900,7 @@ def main(argv=None) -> int:
             args.replay_floor,
             args.replay_ceiling,
             args.plans_floor,
+            args.fault_replay_ceiling,
         )
     except BenchFailure as failure:
         print(f"PERF REGRESSION: {failure}", file=sys.stderr)
@@ -825,7 +934,9 @@ def main(argv=None) -> int:
             print(
                 f"scenarios: replay {payload['replay_jobs_per_second']:.0f} jobs/s "
                 f"({payload['overhead']:.1f}x of the bare simulator, routing-neutral "
-                f"across 3 engines) -> {path}"
+                f"across 3 engines; fault replay {payload['resilience']['fault_overhead']:.2f}x "
+                f"of fault-free, bit-identical over "
+                f"{payload['resilience']['determinism_grid_cells']} cells) -> {path}"
             )
         else:
             print(

@@ -31,6 +31,7 @@ from repro.circuits.library import (
 from repro.circuits.random_circuits import (
     circ2_benchmark,
     circ_benchmark,
+    grid_random_circuit,
     random_circuit,
     random_clifford_circuit,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "repetition_code_encoder",
     "circ_benchmark",
     "circ2_benchmark",
+    "grid_random_circuit",
     "deutsch_jozsa",
     "hardware_efficient_ansatz",
     "phase_estimation",

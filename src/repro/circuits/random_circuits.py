@@ -120,6 +120,73 @@ def circ2_benchmark(seed: SeedLike = 11, measure: bool = True) -> QuantumCircuit
     return circuit
 
 
+#: Coupler-activation patterns of :func:`grid_random_circuit`, cycled per
+#: layer: horizontal pairs starting at even/odd columns, then vertical pairs
+#: starting at even/odd rows (the staggered schedule of supremacy-style
+#: grid circuits, where every coupler fires once every four layers).
+_GRID_PATTERNS = ("horizontal-even", "horizontal-odd", "vertical-even", "vertical-odd")
+
+
+def _grid_pattern_pairs(rows: int, cols: int, pattern: str) -> Sequence[tuple]:
+    """Qubit-index pairs activated by one staggered-grid coupler pattern."""
+    pairs = []
+    if pattern.startswith("horizontal"):
+        start = 0 if pattern.endswith("even") else 1
+        for row in range(rows):
+            for col in range(start, cols - 1, 2):
+                pairs.append((row * cols + col, row * cols + col + 1))
+    else:
+        start = 0 if pattern.endswith("even") else 1
+        for row in range(start, rows - 1, 2):
+            for col in range(cols):
+                pairs.append((row * cols + col, (row + 1) * cols + col))
+    return pairs
+
+
+def grid_random_circuit(
+    rows: int,
+    cols: int,
+    depth: int,
+    seed: SeedLike = None,
+    measure: bool = True,
+    name: Optional[str] = None,
+) -> QuantumCircuit:
+    """Generate a supremacy-style random circuit on a ``rows x cols`` grid.
+
+    Each layer applies one random single-qubit gate per qubit, then fires one
+    of the four staggered coupler patterns (horizontal/vertical, even/odd
+    offset) with a CZ on every active pair, cycling through the patterns so
+    each grid coupler is exercised once every four layers.  Unlike
+    :func:`random_circuit`, the two-qubit structure is fixed by the grid
+    topology — only the single-qubit dressing is random — which makes the
+    family a hard, *regular* workload for topology-aware placement: its
+    interaction graph is a mesh no testbed line/ring/tree device contains.
+    """
+    require_positive_int(rows, "rows")
+    require_positive_int(cols, "cols")
+    require_positive_int(depth, "depth")
+    if rows * cols < 2:
+        raise ValueError("grid_random_circuit needs at least a 1x2 grid")
+    rng = ensure_generator(seed)
+    num_qubits = rows * cols
+    circuit = QuantumCircuit(
+        num_qubits, num_qubits, name=name or f"grid_random_{rows}x{cols}x{depth}"
+    )
+    for layer in range(depth):
+        for qubit in range(num_qubits):
+            gate = str(rng.choice(_ONE_QUBIT_GATES))
+            if gate in ("rx", "ry", "rz"):
+                angle = float(rng.uniform(0.0, 2.0 * math.pi))
+                getattr(circuit, gate)(angle, qubit)
+            else:
+                getattr(circuit, gate)(qubit)
+        for a, b in _grid_pattern_pairs(rows, cols, _GRID_PATTERNS[layer % 4]):
+            circuit.cz(a, b)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
 def random_clifford_circuit(
     num_qubits: int,
     depth: int,

@@ -235,15 +235,18 @@ def _cmd_policies(args: argparse.Namespace) -> int:
 # Scenario subcommands
 # --------------------------------------------------------------------------- #
 def _print_scenario_report(report, as_json: bool) -> None:
-    from repro.scenarios import SWEEP_COLUMNS, render_metric_table
+    from repro.scenarios import RESILIENCE_COLUMNS, SWEEP_COLUMNS, render_metric_table
 
     if as_json:
         print(report.to_json())
         return
+    columns = list(SWEEP_COLUMNS)
+    if report.resilience is not None:
+        columns += RESILIENCE_COLUMNS
     print(
         render_metric_table(
             [report.row()],
-            SWEEP_COLUMNS,
+            columns,
             title=f"Scenario '{report.scenario}' ({report.wait_clock}-clock waits)",
         )
     )
@@ -252,6 +255,13 @@ def _print_scenario_report(report, as_json: bool) -> None:
         print(
             "Device utilisation:",
             ", ".join(f"{d}={u:.2f}" for d, u in report.device_utilisation.items()),
+        )
+    if report.resilience is not None:
+        print(
+            f"Resilience (SLO {report.resilience['slo_wait_s']:.0f}s waits): "
+            f"{report.resilience['events']} events, "
+            f"{report.resilience['jobs_during_outage']} jobs during outages, "
+            f"{report.resilience['slo_violations']} SLO violations"
         )
 
 
@@ -264,11 +274,16 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
         return 0
     print("Named workload scenarios (scenarios run NAME, scenarios sweep --scenarios a,b):")
     for row in rows:
-        print(f"  {row['name']:<14s} {row['description']}")
+        print(f"  {row['name']:<16s} {row['description']}")
         print(
-            f"  {'':<14s}   process={row['process']}  jobs={row['num_jobs']}  "
+            f"  {'':<16s}   process={row['process']}  jobs={row['num_jobs']}  "
             f"users={row['num_users']}  suite={row['suite']}"
         )
+        if row["num_events"]:
+            print(
+                f"  {'':<16s}   faults: {row['num_events']} events "
+                f"({', '.join(row['event_kinds'])})"
+            )
     return 0
 
 
@@ -283,6 +298,7 @@ def _scenario_runner(args: argparse.Namespace, fleet):
         seed=args.seed,
         fidelity_report=args.fidelity_report,
         canary_shots=args.canary_shots,
+        slo_wait_s=args.slo_wait_s,
     )
 
 
@@ -302,6 +318,8 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     from repro.scenarios import build_scenario_trace, record
 
     trace = build_scenario_trace(args.name, seed=args.seed, num_jobs=args.jobs)
+    if args.no_faults:
+        trace = trace.without_events()
     if args.record:
         path = record(trace, args.record)
         print(f"Trace '{trace.name}' ({len(trace)} jobs) recorded to {path}", file=sys.stderr)
@@ -316,6 +334,8 @@ def _cmd_scenarios_replay(args: argparse.Namespace) -> int:
     from repro.scenarios import load_trace
 
     trace = load_trace(args.trace)
+    if args.no_faults:
+        trace = trace.without_events()
     fleet = generate_fleet(limit=args.devices, seed=args.seed)
     report = _scenario_runner(args, fleet).replay(trace)
     _print_scenario_report(report, args.json)
@@ -342,6 +362,7 @@ def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
         num_jobs=args.jobs,
         fidelity_report=args.fidelity_report,
         canary_shots=args.canary_shots,
+        slo_wait_s=args.slo_wait_s,
     )
     if args.json:
         print(result.to_json())
@@ -502,6 +523,13 @@ def build_parser() -> argparse.ArgumentParser:
                 help="placement policy by registry name (optionally parameterized); "
                      "default: the engine's native path",
             )
+            sub.add_argument(
+                "--no-faults", action="store_true", dest="no_faults",
+                help="strip the trace's fault events and replay fault-free",
+            )
+        sub.add_argument("--slo-wait", type=float, default=600.0, dest="slo_wait_s",
+                         help="wait-time SLO (seconds) of the resilience metrics "
+                              "computed for fault-augmented traces")
         sub.add_argument("--workers", type=int, default=workers_default,
                          help="service worker-pool size (0 = synchronous)")
         sub.add_argument("--fidelity-report", choices=["none", "esp", "execute"],

@@ -12,7 +12,7 @@ submission time.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.backends.backend import Backend
@@ -198,6 +198,15 @@ class CloudSimulator:
         """The simulation configuration."""
         return self._config
 
+    def set_time_model(self, time_model) -> None:
+        """Swap the execution-time model (scenario straggler injection).
+
+        Open sessions swap their own context through
+        :meth:`CloudSession.set_time_model`; calling this mid-session only
+        affects service times computed after the swap.
+        """
+        self._config = replace(self._config, time_model=time_model)
+
     def open_session(self) -> "CloudSession":
         """Start an incremental simulation accepting arrivals one at a time.
 
@@ -296,6 +305,53 @@ class CloudSession:
         """Records of every job executed so far, in arrival order."""
         with self._mutex:
             return list(self._records)
+
+    @property
+    def simulator(self) -> CloudSimulator:
+        """The simulator this session streams arrivals into."""
+        return self._simulator
+
+    # ------------------------------------------------------------------ #
+    # Scenario fault-injection hooks (called from the serialized MATCHING
+    # funnel of the service layer, like route/execute)
+    # ------------------------------------------------------------------ #
+    def set_time_model(self, time_model) -> None:
+        """Swap the execution-time model for this session and its simulator.
+
+        Installed by the scenario fault injector so straggler windows
+        stretch both the service times charged at :meth:`execute` and the
+        predicted waits load-aware policies consult at :meth:`route`.
+        """
+        with self._mutex:
+            self._simulator.set_time_model(time_model)
+            self._context.time_model = time_model
+
+    def notice_calibration_change(self) -> None:
+        """Advance the policy context's calibration epoch (epoch jump).
+
+        Fidelity estimates cached by routing policies are keyed by this
+        epoch, so bumping it forces re-estimation against the freshly
+        drifted device properties.
+        """
+        with self._mutex:
+            self._context.invalidate_fidelity_cache()
+
+    def inject_backlog(self, device_name: str, *, at_time: float, backlog_s: float, label: str = "queue-storm") -> QueueSlot:
+        """Enqueue ``backlog_s`` seconds of synthetic occupancy on one queue.
+
+        The storm behaves like an opaque job arriving at ``at_time``: later
+        arrivals queue behind it (and load-aware policies see the stretched
+        predicted wait), but no :class:`JobRecord` is created — the backlog
+        is not part of this trace's workload.
+
+        Raises:
+            CloudError: Unknown device or negative parameters (via the
+                queue's own validation).
+        """
+        if device_name not in self._queues:
+            raise CloudError(f"Cannot inject backlog: unknown device '{device_name}'")
+        with self._mutex:
+            return self._queues[device_name].enqueue(label, at_time, backlog_s)
 
     def route(
         self,

@@ -14,7 +14,14 @@ simulator.  ``repro.scenarios`` is the missing layer:
   trace against any engine × policy × workers configuration into a unified
   :class:`ScenarioReport` (wait percentiles, makespan, utilisation,
   fidelity, Jain fairness);
-* :mod:`repro.scenarios.catalog` — named, reproducible scenario specs;
+* :mod:`repro.scenarios.events` — the typed, versioned fault-event layer
+  (device outages, calibration jumps, queue storms, stragglers, tenant
+  bursts) and the :class:`FaultInjector` that replays an event stream
+  deterministically through any engine;
+* :mod:`repro.scenarios.resilience` — resilience metrics of fault-augmented
+  replays (p99 wait during outages, recovery time, SLO violations);
+* :mod:`repro.scenarios.catalog` — named, reproducible scenario specs,
+  including fault-augmented hostile-world entries;
 * :mod:`repro.scenarios.sweep` — the policy × engine sweep harness;
 * :mod:`repro.scenarios.metrics` — the shared metric vocabulary (hoisted
   from ``repro.cloud.metrics``, which remains a deprecation shim).
@@ -44,6 +51,25 @@ from repro.scenarios.catalog import (
     scenario,
     unregister_scenario,
 )
+from repro.scenarios.events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    CalibrationJump,
+    DeviceOutage,
+    FaultInjector,
+    QueueStorm,
+    StragglerSlowdown,
+    TenantBurst,
+    apply_workload_events,
+    event_to_payload,
+    normalise_events,
+    parse_event,
+)
+from repro.scenarios.resilience import (
+    RESILIENCE_ROW_KEYS,
+    outage_windows,
+    resilience_summary,
+)
 from repro.scenarios.metrics import (
     WAIT_PERCENTILES,
     jain_fairness_index,
@@ -61,8 +87,15 @@ from repro.scenarios.runner import (
     ScenarioRunner,
     policy_label,
 )
-from repro.scenarios.sweep import SWEEP_COLUMNS, SweepResult, render_sweep, run_sweep
+from repro.scenarios.sweep import (
+    RESILIENCE_COLUMNS,
+    SWEEP_COLUMNS,
+    SweepResult,
+    render_sweep,
+    run_sweep,
+)
 from repro.scenarios.trace import (
+    READABLE_TRACE_VERSIONS,
     TRACE_FORMAT,
     TRACE_VERSION,
     Trace,
@@ -75,8 +108,13 @@ from repro.utils.exceptions import ScenarioError
 __all__ = [
     "ArrivalProcess",
     "ArrivalSpec",
+    "CalibrationJump",
     "ClosedLoopProcess",
+    "DeviceOutage",
     "ENGINE_NAMES",
+    "EVENT_KINDS",
+    "EVENT_SCHEMA_VERSION",
+    "FaultInjector",
     "FlashCrowdProcess",
     "JobOutcome",
     "JobRequest",
@@ -84,30 +122,42 @@ __all__ = [
     "NATIVE_POLICY",
     "ParetoProcess",
     "PoissonProcess",
+    "QueueStorm",
+    "READABLE_TRACE_VERSIONS",
+    "RESILIENCE_COLUMNS",
+    "RESILIENCE_ROW_KEYS",
     "SWEEP_COLUMNS",
     "ScenarioError",
     "ScenarioReport",
     "ScenarioRunner",
     "ScenarioSpec",
+    "StragglerSlowdown",
     "SweepResult",
     "TRACE_FORMAT",
     "TRACE_VERSION",
+    "TenantBurst",
     "Trace",
     "TraceRecorder",
     "WAIT_PERCENTILES",
+    "apply_workload_events",
     "available_scenarios",
     "build_scenario_trace",
+    "event_to_payload",
     "generate_requests",
     "generate_trace",
     "jain_fairness_index",
     "load_trace",
     "makespan",
+    "normalise_events",
+    "outage_windows",
+    "parse_event",
     "per_user_mean_waits",
     "policy_label",
     "record",
     "register_scenario",
     "render_metric_table",
     "render_sweep",
+    "resilience_summary",
     "run_sweep",
     "scenario",
     "summarise_waits",

@@ -61,6 +61,9 @@ class JobOutcome:
     score: Optional[float] = None
     counts: Dict[str, int] = field(default_factory=dict)
     error: Optional[str] = None
+    #: The trace's recorded arrival time (drives the resilience metrics'
+    #: outage-window attribution; not part of the replay signatures).
+    arrival_s: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -85,6 +88,9 @@ class ScenarioReport:
     jobs_per_device: Dict[str, int]
     #: Busy fraction per device over the makespan (cloud engine only).
     device_utilisation: Optional[Dict[str, float]] = None
+    #: Resilience metrics (:func:`~repro.scenarios.resilience.resilience_summary`)
+    #: — populated only when the replayed trace carried fault events.
+    resilience: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------ #
     def routing(self) -> Tuple[Tuple[str, Optional[str]], ...]:
@@ -111,8 +117,13 @@ class ScenarioReport:
         return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
 
     def row(self) -> Dict[str, object]:
-        """One flat row for comparison tables and JSON reports."""
-        return {
+        """One flat row for comparison tables and JSON reports.
+
+        Fault-augmented replays append the resilience columns
+        (:data:`~repro.scenarios.resilience.RESILIENCE_ROW_KEYS`); fault-free
+        rows keep the original shape so existing consumers are unaffected.
+        """
+        row: Dict[str, object] = {
             "scenario": self.scenario,
             "engine": self.engine,
             "policy": policy_label(self.policy),
@@ -128,6 +139,12 @@ class ScenarioReport:
             "fairness": self.fairness,
             "wait_clock": self.wait_clock,
         }
+        if self.resilience is not None:
+            from repro.scenarios.resilience import RESILIENCE_ROW_KEYS
+
+            for key in RESILIENCE_ROW_KEYS:
+                row[key] = self.resilience[key]
+        return row
 
     def to_json(self) -> str:
         """The flat row as a JSON document (used by the CLI ``--json`` mode).
@@ -175,6 +192,8 @@ class ScenarioRunner:
             which is what makes replays bit-identical.
         fidelity_report: Cloud engine's fidelity mode (ignored elsewhere).
         canary_shots: Clifford-canary shots of orchestrator/cluster engines.
+        slo_wait_s: Wait-time SLO used by the resilience metrics of
+            fault-augmented replays (seconds on the report's wait clock).
     """
 
     def __init__(
@@ -187,12 +206,15 @@ class ScenarioRunner:
         seed: SeedLike = None,
         fidelity_report: str = "esp",
         canary_shots: int = 128,
+        slo_wait_s: float = 600.0,
     ) -> None:
         if isinstance(engine, str) and engine not in ENGINE_NAMES:
             raise ScenarioError(
                 f"Unknown engine '{engine}'; expected one of {', '.join(ENGINE_NAMES)} "
                 "or an engine factory"
             )
+        if slo_wait_s <= 0:
+            raise ScenarioError("slo_wait_s must be a positive number of seconds")
         self._fleet = list(fleet)
         self._engine = engine
         self._policy = policy
@@ -200,6 +222,7 @@ class ScenarioRunner:
         self._seed = seed
         self._fidelity_report = fidelity_report
         self._canary_shots = canary_shots
+        self._slo_wait_s = float(slo_wait_s)
 
     # ------------------------------------------------------------------ #
     @property
@@ -250,22 +273,45 @@ class ScenarioRunner:
         or a topology request reconstructed from the circuit's two-qubit
         interaction structure), then the service is drained.
 
+        Fault-augmented traces (``trace.events``) are replayed through a
+        :class:`~repro.scenarios.events.FaultInjector` bound to the replay's
+        engine: every job carries its recorded arrival time (on every
+        engine, so event ordering against the arrival clock is identical
+        across engines) and each replay schedules onto private copies of the
+        fleet's :class:`~repro.backends.Backend` objects, because
+        calibration jumps mutate device properties in place.
+
         Raises:
             ScenarioError: The trace is empty.
         """
         from repro.service import CloudEngine, QRIOService
 
         jobs = list(trace.jobs) if isinstance(trace, Trace) else list(trace)
+        events = tuple(trace.events) if isinstance(trace, Trace) else ()
         if not jobs:
             raise ScenarioError("Cannot replay an empty trace")
+        has_faults = bool(events)
         scenario_name = name or (trace.name if isinstance(trace, Trace) else "trace")
         engine = self._make_engine()
         is_cloud = isinstance(engine, CloudEngine)
-        service = QRIOService(self._fleet, engine, workers=self._workers)
+        fleet = (
+            [Backend(properties=backend.properties) for backend in self._fleet]
+            if has_faults
+            else self._fleet
+        )
+        service = QRIOService(fleet, engine, workers=self._workers)
+        injector = None
+        if has_faults:
+            from repro.scenarios.events import FaultInjector
+
+            # Engine-independent seed: the injected drift must be the same
+            # across engines for the cross-engine signature contract.
+            injector = FaultInjector(events, seed=derive_seed(self._seed, "scenario-faults"))
+            service.set_fault_injector(injector)
         try:
             handles = []
             for request in sorted(jobs, key=lambda job: (job.arrival_time, job.index)):
-                requirements = self._requirements_for(request, arrival=is_cloud)
+                requirements = self._requirements_for(request, arrival=is_cloud or has_faults)
                 handles.append(
                     (
                         request,
@@ -278,6 +324,8 @@ class ScenarioRunner:
                     )
                 )
             service.process()
+            if injector is not None:
+                injector.finish()
             outcomes: List[JobOutcome] = []
             for request, handle in handles:
                 status = handle.status()
@@ -293,6 +341,7 @@ class ScenarioRunner:
                             fidelity=result.fidelity,
                             score=result.score,
                             counts=dict(result.counts),
+                            arrival_s=request.arrival_time,
                         )
                     )
                 else:
@@ -303,12 +352,13 @@ class ScenarioRunner:
                             device=status.device,
                             succeeded=False,
                             error=status.error,
+                            arrival_s=request.arrival_time,
                         )
                     )
             wall_report = service.wait_report()
         finally:
             service.close()
-        return self._build_report(scenario_name, engine, is_cloud, outcomes, wall_report)
+        return self._build_report(scenario_name, engine, is_cloud, outcomes, wall_report, events)
 
     @staticmethod
     def _wait_of(handle, result) -> Optional[float]:
@@ -325,6 +375,7 @@ class ScenarioRunner:
         is_cloud: bool,
         outcomes: List[JobOutcome],
         wall_report: Dict[str, object],
+        events: Tuple[object, ...] = (),
     ) -> ScenarioReport:
         waits = [outcome.wait_s for outcome in outcomes if outcome.wait_s is not None]
         waits_by_user: Dict[str, List[float]] = {}
@@ -346,6 +397,11 @@ class ScenarioRunner:
             makespan_s = float(wall_report["makespan_s"])
             wait_clock = "wall"
         succeeded = sum(1 for outcome in outcomes if outcome.succeeded)
+        resilience: Optional[Dict[str, object]] = None
+        if events:
+            from repro.scenarios.resilience import resilience_summary
+
+            resilience = resilience_summary(outcomes, events, slo_wait_s=self._slo_wait_s)
         policy_label: Optional[str]
         if self._policy is None:
             policy_label = None
@@ -369,4 +425,5 @@ class ScenarioRunner:
             fairness=wait_fairness(waits_by_user),
             jobs_per_device=dict(sorted(jobs_per_device.items())),
             device_utilisation=utilisation,
+            resilience=resilience,
         )

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.backends.backend import Backend
 from repro.scenarios.catalog import build_scenario_trace
 from repro.scenarios.metrics import render_metric_table
+from repro.scenarios.resilience import RESILIENCE_ROW_KEYS
 from repro.scenarios.runner import ScenarioReport, ScenarioRunner, policy_label
 from repro.scenarios.trace import Trace
 from repro.utils.exceptions import ScenarioError
@@ -36,6 +37,10 @@ SWEEP_COLUMNS = [
     "mean_fidelity",
     "fairness",
 ]
+
+#: Extra columns appended when any swept scenario carries fault events —
+#: the "which policy degrades gracefully" view of a resilience sweep.
+RESILIENCE_COLUMNS = list(RESILIENCE_ROW_KEYS)
 
 
 @dataclass(frozen=True)
@@ -87,6 +92,7 @@ def run_sweep(
     num_jobs: Optional[int] = None,
     fidelity_report: str = "esp",
     canary_shots: int = 128,
+    slo_wait_s: float = 600.0,
 ) -> SweepResult:
     """Replay every scenario through every engine × policy cell.
 
@@ -102,6 +108,8 @@ def run_sweep(
         num_jobs: Optional trace-length override for catalogue scenarios.
         fidelity_report: Cloud engine's fidelity mode.
         canary_shots: Canary shots of the orchestrator/cluster engines.
+        slo_wait_s: Wait-time SLO of the resilience metrics computed for
+            fault-augmented scenario cells.
 
     Returns:
         A :class:`SweepResult` with one report per cell, ordered scenario ×
@@ -134,11 +142,19 @@ def run_sweep(
                     seed=seed,
                     fidelity_report=fidelity_report,
                     canary_shots=canary_shots,
+                    slo_wait_s=slo_wait_s,
                 )
                 reports.append(runner.replay(trace))
     return SweepResult(reports=tuple(reports))
 
 
 def render_sweep(result: SweepResult, title: str = "Scenario sweep") -> str:
-    """Fixed-width comparison table over every sweep cell."""
-    return render_metric_table(result.rows(), SWEEP_COLUMNS, title)
+    """Fixed-width comparison table over every sweep cell.
+
+    Resilience columns are appended when any cell replayed a fault-augmented
+    trace (fault-free cells leave those cells blank).
+    """
+    columns = list(SWEEP_COLUMNS)
+    if any(report.resilience is not None for report in result.reports):
+        columns += RESILIENCE_COLUMNS
+    return render_metric_table(result.rows(), columns, title)

@@ -38,13 +38,18 @@ from typing import Dict, Iterator, List, Optional, Sequence, Union
 from repro.qasm.exporter import dump_qasm
 from repro.qasm.parser import parse_qasm
 from repro.scenarios.arrivals import JobRequest, trace_summary
+from repro.scenarios.events import event_to_payload, normalise_events, parse_event
 from repro.utils.exceptions import ScenarioError
 
 #: Magic string on the header line of every trace file.
 TRACE_FORMAT = "qrio-trace"
 #: Current trace schema version.  Bump when a job field changes meaning;
-#: ``load_trace`` rejects versions it does not know how to read.
-TRACE_VERSION = 1
+#: ``load_trace`` rejects versions it does not know how to read.  Version 2
+#: added the fault-event section (event lines between header and jobs);
+#: version-1 files (no events) still load.
+TRACE_VERSION = 2
+#: Every version ``load_trace`` can read.
+READABLE_TRACE_VERSIONS = (1, 2)
 
 
 def _normalise_circuit(circuit):
@@ -59,6 +64,8 @@ class Trace:
     name: str
     jobs: tuple
     metadata: Dict[str, object] = field(default_factory=dict)
+    #: Canonically ordered fault-event stream (see :mod:`repro.scenarios.events`).
+    events: tuple = ()
 
     def __post_init__(self) -> None:
         jobs = tuple(self.jobs)
@@ -66,6 +73,7 @@ class Trace:
         if any(later < earlier for earlier, later in zip(times, times[1:])):
             raise ScenarioError(f"Trace '{self.name}' arrival times must be non-decreasing")
         object.__setattr__(self, "jobs", jobs)
+        object.__setattr__(self, "events", normalise_events(self.events))
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -73,6 +81,7 @@ class Trace:
         cls,
         name: str,
         requests: Sequence[JobRequest],
+        events: Sequence = (),
         **metadata: object,
     ) -> "Trace":
         """Build a trace from in-memory requests, normalising every circuit.
@@ -80,6 +89,7 @@ class Trace:
         The normalisation (one QASM dump/parse round trip per circuit) is
         what guarantees that replaying this object and replaying
         ``load_trace(save(...))`` make identical routing decisions.
+        ``events`` attaches a fault-event stream (canonically re-ordered).
         """
         jobs = tuple(
             JobRequest(
@@ -94,7 +104,15 @@ class Trace:
             )
             for request in requests
         )
-        return cls(name=name, jobs=jobs, metadata=dict(metadata))
+        return cls(name=name, jobs=jobs, metadata=dict(metadata), events=tuple(events))
+
+    def without_events(self) -> "Trace":
+        """A fault-free twin: same jobs and metadata, empty event stream.
+
+        The control arm of resilience comparisons (and of the
+        ``BENCH_scenarios.json`` fault-overhead row).
+        """
+        return Trace(name=self.name, jobs=self.jobs, metadata=dict(self.metadata))
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -117,13 +135,16 @@ class Trace:
             "version": TRACE_VERSION,
             "name": self.name,
             "num_jobs": len(self.jobs),
+            "num_events": len(self.events),
             "metadata": dict(self.metadata),
         }
 
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the trace as JSONL (header line + one line per job)."""
+        """Write the trace as JSONL (header, then event lines, then job lines)."""
         path = Path(path)
         lines = [json.dumps(self.header(), sort_keys=True)]
+        for event in self.events:
+            lines.append(json.dumps(event_to_payload(event), sort_keys=True))
         for job in self.jobs:
             lines.append(
                 json.dumps(
@@ -173,14 +194,27 @@ def load_trace(path: Union[str, Path]) -> Trace:
             f"Trace file '{path}' is not a {TRACE_FORMAT} file (header {header!r})"
         )
     version = header.get("version")
-    if version != TRACE_VERSION:
+    if version not in READABLE_TRACE_VERSIONS:
         raise ScenarioError(
-            f"Trace file '{path}' has version {version!r}; this build reads version {TRACE_VERSION}"
+            f"Trace file '{path}' has version {version!r}; this build reads versions "
+            f"{READABLE_TRACE_VERSIONS}"
         )
     jobs: List[JobRequest] = []
+    events: List[object] = []
     for lineno, line in enumerate(lines[1:], start=2):
         try:
             payload = json.loads(line)
+            if isinstance(payload, dict) and "event" in payload:
+                if version == 1:
+                    raise ScenarioError(
+                        f"Trace file '{path}' line {lineno}: version-1 traces carry no events"
+                    )
+                if jobs:
+                    raise ScenarioError(
+                        f"Trace file '{path}' line {lineno}: event lines must precede job lines"
+                    )
+                events.append(parse_event(payload))
+                continue
             jobs.append(
                 JobRequest(
                     index=int(payload["index"]),
@@ -202,7 +236,17 @@ def load_trace(path: Union[str, Path]) -> Trace:
         raise ScenarioError(
             f"Trace file '{path}' declares {declared} jobs but contains {len(jobs)}"
         )
-    return Trace(name=str(header.get("name", path.stem)), jobs=tuple(jobs), metadata=dict(header.get("metadata", {})))
+    declared_events = header.get("num_events")
+    if declared_events is not None and declared_events != len(events):
+        raise ScenarioError(
+            f"Trace file '{path}' declares {declared_events} events but contains {len(events)}"
+        )
+    return Trace(
+        name=str(header.get("name", path.stem)),
+        jobs=tuple(jobs),
+        metadata=dict(header.get("metadata", {})),
+        events=tuple(events),
+    )
 
 
 class TraceRecorder:

@@ -321,3 +321,66 @@ class ExecutionEngine(abc.ABC):
     @abc.abstractmethod
     def run(self, placement: Placement) -> EngineResult:
         """Execute a matched job and return its outcome."""
+
+    # ------------------------------------------------------------------ #
+    # Fault-injection hooks (scenario event layer)
+    #
+    # All four hooks are only ever called from the serialized MATCHING
+    # funnel (the FaultInjector advances inside QRIOService._match_group),
+    # so the default implementations keep plain, unguarded state.
+    # ------------------------------------------------------------------ #
+    def set_fault_injector(self, injector) -> None:
+        """Attach a :class:`~repro.scenarios.FaultInjector` (or ``None``)."""
+        self._fault_injector = injector
+
+    @property
+    def fault_injector(self):
+        """The attached fault injector, or ``None``."""
+        return getattr(self, "_fault_injector", None)
+
+    def set_device_available(self, device: str, available: bool) -> None:
+        """Flip one device's availability (outage start/end).
+
+        The base implementation tracks the down-set for
+        :meth:`device_is_available`; engines with their own filter path
+        (cordonable nodes, feasibility shortlists) extend it.
+        """
+        down = getattr(self, "_fault_unavailable", None)
+        if down is None:
+            down = set()
+            self._fault_unavailable = down
+        if available:
+            down.discard(device)
+        else:
+            down.add(device)
+
+    def device_is_available(self, device: str) -> bool:
+        """``False`` while ``device`` is inside an injected outage window."""
+        return device not in getattr(self, "_fault_unavailable", ())
+
+    def apply_calibration(self, device: str, properties) -> None:
+        """Install freshly drifted properties on ``device`` (epoch jump).
+
+        Backends are shared objects across every registry an engine keeps
+        (cluster nodes, meta server, session context), so swapping
+        ``backend.properties`` propagates everywhere; the fleet-wide plan
+        cache then eagerly drops the stale device entries, exactly as a
+        vendor calibration push does.
+        """
+        from repro.core.cache import calibration_fingerprint, plan_cache
+
+        for backend in self.fleet():
+            if backend.name == device:
+                backend.properties = properties
+                break
+        else:
+            raise ServiceError(f"Cannot apply calibration: unknown device '{device}'")
+        plan_cache().invalidate_device(device, keep_fingerprint=calibration_fingerprint(properties))
+
+    def inject_queue_backlog(self, devices: Sequence[str], *, at_time_s: float, backlog_s: float) -> int:
+        """Drop synthetic backlog on device queues (queue storm).
+
+        Only meaningful on engines with simulated queues; the default is a
+        recorded no-op returning 0 affected devices.
+        """
+        return 0

@@ -160,6 +160,20 @@ class _PlanStore:
         )
 
 
+def _set_node_availability(cluster, device: str, available: bool) -> None:
+    """Cordon/uncordon the node hosting ``device`` (scenario outage events)."""
+    for node in cluster.nodes():
+        if node.backend.name == device:
+            if available:
+                node.uncordon()
+                cluster.events.record("NodeUncordoned", node.name, "scenario outage ended")
+            else:
+                node.cordon()
+                cluster.events.record("NodeCordoned", node.name, "scenario outage")
+            return
+    raise ServiceError(f"Cannot change availability: unknown device '{device}'")
+
+
 def _node_admits(node: Node, requirements) -> bool:
     """Cheap warm-path revalidation: the memoized node can take the job now."""
     return node.is_schedulable() and node.can_host(
@@ -327,6 +341,16 @@ class OrchestratorEngine(ExecutionEngine):
 
     def fleet(self):
         return self.qrio.devices()
+
+    def set_device_available(self, device: str, available: bool) -> None:
+        """Outage events cordon/uncordon the device's cluster node.
+
+        Cordoned nodes drop out of ``schedulable_nodes()``, so the native
+        scheduler, the policy filter path and warm-plan replay all stop
+        placing onto the device until recovery.
+        """
+        super().set_device_available(device, available)
+        _set_node_availability(self.qrio.cluster, device, available)
 
     def match(self, spec: JobSpec, job_name: str) -> Placement:
         requirements = spec.requirements
@@ -506,6 +530,11 @@ class ClusterEngine(ExecutionEngine):
 
     def fleet(self) -> List[Backend]:
         return self.cluster.backends()
+
+    def set_device_available(self, device: str, available: bool) -> None:
+        """Outage events cordon/uncordon the device's cluster node."""
+        super().set_device_available(device, available)
+        _set_node_availability(self.cluster, device, available)
 
     def match(self, spec: JobSpec, job_name: str) -> Placement:
         requirements = spec.requirements
@@ -857,14 +886,21 @@ class CloudEngine(ExecutionEngine):
         cached = plan_cache().get(key)
         if cached is not None:
             names = set(cached)
-            return [backend for backend in self._fleet if backend.name in names]
+            return [
+                backend
+                for backend in self._fleet
+                if backend.name in names and self.device_is_available(backend.name)
+            ]
         feasible = [
             backend
             for backend in self._fleet
             if backend.num_qubits >= required_qubits and _within_device_bounds(backend, requirements)
         ]
+        # The cached shortlist is availability-independent (structure, bounds
+        # and calibration epoch only); outage windows filter at lookup time,
+        # so a recovery needs no cache invalidation.
         plan_cache().put(key, tuple(backend.name for backend in feasible))
-        return feasible
+        return [backend for backend in feasible if self.device_is_available(backend.name)]
 
     def run(self, placement: Placement) -> EngineResult:
         record = placement.detail["record"]
@@ -879,6 +915,32 @@ class CloudEngine(ExecutionEngine):
                 "turnaround_time_s": record.turnaround_time,
             },
         )
+
+    @property
+    def simulator(self):
+        """The discrete-event simulator behind the session (after attach)."""
+        return self.session.simulator
+
+    def apply_calibration(self, device: str, properties) -> None:
+        """Calibration jumps additionally advance the session's policy epoch.
+
+        The shared-backend property swap (base implementation) already
+        invalidates the plan-cache shortlist via the fleet-epoch probe; the
+        session bump forces fidelity-aware routing policies to re-estimate
+        against the drifted properties.
+        """
+        super().apply_calibration(device, properties)
+        self._epoch_memo = None
+        if self._session is not None:
+            self._session.notice_calibration_change()
+
+    def inject_queue_backlog(self, devices, *, at_time_s: float, backlog_s: float) -> int:
+        """Queue-storm events enqueue synthetic occupancy on device queues."""
+        affected = 0
+        for device in devices:
+            self.session.inject_backlog(device, at_time=at_time_s, backlog_s=backlog_s)
+            affected += 1
+        return affected
 
     def simulation_result(self) -> CloudSimulationResult:
         """Everything executed so far as a cloud-simulation result."""
@@ -933,6 +995,11 @@ class DeviceLatencyEngine(ExecutionEngine):
         return self._inner
 
     @property
+    def session(self):
+        """The inner engine's cloud session, if it has one (else ``None``)."""
+        return getattr(self._inner, "session", None)
+
+    @property
     def latency_s(self) -> float:
         """Per-job device occupancy in wall-clock seconds."""
         return self._latency_s
@@ -946,6 +1013,25 @@ class DeviceLatencyEngine(ExecutionEngine):
     def match(self, spec: JobSpec, job_name: str) -> Placement:
         return self._inner.match(spec, job_name)
 
+    # Fault hooks delegate to the inner engine (which owns the filter path);
+    # the wrapper additionally stretches its own occupancy window while a
+    # straggler slowdown is active on the placed device.
+    def set_fault_injector(self, injector) -> None:
+        super().set_fault_injector(injector)
+        self._inner.set_fault_injector(injector)
+
+    def set_device_available(self, device: str, available: bool) -> None:
+        self._inner.set_device_available(device, available)
+
+    def device_is_available(self, device: str) -> bool:
+        return self._inner.device_is_available(device)
+
+    def apply_calibration(self, device: str, properties) -> None:
+        self._inner.apply_calibration(device, properties)
+
+    def inject_queue_backlog(self, devices, *, at_time_s: float, backlog_s: float) -> int:
+        return self._inner.inject_queue_backlog(devices, at_time_s=at_time_s, backlog_s=backlog_s)
+
     def run(self, placement: Placement) -> EngineResult:
         if self._inner.supports_concurrent_run:
             outcome = self._inner.run(placement)
@@ -953,5 +1039,7 @@ class DeviceLatencyEngine(ExecutionEngine):
             with self._run_lock:
                 outcome = self._inner.run(placement)
         if self._latency_s:
-            time.sleep(self._latency_s)
+            injector = self.fault_injector
+            factor = 1.0 if injector is None else injector.straggler_factor(placement.device)
+            time.sleep(self._latency_s * factor)
         return outcome

@@ -94,6 +94,11 @@ class ServiceRuntime:
         self._order = itertools.count()
         self._queued_jobs = 0  # handles admitted but not yet dispatched
         self._inflight_groups = 0  # groups admitted but not yet terminal
+        self._executing_groups = 0  # groups handed to lanes, not yet finished
+        #: Quiesce wake-up: no matched group is executing in any lane.  Used
+        #: by the fault injector as a barrier before run-visible state
+        #: changes (calibration jumps, straggler windows).
+        self._quiet = threading.Condition(self._lock)
         self._lanes: Dict[str, Deque[Tuple[object, object]]] = {}
         self._active_lanes: Set[str] = set()
         self._closed = False
@@ -208,6 +213,18 @@ class ServiceRuntime:
         """Block until ``handle`` is terminal (or ``timeout``); returns success."""
         return handle._await_terminal(timeout)
 
+    def quiesce_runs(self) -> None:
+        """Block until no matched group is executing in a lane.
+
+        Called from the dispatcher thread (via the fault injector, inside
+        the serialized MATCHING stage) before a run-visible fault effect is
+        applied — a calibration epoch is a barrier, so no job ever executes
+        against half-swapped device state.  Lane workers never wait on the
+        dispatcher, so this cannot deadlock.
+        """
+        with self._lock:
+            self._quiet.wait_for(lambda: self._executing_groups == 0)
+
     def close(self) -> None:
         """Stop accepting submissions, drain in-flight work, release the pool.
 
@@ -251,6 +268,7 @@ class ServiceRuntime:
                 group.drain_callbacks()
                 continue
             with self._lock:
+                self._executing_groups += 1
                 lane = self._lanes.setdefault(placement.device, deque())
                 lane.append((group, placement))
                 if placement.device not in self._active_lanes:
@@ -277,11 +295,15 @@ class ServiceRuntime:
             finally:
                 # Accounting first, callbacks second (a callback may call
                 # close()/process(), which must see this group as finished).
-                self._finish_group()
+                self._finish_group(ran=True)
             group.drain_callbacks()
 
-    def _finish_group(self) -> None:
+    def _finish_group(self, *, ran: bool = False) -> None:
         with self._lock:
             self._inflight_groups -= 1
+            if ran:
+                self._executing_groups -= 1
+                if self._executing_groups == 0:
+                    self._quiet.notify_all()
             if self._inflight_groups == 0 and not self._heap:
                 self._idle.notify_all()

@@ -191,6 +191,9 @@ class QRIOService:
         #: in submission order after a batch is registered — the hook
         #: :class:`~repro.scenarios.TraceRecorder` captures live runs with.
         self._submission_listeners: List = []
+        #: Scenario fault injector advanced inside the MATCHING funnel
+        #: (``None`` = fault-free).  Set via :meth:`set_fault_injector`.
+        self._fault_injector = None
         self._runtime: Optional[ServiceRuntime] = None
         if workers:
             self._runtime = ServiceRuntime(self, workers=workers, max_pending=max_pending)
@@ -220,6 +223,27 @@ class QRIOService:
     def runtime(self) -> Optional[ServiceRuntime]:
         """The concurrent runtime, or ``None`` for a synchronous service."""
         return self._runtime
+
+    @property
+    def fault_injector(self):
+        """The attached scenario fault injector, or ``None``."""
+        return self._fault_injector
+
+    def set_fault_injector(self, injector) -> None:
+        """Attach a :class:`~repro.scenarios.FaultInjector` to this service.
+
+        The injector binds to the engine (resolving fleet-relative device
+        references) and, on a concurrent service, to the runtime's quiesce
+        barrier, so run-visible fault effects (calibration jumps, straggler
+        windows) apply at a deterministic point regardless of worker count.
+        Every job matched afterwards first advances the injector to the
+        job's arrival time.  Pass ``None`` to detach.
+        """
+        self._fault_injector = injector
+        self._engine.set_fault_injector(injector)
+        if injector is not None:
+            quiesce = self._runtime.quiesce_runs if self._runtime is not None else None
+            injector.bind(self._engine, quiesce=quiesce)
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -616,6 +640,11 @@ class QRIOService:
                 JobState.MATCHING,
                 f"matching via '{self._engine.name}' engine{dedup_note}",
             )
+        if self._fault_injector is not None:
+            # Scenario fault events due at this job's arrival apply before it
+            # is matched — the serialized MATCHING funnel makes this the one
+            # deterministic point shared by the sync and concurrent paths.
+            self._fault_injector.advance_to(spec.requirements.arrival_time_s)
         try:
             placement = self._engine.match(spec, leader.name)
         except ReproError as error:

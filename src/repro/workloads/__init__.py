@@ -12,6 +12,7 @@ from repro.workloads.suites import (
     WorkloadSuite,
     available_suites,
     clifford_suite,
+    grid_random_suite,
     nisq_mix_suite,
     paper_evaluation_suite,
     workload_suite,
@@ -25,6 +26,7 @@ __all__ = [
     "available_suites",
     "clifford_suite",
     "default_topologies",
+    "grid_random_suite",
     "default_topology",
     "evaluation_workload",
     "evaluation_workloads",

@@ -27,7 +27,7 @@ from repro.circuits.algorithms import (
 )
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.library import bernstein_vazirani, ghz, grover_search, hidden_subgroup, qft, repetition_code_encoder
-from repro.circuits.random_circuits import circ2_benchmark, circ_benchmark
+from repro.circuits.random_circuits import circ2_benchmark, circ_benchmark, grid_random_circuit
 from repro.utils.exceptions import CircuitError
 from repro.utils.rng import SeedLike, ensure_generator
 
@@ -173,10 +173,45 @@ def nisq_mix_suite() -> WorkloadSuite:
     )
 
 
+def grid_random_suite() -> WorkloadSuite:
+    """Supremacy-style grid random circuits at increasing widths.
+
+    Every entry is a fixed-seed :func:`~repro.circuits.grid_random_circuit`
+    instance, so a suite draw is fully deterministic.  The family stresses
+    fidelity ranking rather than topology matching: a grid's mesh interaction
+    graph embeds in none of the testbed's line/ring/tree devices, so all
+    entries submit with the fidelity strategy and dense two-qubit layers that
+    amplify calibration differences between devices.  Widths stay at or
+    below 9 qubits so every job fits the 10-qubit testbed fleet.
+    """
+    return WorkloadSuite(
+        name="grid_random",
+        entries=(
+            SuiteEntry(
+                "grid_2x2", "Grid 2x2 random", lambda: grid_random_circuit(2, 2, depth=4, seed=21),
+                weight=3.0, fidelity_threshold=0.8,
+            ),
+            SuiteEntry(
+                "grid_2x3", "Grid 2x3 random", lambda: grid_random_circuit(2, 3, depth=4, seed=22),
+                weight=3.0, fidelity_threshold=0.7,
+            ),
+            SuiteEntry(
+                "grid_2x4", "Grid 2x4 random", lambda: grid_random_circuit(2, 4, depth=4, seed=23),
+                weight=2.0, fidelity_threshold=0.6,
+            ),
+            SuiteEntry(
+                "grid_3x3", "Grid 3x3 random", lambda: grid_random_circuit(3, 3, depth=4, seed=24),
+                weight=1.0, fidelity_threshold=0.5,
+            ),
+        ),
+    )
+
+
 _BUILTIN_SUITES: Dict[str, Callable[[], WorkloadSuite]] = {
     "paper_eval": paper_evaluation_suite,
     "clifford": clifford_suite,
     "nisq_mix": nisq_mix_suite,
+    "grid_random": grid_random_suite,
 }
 
 

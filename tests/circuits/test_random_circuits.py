@@ -52,3 +52,64 @@ class TestPaperWorkloads:
     def test_circ_and_circ2_are_measured(self):
         assert circ_benchmark().num_measurements() == 7
         assert circ2_benchmark().num_measurements() == 8
+
+
+class TestGridRandomCircuit:
+    def test_reproducible_for_same_seed(self):
+        from repro.circuits import grid_random_circuit
+
+        a = grid_random_circuit(2, 3, depth=4, seed=9)
+        b = grid_random_circuit(2, 3, depth=4, seed=9)
+        assert a.data == b.data
+
+    def test_different_seeds_differ(self):
+        from repro.circuits import grid_random_circuit
+
+        a = grid_random_circuit(2, 3, depth=4, seed=9)
+        b = grid_random_circuit(2, 3, depth=4, seed=10)
+        assert a.data != b.data
+
+    def test_width_is_grid_size_and_name_defaults(self):
+        from repro.circuits import grid_random_circuit
+
+        circuit = grid_random_circuit(3, 3, depth=2, seed=0)
+        assert circuit.num_qubits == 9
+        assert circuit.name == "grid_random_3x3x2"
+
+    def test_couplers_follow_the_grid_topology(self):
+        from repro.circuits import grid_random_circuit
+
+        rows, cols = 2, 3
+        circuit = grid_random_circuit(rows, cols, depth=8, seed=1, measure=False)
+        adjacent = set()
+        for instruction in circuit.data:
+            if instruction.name == "cz":
+                a, b = instruction.qubits
+                adjacent.add((min(a, b), max(a, b)))
+                ra, ca = divmod(a, cols)
+                rb, cb = divmod(b, cols)
+                assert abs(ra - rb) + abs(ca - cb) == 1  # grid neighbours only
+        # depth 8 cycles all four patterns twice: every coupler fired.
+        expected = {
+            (r * cols + c, r * cols + c + 1) for r in range(rows) for c in range(cols - 1)
+        } | {(r * cols + c, (r + 1) * cols + c) for r in range(rows - 1) for c in range(cols)}
+        assert adjacent == expected
+
+    def test_rejects_degenerate_grids(self):
+        from repro.circuits import grid_random_circuit
+
+        with pytest.raises(ValueError):
+            grid_random_circuit(1, 1, depth=2)
+        with pytest.raises(ValueError):
+            grid_random_circuit(0, 3, depth=2)
+
+    def test_grid_random_suite_is_registered(self):
+        from repro.workloads import grid_random_suite, workload_suite
+
+        suite = grid_random_suite()
+        assert workload_suite("grid_random").keys() == suite.keys()
+        assert all(entry.strategy == "fidelity" for entry in suite.entries)
+        # Fixed seeds: two builds sample identical circuits.
+        again = grid_random_suite()
+        for first, second in zip(suite.entries, again.entries):
+            assert first.circuit().data == second.circuit().data

@@ -1,0 +1,252 @@
+"""The fault-event layer: validation, serialisation, injector mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import three_device_testbed
+from repro.scenarios import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    CalibrationJump,
+    DeviceOutage,
+    FaultInjector,
+    PoissonProcess,
+    QueueStorm,
+    StragglerSlowdown,
+    TenantBurst,
+    apply_workload_events,
+    event_to_payload,
+    generate_requests,
+    normalise_events,
+    parse_event,
+)
+from repro.service import CloudEngine, OrchestratorEngine
+from repro.utils.exceptions import ScenarioError
+from repro.workloads import nisq_mix_suite
+
+ALL_EVENTS = (
+    DeviceOutage(time_s=30.0, device="@0", duration_s=60.0),
+    CalibrationJump(time_s=45.0, device="dev-a"),
+    QueueStorm(time_s=20.0, backlog_s=120.0, devices=("dev-b",)),
+    StragglerSlowdown(time_s=10.0, device="@1", duration_s=100.0, factor=2.5),
+    TenantBurst(time_s=15.0, duration_s=40.0, rate_per_hour=900.0),
+)
+
+
+class TestEventValidation:
+    def test_every_kind_is_registered(self):
+        assert set(EVENT_KINDS) == {
+            "outage",
+            "calibration-jump",
+            "queue-storm",
+            "straggler",
+            "tenant-burst",
+        }
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            lambda: DeviceOutage(time_s=-1.0, device="d", duration_s=5.0),
+            lambda: DeviceOutage(time_s=0.0, device="d", duration_s=0.0),
+            lambda: CalibrationJump(time_s=0.0, device="d", two_qubit_spread=0.0),
+            lambda: QueueStorm(time_s=0.0, backlog_s=-3.0),
+            lambda: StragglerSlowdown(time_s=0.0, device="d", duration_s=5.0, factor=1.0),
+            lambda: TenantBurst(time_s=0.0, duration_s=10.0, rate_per_hour=0.0),
+        ],
+    )
+    def test_rejects_out_of_range_fields(self, bad):
+        with pytest.raises(ScenarioError):
+            bad()
+
+    def test_window_events_expose_end(self):
+        assert DeviceOutage(time_s=10.0, device="d", duration_s=5.0).end_s == 15.0
+        assert StragglerSlowdown(time_s=2.0, device="d", duration_s=3.0).end_s == 5.0
+        assert TenantBurst(time_s=1.0, duration_s=4.0).end_s == 5.0
+
+
+class TestEventSerialisation:
+    @pytest.mark.parametrize("event", ALL_EVENTS, ids=[e.kind for e in ALL_EVENTS])
+    def test_payload_round_trip(self, event):
+        payload = event_to_payload(event)
+        assert payload["event"] == event.kind
+        assert payload["schema"] == EVENT_SCHEMA_VERSION
+        assert parse_event(payload) == event
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ScenarioError, match="Unknown event kind"):
+            parse_event({"event": "meteor-strike"})
+
+    def test_rejects_unsupported_schema(self):
+        payload = event_to_payload(ALL_EVENTS[0])
+        payload["schema"] = EVENT_SCHEMA_VERSION + 1
+        with pytest.raises(ScenarioError, match="schema"):
+            parse_event(payload)
+
+    def test_rejects_missing_required_fields(self):
+        with pytest.raises(ScenarioError, match="Malformed"):
+            parse_event({"event": "outage", "schema": EVENT_SCHEMA_VERSION, "time_s": 1.0})
+
+    def test_rejects_non_events(self):
+        with pytest.raises(ScenarioError, match="Not a fault event"):
+            event_to_payload(object())
+        with pytest.raises(ScenarioError, match="Not an event payload"):
+            parse_event(["not", "a", "dict"])
+
+
+class TestNormaliseEvents:
+    def test_sorts_by_time_then_kind(self):
+        ordered = normalise_events(ALL_EVENTS)
+        times = [event.time_s for event in ordered]
+        assert times == sorted(times)
+
+    def test_order_is_deterministic_for_simultaneous_events(self):
+        a = DeviceOutage(time_s=5.0, device="x", duration_s=1.0)
+        b = CalibrationJump(time_s=5.0, device="y")
+        assert normalise_events([a, b]) == normalise_events([b, a])
+
+    def test_rejects_foreign_objects(self):
+        with pytest.raises(ScenarioError, match="Not a fault event"):
+            normalise_events([ALL_EVENTS[0], "not-an-event"])
+
+
+class TestApplyWorkloadEvents:
+    def _requests(self, num_jobs=10, seed=3):
+        return generate_requests(
+            PoissonProcess(rate_per_hour=600.0),
+            num_jobs=num_jobs,
+            suite=nisq_mix_suite(),
+            seed=seed,
+            shots=64,
+        )
+
+    def test_burst_adds_attributed_jobs_inside_window(self):
+        requests = self._requests()
+        burst = TenantBurst(time_s=5.0, duration_s=30.0, user="noisy", rate_per_hour=1200.0)
+        merged = apply_workload_events(requests, (burst,), suite=nisq_mix_suite(), seed=3)
+        extra = [request for request in merged if request.user == "noisy"]
+        assert len(extra) == 10  # 30 s at 1200/hour
+        assert all(burst.time_s <= request.arrival_time <= burst.end_s for request in extra)
+        # Merged stream is re-indexed and sorted.
+        assert [request.index for request in merged] == list(range(len(merged)))
+        arrivals = [request.arrival_time for request in merged]
+        assert arrivals == sorted(arrivals)
+
+    def test_non_burst_events_change_nothing(self):
+        requests = self._requests()
+        merged = apply_workload_events(
+            requests, ALL_EVENTS[:4], suite=nisq_mix_suite(), seed=3
+        )
+        assert [request.name for request in merged] == [request.name for request in requests]
+
+    def test_same_seed_same_burst(self):
+        requests = self._requests()
+        burst = (TenantBurst(time_s=5.0, duration_s=30.0, rate_per_hour=600.0),)
+        first = apply_workload_events(requests, burst, suite=nisq_mix_suite(), seed=9)
+        second = apply_workload_events(requests, burst, suite=nisq_mix_suite(), seed=9)
+        assert [(r.arrival_time, r.workload_key) for r in first] == [
+            (r.arrival_time, r.workload_key) for r in second
+        ]
+
+
+class TestFaultInjector:
+    def _engine(self, testbed_devices):
+        engine = OrchestratorEngine(seed=3, canary_shots=64)
+        engine.attach(list(testbed_devices))
+        return engine
+
+    def test_resolves_fleet_relative_references(self, testbed_devices):
+        names = sorted(backend.name for backend in testbed_devices)
+        injector = FaultInjector((DeviceOutage(time_s=1.0, device="@1", duration_s=2.0),))
+        injector.bind(self._engine(testbed_devices))
+        injector.advance_to(1.5)
+        assert injector.unavailable_devices() == (names[1],)
+
+    def test_rejects_out_of_range_reference(self, testbed_devices):
+        injector = FaultInjector((DeviceOutage(time_s=1.0, device="@9", duration_s=2.0),))
+        with pytest.raises(ScenarioError, match="@9"):
+            injector.bind(self._engine(testbed_devices))
+
+    def test_outage_window_opens_and_closes(self, testbed_devices):
+        names = sorted(backend.name for backend in testbed_devices)
+        engine = self._engine(testbed_devices)
+        injector = FaultInjector((DeviceOutage(time_s=10.0, device=names[0], duration_s=5.0),))
+        injector.bind(engine)
+        assert injector.advance_to(5.0) == 0
+        assert engine.device_is_available(names[0])
+        injector.advance_to(10.0)
+        assert not engine.device_is_available(names[0])
+        assert injector.unavailable_devices() == (names[0],)
+        injector.advance_to(15.0)
+        assert engine.device_is_available(names[0])
+        assert injector.unavailable_devices() == ()
+
+    def test_overlapping_outages_refcount(self, testbed_devices):
+        names = sorted(backend.name for backend in testbed_devices)
+        engine = self._engine(testbed_devices)
+        injector = FaultInjector(
+            (
+                DeviceOutage(time_s=0.0, device=names[0], duration_s=10.0),
+                DeviceOutage(time_s=5.0, device=names[0], duration_s=10.0),
+            )
+        )
+        injector.bind(engine)
+        injector.advance_to(12.0)  # first window over, second still open
+        assert not engine.device_is_available(names[0])
+        injector.finish()
+        assert engine.device_is_available(names[0])
+
+    def test_straggler_factor_stacks_and_unwinds(self, testbed_devices):
+        names = sorted(backend.name for backend in testbed_devices)
+        injector = FaultInjector(
+            (
+                StragglerSlowdown(time_s=0.0, device=names[0], duration_s=10.0, factor=2.0),
+                StragglerSlowdown(time_s=2.0, device=names[0], duration_s=4.0, factor=3.0),
+            )
+        )
+        injector.bind(self._engine(testbed_devices))
+        injector.advance_to(3.0)
+        assert injector.straggler_factor(names[0]) == pytest.approx(6.0)
+        injector.advance_to(7.0)
+        assert injector.straggler_factor(names[0]) == pytest.approx(2.0)
+        injector.finish()
+        assert injector.straggler_factor(names[0]) == pytest.approx(1.0)
+
+    def test_calibration_jump_swaps_properties_deterministically(self, testbed_devices):
+        names = sorted(backend.name for backend in testbed_devices)
+
+        def jump_fingerprint(seed):
+            engine = OrchestratorEngine(seed=3, canary_shots=64)
+            fleet = three_device_testbed()
+            engine.attach(fleet)
+            injector = FaultInjector(
+                (CalibrationJump(time_s=1.0, device=names[0]),), seed=seed
+            )
+            injector.bind(engine)
+            before = next(b for b in fleet if b.name == names[0]).properties
+            injector.advance_to(2.0)
+            after = next(b for b in fleet if b.name == names[0]).properties
+            assert after is not before
+            return after.to_json()
+
+        assert jump_fingerprint(7) == jump_fingerprint(7)
+        assert jump_fingerprint(7) != jump_fingerprint(8)
+
+    def test_queue_storm_lands_on_cloud_queues(self, testbed_devices):
+        engine = CloudEngine()
+        fleet = three_device_testbed()
+        engine.attach(fleet)
+        names = sorted(backend.name for backend in fleet)
+        injector = FaultInjector(
+            (QueueStorm(time_s=0.0, backlog_s=60.0, devices=(names[0],)),)
+        )
+        injector.bind(engine)
+        injector.advance_to(0.0)
+        queues = engine.session._queues
+        assert queues[names[0]].next_free_time >= 60.0
+        assert all(queues[name].next_free_time == 0.0 for name in names[1:])
+
+    def test_advance_without_arrival_stamp_is_a_no_op(self, testbed_devices):
+        injector = FaultInjector((DeviceOutage(time_s=0.0, device="@0", duration_s=1.0),))
+        injector.bind(self._engine(testbed_devices))
+        assert injector.advance_to(None) == 0

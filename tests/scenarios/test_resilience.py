@@ -1,0 +1,155 @@
+"""Hand-computed fixtures pinning the resilience-metric vocabulary.
+
+Every expected value in this file is derivable on paper from the synthetic
+outcomes; if one of these breaks, the meaning of a published resilience
+number changed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    DeviceOutage,
+    JobOutcome,
+    StragglerSlowdown,
+    TenantBurst,
+    outage_windows,
+    resilience_summary,
+)
+
+
+def outcome(name, *, arrival, wait, succeeded=True):
+    return JobOutcome(
+        name=name,
+        user="alice",
+        device="dev-a" if succeeded else None,
+        succeeded=succeeded,
+        wait_s=wait,
+        arrival_s=arrival,
+    )
+
+
+class TestOutageWindows:
+    def test_windows_are_time_ordered_triples(self):
+        events = (
+            StragglerSlowdown(time_s=5.0, device="dev-b", duration_s=10.0, factor=2.0),
+            DeviceOutage(time_s=50.0, device="dev-b", duration_s=25.0),
+            DeviceOutage(time_s=10.0, device="dev-a", duration_s=30.0),
+        )
+        assert outage_windows(events) == [
+            (10.0, 40.0, "dev-a"),
+            (50.0, 75.0, "dev-b"),
+        ]
+
+    def test_no_outages_no_windows(self):
+        assert outage_windows((TenantBurst(time_s=0.0, duration_s=5.0),)) == []
+
+
+class TestResilienceSummary:
+    """One outage [100, 200) on dev-a; SLO wait 60 s.
+
+    Timeline (arrival, wait, outcome):
+      j0   20   10  ok     before the window
+      j1  100   30  ok     in window (boundary: start is inclusive)
+      j2  150   80  ok     in window, violates the 60 s SLO
+      j3  180    -  FAIL   in window
+      j4  200   90  ok     after the window (end is exclusive), violates SLO
+      j5  250   40  ok     first post-window success within SLO
+    """
+
+    EVENTS = (DeviceOutage(time_s=100.0, device="dev-a", duration_s=100.0),)
+    OUTCOMES = (
+        outcome("j0", arrival=20.0, wait=10.0),
+        outcome("j1", arrival=100.0, wait=30.0),
+        outcome("j2", arrival=150.0, wait=80.0),
+        outcome("j3", arrival=180.0, wait=None, succeeded=False),
+        outcome("j4", arrival=200.0, wait=90.0),
+        outcome("j5", arrival=250.0, wait=40.0),
+    )
+
+    @pytest.fixture()
+    def summary(self):
+        return resilience_summary(self.OUTCOMES, self.EVENTS, slo_wait_s=60.0)
+
+    def test_event_census(self, summary):
+        assert summary["events"] == 1
+        assert summary["outages"] == 1
+        assert summary["stragglers"] == 0
+        assert summary["tenant_bursts"] == 0
+        assert summary["slo_wait_s"] == 60.0
+
+    def test_outage_window_attribution(self, summary):
+        # j1 (boundary start), j2, j3 — j4 arrives exactly at the exclusive end.
+        assert summary["jobs_during_outage"] == 3
+        assert summary["jobs_rerouted"] == 2  # j1 and j2 succeeded in-window
+        assert summary["jobs_failed"] == 1  # j3, trace-wide
+
+    def test_slo_violations_are_failures_plus_slow_successes(self, summary):
+        # j3 failed; j2 (80 s) and j4 (90 s) succeeded over the 60 s SLO.
+        assert summary["slo_violations"] == 3
+
+    def test_p99_outage_wait_is_linear_percentile_of_in_window_waits(self, summary):
+        # In-window successful waits are [30, 80]: p99 = 30 + 0.99 * 50.
+        assert summary["p99_outage_wait_s"] == pytest.approx(79.5)
+        assert summary["p99_outage_wait_s"] == pytest.approx(
+            float(np.percentile([30.0, 80.0], 99))
+        )
+
+    def test_recovery_is_first_post_window_success_within_slo(self, summary):
+        # j4 arrives at the window end but violates the SLO; j5 (250 s) is the
+        # first arrival at/after 200 s back under it.
+        assert summary["recovery_s"] == pytest.approx(50.0)
+
+
+class TestResilienceEdgeCases:
+    def test_no_windows_means_zero_recovery_and_p99(self):
+        summary = resilience_summary(
+            (outcome("j0", arrival=10.0, wait=5.0),), (), slo_wait_s=60.0
+        )
+        assert summary["recovery_s"] == 0.0
+        assert summary["p99_outage_wait_s"] == 0.0
+        assert summary["jobs_during_outage"] == 0
+
+    def test_never_recovering_is_infinite(self):
+        events = (DeviceOutage(time_s=10.0, device="dev-a", duration_s=10.0),)
+        outcomes = (
+            outcome("j0", arrival=30.0, wait=500.0),  # post-window but over SLO
+            outcome("j1", arrival=40.0, wait=None, succeeded=False),
+        )
+        summary = resilience_summary(outcomes, events, slo_wait_s=60.0)
+        assert math.isinf(summary["recovery_s"])
+
+    def test_worst_window_wins(self):
+        events = (
+            DeviceOutage(time_s=0.0, device="dev-a", duration_s=10.0),
+            DeviceOutage(time_s=100.0, device="dev-b", duration_s=10.0),
+        )
+        outcomes = (
+            outcome("j0", arrival=12.0, wait=1.0),  # recovers window 1 after 2 s
+            outcome("j1", arrival=140.0, wait=1.0),  # recovers window 2 after 30 s
+        )
+        summary = resilience_summary(outcomes, events, slo_wait_s=60.0)
+        assert summary["recovery_s"] == pytest.approx(30.0)
+
+    def test_unstamped_jobs_count_toward_failures_but_not_windows(self):
+        events = (DeviceOutage(time_s=0.0, device="dev-a", duration_s=100.0),)
+        outcomes = (
+            JobOutcome(
+                name="j0", user="u", device=None, succeeded=False, arrival_s=None
+            ),
+            outcome("j1", arrival=5.0, wait=1.0),
+        )
+        summary = resilience_summary(outcomes, events, slo_wait_s=60.0)
+        assert summary["jobs_failed"] == 1
+        assert summary["slo_violations"] == 1
+        assert summary["jobs_during_outage"] == 1  # only the stamped job
+
+    def test_single_in_window_wait_is_its_own_p99(self):
+        events = (DeviceOutage(time_s=0.0, device="dev-a", duration_s=100.0),)
+        outcomes = (outcome("j0", arrival=50.0, wait=42.0),)
+        summary = resilience_summary(outcomes, events, slo_wait_s=60.0)
+        assert summary["p99_outage_wait_s"] == pytest.approx(42.0)

@@ -1,0 +1,257 @@
+"""Property-based trace serialisation tests (seeded, no external fuzz deps).
+
+The property under test: for ANY valid trace — jobs, metadata and fault
+events drawn at random — ``save → load → save`` is byte-identical, and every
+malformed-file shape raises a typed :class:`ScenarioError` rather than
+leaking a ``KeyError``/``JSONDecodeError``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_circuit
+from repro.scenarios import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    CalibrationJump,
+    DeviceOutage,
+    JobRequest,
+    QueueStorm,
+    ScenarioError,
+    StragglerSlowdown,
+    TenantBurst,
+    Trace,
+    load_trace,
+)
+
+USERS = ("alice", "bob", "carol", "dave")
+STRATEGY_POOL = ("fidelity", "topology")
+
+
+def random_events(rng: np.random.Generator) -> list:
+    """A random fault-event stream exercising every kind."""
+    events = []
+    for _ in range(int(rng.integers(0, 6))):
+        kind = int(rng.integers(0, 5))
+        time_s = float(np.round(rng.uniform(0.0, 900.0), 3))
+        duration = float(np.round(rng.uniform(1.0, 300.0), 3))
+        if kind == 0:
+            events.append(DeviceOutage(time_s=time_s, device=f"@{int(rng.integers(0, 3))}", duration_s=duration))
+        elif kind == 1:
+            events.append(
+                CalibrationJump(
+                    time_s=time_s,
+                    device=f"dev-{int(rng.integers(0, 3))}",
+                    two_qubit_spread=float(np.round(rng.uniform(0.05, 0.9), 3)),
+                )
+            )
+        elif kind == 2:
+            devices = tuple(f"dev-{i}" for i in range(int(rng.integers(0, 3))))
+            events.append(QueueStorm(time_s=time_s, backlog_s=duration, devices=devices))
+        elif kind == 3:
+            events.append(
+                StragglerSlowdown(
+                    time_s=time_s,
+                    device=f"@{int(rng.integers(0, 3))}",
+                    duration_s=duration,
+                    factor=float(np.round(rng.uniform(1.5, 8.0), 3)),
+                )
+            )
+        else:
+            events.append(
+                TenantBurst(
+                    time_s=time_s,
+                    duration_s=duration,
+                    user=str(rng.choice(USERS)),
+                    rate_per_hour=float(np.round(rng.uniform(60.0, 2000.0), 3)),
+                )
+            )
+    return events
+
+
+def random_trace(seed: int) -> Trace:
+    """A random but valid trace: jobs, metadata and an event stream."""
+    rng = np.random.default_rng(seed)
+    num_jobs = int(rng.integers(1, 8))
+    arrivals = np.sort(np.round(rng.uniform(0.0, 600.0, size=num_jobs), 3))
+    jobs = []
+    for index in range(num_jobs):
+        num_qubits = int(rng.integers(2, 5))
+        jobs.append(
+            JobRequest(
+                index=index,
+                arrival_time=float(arrivals[index]),
+                workload_key=f"wl-{int(rng.integers(0, 100))}",
+                circuit=random_circuit(
+                    num_qubits, depth=int(rng.integers(1, 4)), seed=int(rng.integers(0, 2**31))
+                ),
+                strategy=str(rng.choice(STRATEGY_POOL)),
+                fidelity_threshold=float(np.round(rng.uniform(0.0, 1.0), 3)),
+                shots=int(rng.integers(1, 4096)),
+                user=str(rng.choice(USERS)),
+            )
+        )
+    metadata = {
+        "seed": seed,
+        "label": f"fuzz-{seed}",
+        "nested": {"rate": float(np.round(rng.uniform(1.0, 100.0), 3))},
+    }
+    return Trace.from_requests(f"fuzz-{seed}", jobs, events=random_events(rng), **metadata)
+
+
+class TestRoundTripProperty:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_save_load_save_is_byte_identical(self, seed, tmp_path):
+        trace = random_trace(seed)
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        trace.save(first)
+        loaded = load_trace(first)
+        loaded.save(second)
+        assert first.read_bytes() == second.read_bytes()
+        assert loaded.events == trace.events
+        assert len(loaded) == len(trace)
+        assert loaded.metadata == trace.metadata
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_loaded_jobs_match_field_by_field(self, seed, tmp_path):
+        trace = random_trace(seed)
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = load_trace(path)
+        for original, restored in zip(trace.jobs, loaded.jobs):
+            assert restored.index == original.index
+            assert restored.arrival_time == original.arrival_time
+            assert restored.workload_key == original.workload_key
+            assert restored.strategy == original.strategy
+            assert restored.fidelity_threshold == original.fidelity_threshold
+            assert restored.shots == original.shots
+            assert restored.user == original.user
+
+    def test_without_events_round_trips_too(self, tmp_path):
+        trace = random_trace(3)
+        stripped = trace.without_events()
+        assert stripped.events == ()
+        path = tmp_path / "stripped.jsonl"
+        stripped.save(path)
+        loaded = load_trace(path)
+        assert loaded.events == ()
+        assert json.loads(path.read_text().splitlines()[0])["num_events"] == 0
+
+
+class TestMalformedFiles:
+    """Every corruption shape raises ScenarioError — never a raw exception."""
+
+    @pytest.fixture()
+    def saved(self, tmp_path):
+        trace = random_trace(7)
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        return path
+
+    def _lines(self, path):
+        return path.read_text().splitlines()
+
+    def test_truncated_jobs_raise_count_mismatch(self, saved):
+        lines = self._lines(saved)
+        saved.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ScenarioError, match="declares"):
+            load_trace(saved)
+
+    def test_truncated_mid_line_raises(self, saved):
+        text = saved.read_text()
+        saved.write_text(text[: len(text) - 40])
+        with pytest.raises(ScenarioError):
+            load_trace(saved)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ScenarioError, match="empty"):
+            load_trace(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ScenarioError, match="Cannot read"):
+            load_trace(tmp_path / "nope.jsonl")
+
+    def test_garbage_header_raises(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ScenarioError, match="malformed header"):
+            load_trace(path)
+
+    def test_wrong_format_raises(self, tmp_path):
+        path = tmp_path / "wrong.jsonl"
+        path.write_text(json.dumps({"format": "other", "version": 1}) + "\n")
+        with pytest.raises(ScenarioError, match=TRACE_FORMAT):
+            load_trace(path)
+
+    def test_future_version_raises(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"format": TRACE_FORMAT, "version": TRACE_VERSION + 1, "num_jobs": 0})
+            + "\n"
+        )
+        with pytest.raises(ScenarioError, match="version"):
+            load_trace(path)
+
+    def test_event_after_job_raises(self, saved):
+        lines = self._lines(saved)
+        header = json.loads(lines[0])
+        event_lines = [line for line in lines[1:] if "event" in json.loads(line)]
+        job_lines = [line for line in lines[1:] if "event" not in json.loads(line)]
+        assert event_lines, "fuzz seed 7 must produce at least one event"
+        shuffled = [lines[0]] + event_lines[:-1] + [job_lines[0]] + [event_lines[-1]] + job_lines[1:]
+        saved.write_text("\n".join(shuffled) + "\n")
+        with pytest.raises(ScenarioError, match="precede"):
+            load_trace(saved)
+        assert header["num_events"] == len(event_lines)
+
+    def test_events_in_version_1_raise(self, saved):
+        lines = self._lines(saved)
+        header = json.loads(lines[0])
+        header["version"] = 1
+        del header["num_events"]
+        saved.write_text("\n".join([json.dumps(header, sort_keys=True)] + lines[1:]) + "\n")
+        with pytest.raises(ScenarioError, match="version-1 traces carry no events"):
+            load_trace(saved)
+
+    def test_event_count_mismatch_raises(self, saved):
+        lines = self._lines(saved)
+        header = json.loads(lines[0])
+        header["num_events"] += 1
+        saved.write_text("\n".join([json.dumps(header, sort_keys=True)] + lines[1:]) + "\n")
+        with pytest.raises(ScenarioError, match="events but contains"):
+            load_trace(saved)
+
+    def test_unknown_event_kind_raises(self, saved):
+        lines = self._lines(saved)
+        bogus = json.dumps({"event": "solar-flare", "schema": 1, "time_s": 1.0})
+        saved.write_text("\n".join([lines[0], bogus] + lines[1:]) + "\n")
+        with pytest.raises(ScenarioError, match="Unknown event kind"):
+            load_trace(saved)
+
+    def test_malformed_job_field_raises(self, saved):
+        lines = self._lines(saved)
+        job = json.loads(lines[-1])
+        del job["circuit_qasm"]
+        saved.write_text("\n".join(lines[:-1] + [json.dumps(job, sort_keys=True)]) + "\n")
+        with pytest.raises(ScenarioError, match="malformed"):
+            load_trace(saved)
+
+    def test_version_1_files_still_load(self, tmp_path):
+        trace = random_trace(2).without_events()
+        path = tmp_path / "v1.jsonl"
+        trace.save(path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = 1
+        del header["num_events"]
+        path.write_text("\n".join([json.dumps(header, sort_keys=True)] + lines[1:]) + "\n")
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        assert loaded.events == ()

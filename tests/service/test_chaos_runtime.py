@@ -1,0 +1,93 @@
+"""Chaos test: the concurrent runtime under a canned hostile-world schedule.
+
+Run with ``QRIO_RACETRACE=1`` (the CI chaos step does) and the autouse
+``racetrace_sanitizer`` fixture replaces the service layer's locks with the
+traced drop-ins: any lock-order inversion, self-deadlock or leaked hold
+recorded while the fault schedule fires mid-flight fails the test at
+teardown.  Without the flag this is still a functional chaos test — faults
+land between concurrently executing jobs and every outcome is accounted for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import three_device_testbed
+from repro.circuits import ghz
+from repro.scenarios import (
+    CalibrationJump,
+    DeviceOutage,
+    FaultInjector,
+    QueueStorm,
+    StragglerSlowdown,
+)
+from repro.service import CloudEngine, DeviceLatencyEngine, JobRequirements, QRIOService
+
+pytestmark = pytest.mark.chaos
+
+
+def hostile_schedule(names):
+    """Every replay-time fault kind, overlapping the submission window."""
+    return (
+        StragglerSlowdown(time_s=0.0, device=names[2], duration_s=60.0, factor=2.0),
+        QueueStorm(time_s=2.0, backlog_s=30.0, devices=(names[1],)),
+        DeviceOutage(time_s=4.0, device=names[0], duration_s=8.0),
+        CalibrationJump(time_s=10.0, device=names[1]),
+        DeviceOutage(time_s=14.0, device=names[2], duration_s=4.0),
+    )
+
+
+def drive(workers, *, latency_s=0.002, num_jobs=12):
+    """Submit ``num_jobs`` arrival-stamped jobs across the fault schedule."""
+    fleet = three_device_testbed()
+    names = sorted(backend.name for backend in fleet)
+    engine = DeviceLatencyEngine(
+        CloudEngine(inter_arrival_s=1.0), latency_s=latency_s
+    )
+    service = QRIOService(fleet, engine, workers=workers)
+    injector = FaultInjector(hostile_schedule(names), seed=23)
+    service.set_fault_injector(injector)
+    try:
+        handles = [
+            service.submit(
+                ghz(3),
+                JobRequirements(fidelity_threshold=0.0, arrival_time_s=float(index * 2)),
+                shots=64,
+                name=f"chaos-{index:02d}",
+            )
+            for index in range(num_jobs)
+        ]
+        service.process()
+        injector.finish()
+        outcomes = [(handle.name, handle.done) for handle in handles]
+    finally:
+        service.close()
+    return injector, outcomes, names
+
+
+class TestChaosRuntime:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_concurrent_runtime_survives_fault_schedule(self, workers):
+        injector, outcomes, names = drive(workers)
+        # Every job reached a terminal state; nothing was lost mid-fault.
+        assert len(outcomes) == 12
+        assert all(done for _, done in outcomes)
+        # The whole schedule fired: 2 outages (down+up), 1 jump, 1 storm,
+        # 1 straggler window (start+end) = 8 actions.
+        assert len(injector.applied()) == 8
+        # All windows closed: nothing left down or slowed.
+        assert injector.unavailable_devices() == ()
+        assert all(injector.straggler_factor(name) == 1.0 for name in names)
+
+    def test_synchronous_and_concurrent_agree_on_fault_log(self):
+        injector_sync, _, _ = drive(0)
+        injector_conc, _, _ = drive(3)
+        assert injector_sync.applied() == injector_conc.applied()
+
+    def test_repeated_chaos_runs_are_stable(self):
+        # Back-to-back hostile runs on fresh services: the second run's fault
+        # log and outcome census match the first (no cross-run leakage).
+        first_injector, first_outcomes, _ = drive(2)
+        second_injector, second_outcomes, _ = drive(2)
+        assert first_injector.applied() == second_injector.applied()
+        assert first_outcomes == second_outcomes

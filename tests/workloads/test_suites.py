@@ -21,12 +21,13 @@ from repro.workloads.evaluation_circuits import evaluation_workloads
 
 class TestBuiltinSuites:
     def test_available_suites_lists_all_builtins(self):
-        assert available_suites() == ["clifford", "nisq_mix", "paper_eval"]
+        assert available_suites() == ["clifford", "grid_random", "nisq_mix", "paper_eval"]
 
     def test_workload_suite_lookup_matches_factories(self):
         assert workload_suite("paper_eval").keys() == paper_evaluation_suite().keys()
         assert workload_suite("clifford").name == "clifford"
         assert workload_suite("nisq_mix").name == "nisq_mix"
+        assert workload_suite("grid_random").name == "grid_random"
 
     def test_unknown_suite_raises_keyerror(self):
         with pytest.raises(KeyError):
