@@ -20,7 +20,9 @@ against:
   service runtime: the same job stream over a 4-device fleet (each job
   occupying its device for a fixed wall-clock latency, via
   ``DeviceLatencyEngine``) executed by ``workers=4`` per-device lanes vs the
-  synchronous ``workers=0`` path;
+  synchronous ``workers=0`` path, plus a ``sharded`` row comparing the
+  multi-process dispatcher (``repro.tenancy.ShardedService``) at 4 spawned
+  shards vs 1 shard on a 16-device fleet with device-pinned jobs;
 * ``BENCH_plans.json`` — compile-once/execute-many throughput of the plan
   subsystem (``repro.plans``): warm plan replay vs cold compile on a
   repeated-job service trace, with the plan-cache statistics proving the
@@ -45,6 +47,11 @@ The script **fails loudly** (non-zero exit) when:
 * the concurrent runtime is less than ``--concurrency-floor`` (default 2x)
   faster than serial execution on the 4-device fleet, or schedules jobs onto
   different devices than the serial run;
+* the 4-shard multi-process dispatcher is less than ``--shard-floor``
+  (default 2.5x) faster than the same workload through 1 shard on the
+  16-device fleet, or any of the single-process / 1-shard / 4-shard runs
+  breaks the pinned job -> device map (sharding must move execution between
+  processes, never re-route jobs);
 * scenario replay through the service layer falls below ``--replay-floor``
   jobs/sec (default 500), costs more than ``--replay-ceiling`` (default 10x)
   of feeding the bare discrete-event simulator directly, routes any job
@@ -103,16 +110,22 @@ from repro.simulators import (  # noqa: E402
 _SCALES: Dict[str, Dict[str, int]] = {
     "smoke": {"scalar_shots": 32, "batched_shots": 1024, "repeats": 1, "match_rounds": 4, "jobs": 18,
               "service_jobs": 32, "concurrent_jobs": 16, "dispatch_jobs": 240, "dispatch_repeats": 3,
-              "replay_jobs": 120, "neutrality_jobs": 6, "plan_jobs": 10},
+              "replay_jobs": 120, "neutrality_jobs": 6, "plan_jobs": 10, "shard_jobs": 24},
     "default": {"scalar_shots": 128, "batched_shots": 1024, "repeats": 3, "match_rounds": 8, "jobs": 30,
                 "service_jobs": 32, "concurrent_jobs": 24, "dispatch_jobs": 480, "dispatch_repeats": 5,
-                "replay_jobs": 240, "neutrality_jobs": 6, "plan_jobs": 24},
+                "replay_jobs": 240, "neutrality_jobs": 6, "plan_jobs": 24, "shard_jobs": 40},
 }
 
 #: Concurrency workload: 4 devices, 4 workers, fixed per-job device occupancy.
 _CONCURRENCY_DEVICES = 4
 _CONCURRENCY_WORKERS = 4
 _CONCURRENCY_LATENCY_S = 0.04
+
+#: Sharded-dispatch workload: 16 devices split over 4 spawned shard processes,
+#: the same fixed per-job occupancy, jobs pinned round-robin over the fleet.
+_SHARD_DEVICES = 16
+_SHARD_COUNT = 4
+_SHARD_LATENCY_S = 0.04
 
 #: The acceptance workload: a 20-qubit, 1024-shot Clifford canary.
 _CANARY_QUBITS = 20
@@ -498,6 +511,119 @@ def bench_concurrency(scale: str, concurrency_floor: float) -> Dict[str, object]
 
 
 # --------------------------------------------------------------------------- #
+# Sharded dispatch throughput (process shards over a partitioned fleet)
+# --------------------------------------------------------------------------- #
+def bench_shards(scale: str, shard_floor: float) -> Dict[str, object]:
+    """4-shard vs 1-shard throughput of the multi-process dispatcher.
+
+    The workload is a stream of jobs pinned round-robin over a 16-device
+    fleet (``pinned:device=NAME`` placement), each execution occupying its
+    device for a fixed wall-clock latency.  Pinning makes the job -> device
+    map identical *by construction* across every configuration, so the
+    routing-neutrality check is exact: sharding must change which *process*
+    runs a job, never which device.  Each shard runs its slice serially
+    (``workers=0`` inside the shard), so a single shard pays every occupancy
+    window back-to-back while four shards overlap the windows of their
+    disjoint fleet quarters.  Spawn startup is excluded — services are
+    constructed outside the timed region; only submit + process is measured.
+    """
+    from repro.backends import generate_fleet
+    from repro.service import JobRequirements, QRIOService
+    from repro.tenancy import EngineSpec, ShardedService, Tenant
+
+    jobs = _SCALES[scale]["shard_jobs"]
+    fleet = generate_fleet(limit=_SHARD_DEVICES, seed=11)
+    device_names = [device.name for device in fleet]
+    tenants = [Tenant(id=f"bench-tenant-{index}") for index in range(4)]
+    spec = EngineSpec(
+        kind="cloud", seed=11, fidelity_report="none", latency_s=_SHARD_LATENCY_S
+    )
+
+    def plan():
+        for index in range(jobs):
+            yield (
+                index,
+                device_names[index % len(device_names)],
+                tenants[index % len(tenants)],
+            )
+
+    pinned_map = {f"shard-bench-{index:03d}": device for index, device, _ in plan()}
+
+    def submit_all(service):
+        return [
+            service.submit(
+                ghz(3),
+                JobRequirements(tenant=tenant, policy=f"pinned:device={device}"),
+                shots=64 + index,
+                name=f"shard-bench-{index:03d}",
+            )
+            for index, device, tenant in plan()
+        ]
+
+    def run_sharded(shards: int):
+        clear_all_caches()
+        service = ShardedService(fleet, shards=shards, engine=spec)
+        try:
+
+            def work():
+                handles = submit_all(service)
+                service.process()
+                return {handle.name: handle.result().device for handle in handles}
+
+            seconds, devices = time_callable(work, repeats=1)
+        finally:
+            service.close()
+        return seconds, devices
+
+    def run_single_process():
+        clear_all_caches()
+        service = QRIOService(fleet, spec.build(), workers=0)
+        try:
+            handles = submit_all(service)
+            service.process()
+            return {handle.name: handle.result().device for handle in handles}
+        finally:
+            service.close()
+
+    single_devices = run_single_process()
+    one_shard_seconds, one_shard_devices = run_sharded(1)
+    sharded_seconds, sharded_devices = run_sharded(_SHARD_COUNT)
+    for label, devices in (
+        ("single-process", single_devices),
+        ("1-shard", one_shard_devices),
+        (f"{_SHARD_COUNT}-shard", sharded_devices),
+    ):
+        if devices != pinned_map:
+            raise BenchFailure(
+                f"Sharded dispatch changed scheduling decisions: the {label} run did "
+                "not honour the pinned job -> device map — shards must only move "
+                "execution between processes, never re-route jobs"
+            )
+    speedup = one_shard_seconds / sharded_seconds
+    if speedup < shard_floor:
+        raise BenchFailure(
+            f"Sharded dispatch speedup {speedup:.2f}x ({_SHARD_COUNT} shards vs 1) "
+            f"is below the {shard_floor:.1f}x floor"
+        )
+    return {
+        "jobs": jobs,
+        "devices": _SHARD_DEVICES,
+        "shards": _SHARD_COUNT,
+        "device_latency_s": _SHARD_LATENCY_S,
+        "workload": (
+            "device-pinned ghz(3) stream over 4 tenants, per-job occupancy via "
+            "EngineSpec(latency_s), serial inside each shard"
+        ),
+        "one_shard_seconds": one_shard_seconds,
+        "sharded_seconds": sharded_seconds,
+        "one_shard_jobs_per_second": jobs / one_shard_seconds,
+        "sharded_jobs_per_second": jobs / sharded_seconds,
+        "speedup": speedup,
+        "routing_neutral": True,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Scenario replay throughput + cross-engine routing neutrality
 # --------------------------------------------------------------------------- #
 def bench_scenarios(
@@ -840,6 +966,7 @@ def run_all(
     replay_ceiling: float = 10.0,
     plans_floor: float = 5.0,
     fault_replay_ceiling: float = 1.3,
+    shard_floor: float = 2.5,
 ) -> Dict[str, Path]:
     """Run every measurement and write the BENCH artefacts; returns their paths."""
     preflight_analyze()
@@ -851,6 +978,10 @@ def run_all(
     concurrency = bench_concurrency(scale, concurrency_floor)
     scenarios = bench_scenarios(scale, replay_floor, replay_ceiling, fault_replay_ceiling)
     plans = bench_plans(scale, plans_floor)
+    # Last on purpose: the spawned shard processes are the heaviest thing in
+    # this file, and on small CI boxes their startup/teardown perturbs the
+    # micro-timed ratio benches (scenario replay) when run before them.
+    sharded = bench_shards(scale, shard_floor)
     paths = {
         "stabilizer": write_bench_json("BENCH_stabilizer.json", {"scale": scale, **stabilizer}),
         "matching": write_bench_json(
@@ -863,7 +994,9 @@ def run_all(
             },
         ),
         "service": write_bench_json("BENCH_service.json", {"scale": scale, **service}),
-        "concurrency": write_bench_json("BENCH_concurrency.json", {"scale": scale, **concurrency}),
+        "concurrency": write_bench_json(
+            "BENCH_concurrency.json", {"scale": scale, **concurrency, "sharded": sharded}
+        ),
         "scenarios": write_bench_json("BENCH_scenarios.json", {"scale": scale, **scenarios}),
         "plans": write_bench_json("BENCH_plans.json", {"scale": scale, **plans}),
     }
@@ -888,6 +1021,8 @@ def main(argv=None) -> int:
                         help="minimum warm-plan-replay vs cold-compile speedup")
     parser.add_argument("--fault-replay-ceiling", type=float, default=1.3,
                         help="maximum fault-augmented replay slowdown vs the fault-free replay")
+    parser.add_argument("--shard-floor", type=float, default=2.5,
+                        help="minimum 4-shard-vs-1-shard dispatch speedup on the 16-device fleet")
     args = parser.parse_args(argv)
     try:
         paths = run_all(
@@ -901,6 +1036,7 @@ def main(argv=None) -> int:
             args.replay_ceiling,
             args.plans_floor,
             args.fault_replay_ceiling,
+            args.shard_floor,
         )
     except BenchFailure as failure:
         print(f"PERF REGRESSION: {failure}", file=sys.stderr)
@@ -926,9 +1062,12 @@ def main(argv=None) -> int:
                 f"({payload['jobs']} identical jobs, 1 scheduling pass) -> {path}"
             )
         elif name == "concurrency":
+            sharded = payload["sharded"]
             print(
                 f"concurrency: {payload['workers']} workers {payload['speedup']:.1f}x over serial "
-                f"({payload['jobs']} jobs, {payload['devices']} devices) -> {path}"
+                f"({payload['jobs']} jobs, {payload['devices']} devices); "
+                f"sharded: {sharded['shards']} shards {sharded['speedup']:.1f}x over 1 shard "
+                f"({sharded['jobs']} jobs, {sharded['devices']} devices, routing-neutral) -> {path}"
             )
         elif name == "scenarios":
             print(

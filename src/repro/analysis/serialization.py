@@ -31,6 +31,8 @@ DEFAULT_PICKLE_CONTRACT: Dict[str, Tuple[str, ...]] = {
     "scenarios/trace.py": ("Trace",),
     "scenarios/arrivals.py": ("JobRequest",),
     "service/api.py": ("JobRequirements", "JobSpec", "JobEvent", "JobStatus", "ServiceResult"),
+    "tenancy/api.py": ("Tenant",),
+    "tenancy/sharding.py": ("EngineSpec", "ShardRequest", "ShardJob", "ShardOutcome"),
 }
 
 #: Type names that make a field unpicklable (or mutable shared state).

@@ -21,6 +21,10 @@ The CLI exposes the pieces a new user typically wants without writing Python:
   analyzer (determinism/concurrency/serialization lint rules of
   :mod:`repro.analysis`) over the source tree and exit non-zero on any
   finding not recorded in the committed baseline;
+* ``repro-qrio tenants [--json]`` — run a small multi-tenant demo through
+  the admission-controlled service and print every tenant's declared
+  quotas, live queue depth and admission state (the
+  :meth:`~repro.service.QRIOService.tenants_report` view);
 * ``repro-qrio submit <circuit.qasm>`` — schedule a QASM file against a
   generated fleet with either a fidelity or a topology requirement, routed
   through the unified job service (``--engine`` picks the execution engine —
@@ -29,8 +33,11 @@ The CLI exposes the pieces a new user typically wants without writing Python:
   under *any* engine; ``--explain`` prints the per-device score/filter
   breakdown; ``--fidelity-report`` controls the cloud engine's fidelity
   mode; ``--workers N`` runs the job through the concurrent service
-  runtime); the job's lifecycle transitions are printed as they are
-  recorded.
+  runtime; ``--tenant NAME`` submits under a named tenant identity and
+  ``--shards N`` dispatches through the process-sharded
+  :class:`~repro.tenancy.ShardedService`, routing the job to its shard by
+  consistent tenant hash); the job's lifecycle transitions are printed as
+  they are recorded.
 
 Every command accepts ``--seed`` and the experiment commands accept
 ``--scale quick|default|paper`` mirroring the benchmark harness.
@@ -235,7 +242,12 @@ def _cmd_policies(args: argparse.Namespace) -> int:
 # Scenario subcommands
 # --------------------------------------------------------------------------- #
 def _print_scenario_report(report, as_json: bool) -> None:
-    from repro.scenarios import RESILIENCE_COLUMNS, SWEEP_COLUMNS, render_metric_table
+    from repro.scenarios import (
+        RESILIENCE_COLUMNS,
+        SWEEP_COLUMNS,
+        TENANT_COLUMNS,
+        render_metric_table,
+    )
 
     if as_json:
         print(report.to_json())
@@ -243,6 +255,8 @@ def _print_scenario_report(report, as_json: bool) -> None:
     columns = list(SWEEP_COLUMNS)
     if report.resilience is not None:
         columns += RESILIENCE_COLUMNS
+    if report.tenant_waits is not None:
+        columns += TENANT_COLUMNS
     print(
         render_metric_table(
             [report.row()],
@@ -262,6 +276,14 @@ def _print_scenario_report(report, as_json: bool) -> None:
             f"{report.resilience['events']} events, "
             f"{report.resilience['jobs_during_outage']} jobs during outages, "
             f"{report.resilience['slo_violations']} SLO violations"
+        )
+    if report.tenant_waits:
+        print(
+            "Per-tenant waits:",
+            ", ".join(
+                f"{tenant} p99={summary['p99']:.2f}s"
+                for tenant, summary in report.tenant_waits.items()
+            ),
         )
 
 
@@ -299,6 +321,7 @@ def _scenario_runner(args: argparse.Namespace, fleet):
         fidelity_report=args.fidelity_report,
         canary_shots=args.canary_shots,
         slo_wait_s=args.slo_wait_s,
+        tenant_aware=args.tenant_aware,
     )
 
 
@@ -363,6 +386,7 @@ def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
         fidelity_report=args.fidelity_report,
         canary_shots=args.canary_shots,
         slo_wait_s=args.slo_wait_s,
+        tenant_aware=args.tenant_aware,
     )
     if args.json:
         print(result.to_json())
@@ -400,29 +424,178 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if new else 0
 
 
-def _cmd_submit(args: argparse.Namespace) -> int:
-    circuit = load_qasm_file(args.circuit)
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    """Run a small multi-tenant demo and list per-tenant quotas + admission state."""
+    from repro.tenancy import AdmissionController, Tenant
+    from repro.utils.exceptions import AdmissionRejectedError
+
+    tenants = (
+        Tenant(id="alpha", weight=3.0),
+        Tenant(id="bravo", weight=1.0),
+        Tenant(id="carol", weight=1.0, max_pending=max(1, args.jobs // 2)),
+    )
+    fleet = generate_fleet(limit=args.devices, seed=args.seed)
+    engine = CloudEngine(
+        config=CloudSimulationConfig(
+            fidelity_report="none", execution_shots=256, seed=args.seed
+        )
+    )
+    admission = AdmissionController(slo_wait_s=args.slo_wait_s)
+    service = QRIOService(fleet, engine, workers=args.workers, admission=admission)
+    rejected: dict = {}
     try:
-        service, qrio, policy = _service_for_submit(args)
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        for tenant in tenants:
+            requirements = JobRequirements(tenant=tenant)
+            for index in range(args.jobs):
+                try:
+                    service.submit(
+                        ghz(3), requirements, shots=128, name=f"{tenant.id}-{index:02d}"
+                    )
+                except AdmissionRejectedError as rejection:
+                    entry = rejected.setdefault(tenant.id, {"count": 0, "reason": ""})
+                    entry["count"] += 1
+                    entry["reason"] = str(rejection)
+        # Snapshot *before* draining: this is the live queue-depth view.
+        live = service.tenants_report()
+        service.process()
+        waits = service.wait_report()
+        final = service.tenants_report()
+    finally:
+        service.close()
+    if args.json:
+        payload = {
+            "live": live,
+            "final": final,
+            "rejected": rejected,
+            "tenant_waits": waits["tenants"],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True, default=repr))
+        return 0
+    mode = f"{args.workers} workers" if args.workers else "synchronous"
+    print(
+        f"Multi-tenant demo: {len(tenants)} tenants x {args.jobs} jobs on "
+        f"{len(fleet)} devices (cloud engine, {mode}, SLO {args.slo_wait_s:.0f}s)\n"
+    )
+    header = (
+        f"{'TENANT':<10s} {'WEIGHT':>6s} {'MAX_PEND':>8s} {'MAX_INFL':>8s} "
+        f"{'SHOTS/S':>8s} {'QUEUED':>6s} {'INFLIGHT':>8s} {'STATE':<7s}"
+    )
+    print("At peak (every accepted job submitted, nothing drained):")
+    print(header)
+
+    def quota(value) -> str:
+        return "-" if value is None else f"{value:g}"
+
+    for tenant_id, row in live["tenants"].items():
+        print(
+            f"{tenant_id:<10s} {row['weight']:>6g} {quota(row['max_pending']):>8s} "
+            f"{quota(row['max_inflight']):>8s} {quota(row['shots_per_second']):>8s} "
+            f"{row['queued']:>6d} {row['inflight']:>8d} {row['state']:<7s}"
+        )
+    for tenant_id, entry in sorted(rejected.items()):
+        print(f"  rejected: {tenant_id} x{entry['count']} ({entry['reason']})")
+    print("\nAfter draining:")
+    print(f"{'TENANT':<10s} {'JOBS':>5s} {'MEAN_WAIT':>10s} {'P99_WAIT':>10s}")
+    for tenant_id, row in final["tenants"].items():
+        summary = waits["tenants"].get(tenant_id, {})
+        jobs_done = args.jobs - rejected.get(tenant_id, {}).get("count", 0)
+        print(
+            f"{tenant_id:<10s} {jobs_done:>5d} {summary.get('mean', 0.0):>9.3f}s "
+            f"{summary.get('p99', 0.0):>9.3f}s"
+        )
+    return 0
+
+
+def _submit_requirements(args: argparse.Namespace, policy) -> JobRequirements:
+    """Build the per-job requirements for ``submit`` (tenant included)."""
+    tenant = None
+    if args.tenant:
+        from repro.tenancy import Tenant
+
+        tenant = Tenant(id=args.tenant, weight=args.tenant_weight)
     if args.topology:
         edges = []
         for chunk in args.topology.split(","):
             a, b = chunk.split("-")
             edges.append((int(a), int(b)))
-        requirements = JobRequirements(
+        return JobRequirements(
             topology_edges=tuple(edges),
             max_avg_two_qubit_error=args.max_two_qubit_error,
             policy=policy,
+            tenant=tenant,
         )
-    else:
-        requirements = JobRequirements(
-            fidelity_threshold=args.fidelity,
-            max_avg_two_qubit_error=args.max_two_qubit_error,
-            policy=policy,
+    return JobRequirements(
+        fidelity_threshold=args.fidelity,
+        max_avg_two_qubit_error=args.max_two_qubit_error,
+        policy=policy,
+        tenant=tenant,
+    )
+
+
+def _cmd_submit_sharded(args: argparse.Namespace, circuit) -> int:
+    """The ``submit --shards N`` path: dispatch through the process shards."""
+    from repro.tenancy import EngineSpec, ShardedService
+
+    engine_name = args.engine if args.engine is not None else _infer_engine(args.policy)
+    policy = None if args.policy in _ENGINE_ALIASES else args.policy
+    if policy is not None:
+        resolve_policy(policy, seed=args.seed)
+    kind = "orchestrator" if engine_name == "qrio" else engine_name
+    # Mirror _service_for_submit: the cloud engine resolves the policy
+    # engine-level, the other engines take it per job.
+    spec = EngineSpec(
+        kind=kind,
+        policy=policy if kind == "cloud" else None,
+        seed=args.seed,
+        fidelity_report=args.fidelity_report,
+        canary_shots=args.shots,
+    )
+    job_policy = None if kind == "cloud" else policy
+    fleet = generate_fleet(limit=args.devices, seed=args.seed)
+    requirements = _submit_requirements(args, job_policy)
+    with ShardedService(fleet, shards=args.shards, engine=spec, workers=args.workers) as service:
+        handle = service.submit(circuit, requirements, shots=args.shots, name="cli-submitted-job")
+        print(
+            f"Sharded dispatch ({kind} engine, {service.num_shards} shard processes over "
+            f"{len(fleet)} devices): tenant '{handle.tenant_id}' routed to shard "
+            f"{handle.shard_index}"
         )
+        service.process(handle)
+        print("Job lifecycle (as recorded inside the shard):")
+        for event in handle.events():
+            print(f"  {event.state.value:<9s} {event.message}")
+        print()
+        if args.explain:
+            print("(--explain is unavailable with --shards: placement decisions stay "
+                  "inside the worker process)\n")
+        if handle.error() is not None:
+            print("The job could not be scheduled with the given requirements.")
+            return 1
+        result = handle.result()
+        summary = f"Device: {result.device}"
+        if result.score is not None:
+            summary += f"  score {result.score:.4f}"
+        if result.fidelity is not None:
+            summary += f"  reported fidelity {result.fidelity:.4f}"
+        summary += f"  ({result.num_feasible} devices passed filtering)"
+        print(summary)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    circuit = load_qasm_file(args.circuit)
+    if args.shards:
+        try:
+            return _cmd_submit_sharded(args, circuit)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    try:
+        service, qrio, policy = _service_for_submit(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    requirements = _submit_requirements(args, policy)
     handle = service.submit(circuit, requirements, shots=args.shots, name="cli-submitted-job")
     mode = f"{service.workers} workers" if service.is_concurrent else "synchronous"
     print(f"Job lifecycle ({service.engine.name} engine, {mode}):")
@@ -537,6 +710,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cloud engine's per-job fidelity mode")
         sub.add_argument("--canary-shots", type=int, default=128, dest="canary_shots",
                          help="Clifford-canary shots of the orchestrator/cluster engines")
+        sub.add_argument("--tenant-aware", action="store_true", dest="tenant_aware",
+                         help="replay trace users as tenant identities (weighted-fair "
+                              "queueing, per-tenant wait columns); TenantBurst events "
+                              "declare weights/quotas")
         sub.add_argument("--json", action="store_true", help="emit the report as JSON")
 
     scenarios_list = scenario_sub.add_parser("list", help="list the named scenarios")
@@ -589,6 +766,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="baseline file path (default: analysis-baseline.json at the repo root)")
     analyze.set_defaults(handler=_cmd_analyze)
 
+    tenants = subparsers.add_parser(
+        "tenants",
+        help="run a small multi-tenant demo and list per-tenant quotas, "
+             "queue depth and admission state",
+    )
+    tenants.add_argument("--devices", type=int, default=6, help="fleet size to schedule onto")
+    tenants.add_argument("--jobs", type=int, default=4, help="jobs submitted per tenant")
+    tenants.add_argument("--workers", type=int, default=0,
+                         help="service worker-pool size (0 = synchronous)")
+    tenants.add_argument("--slo-wait", type=float, default=30.0, dest="slo_wait_s",
+                         help="per-tenant p99 wait SLO driving the admission state machine")
+    tenants.add_argument("--json", action="store_true",
+                         help="emit the live/final tenant reports as JSON for scripts")
+    tenants.set_defaults(handler=_cmd_tenants)
+
     submit = subparsers.add_parser("submit", help="schedule a QASM circuit against a generated fleet")
     submit.add_argument("circuit", help="path to an OpenQASM 2.0 file")
     submit.add_argument("--fidelity", type=float, default=1.0, help="requested fidelity (default 1.0)")
@@ -634,6 +826,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-pool size for the service runtime: 0 (default) executes synchronously "
              "on this thread, N >= 1 dispatches through the concurrent runtime (priority "
              "queue + per-device lanes) and streams lifecycle events as they happen",
+    )
+    submit.add_argument(
+        "--tenant",
+        default=None,
+        help="tenant identity the job is submitted under (weighted-fair queueing and "
+             "admission account per tenant); default: the implicit 'default' tenant",
+    )
+    submit.add_argument(
+        "--tenant-weight",
+        type=float,
+        default=1.0,
+        dest="tenant_weight",
+        help="fair-share weight of --tenant (ignored without --tenant)",
+    )
+    submit.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition the fleet across N spawn-safe worker processes and route the "
+             "job by consistent tenant hash (0 = in-process service; implies "
+             "--engine qrio maps to the orchestrator engine recipe)",
     )
     submit.set_defaults(handler=_cmd_submit)
     return parser

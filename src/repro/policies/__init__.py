@@ -30,6 +30,7 @@ from repro.policies.registry import (
 from repro.policies.builtin import (
     FidelityPlacementPolicy,
     LeastLoadedPlacementPolicy,
+    PinnedDevicePolicy,
     RandomPlacementPolicy,
     RoundRobinPlacementPolicy,
     ThresholdFidelityPolicy,
@@ -54,6 +55,7 @@ __all__ = [
     "Pipeline",
     "PlacementContext",
     "PlacementDecision",
+    "PinnedDevicePolicy",
     "PlacementPolicy",
     "PluginPolicyAdapter",
     "PolicyFilterPlugin",

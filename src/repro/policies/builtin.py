@@ -20,6 +20,8 @@ it by string:
                           fidelity (meta server ``FidelityRankingStrategy``)
 ``topology``              Mapomatic-style embedding cost of the job's
                           topology request (``TopologyRankingStrategy``)
+``pinned``                force one named device (``pinned:device=NAME``) —
+                          the affinity override sharded dispatch routes by
 ========================  ====================================================
 
 Routing is pinned bit-for-bit against the legacy implementations by
@@ -265,6 +267,48 @@ class ThresholdFidelityPolicy(_FidelityEstimateMixin, PlacementPolicy):
             "estimated_fidelity": self.estimated_fidelity(ctx, device),
             "required_fidelity": ctx.fidelity_threshold,
         }
+
+
+@register_policy(
+    "pinned",
+    description="force placement onto one named device (shard/affinity routing)",
+)
+class PinnedDevicePolicy(PlacementPolicy):
+    """Force placement onto one named device.
+
+    The device-affinity escape hatch: every other device is filtered out, so
+    the job lands on the pinned device when it passes the engine's normal
+    feasibility checks, and fails with *no feasible device* otherwise.  The
+    sharded dispatcher (:class:`~repro.tenancy.ShardedService`) routes
+    pinned jobs to the shard owning the device instead of hashing the
+    tenant, and the concurrency benchmarks use pinning to hold routing
+    constant while varying the execution topology.
+    """
+
+    def __init__(self, device: str = "") -> None:
+        if not device:
+            raise SchedulingError("pinned policy needs a device name (pinned:device=NAME)")
+        self._device = str(device)
+
+    @property
+    def name(self) -> str:
+        return f"pinned[{self._device}]"
+
+    @property
+    def device(self) -> str:
+        """The pinned device name."""
+        return self._device
+
+    def filter(self, ctx: PlacementContext, device: Backend) -> Tuple[bool, str]:
+        feasible, reason = super().filter(ctx, device)
+        if not feasible:
+            return feasible, reason
+        if device.name != self._device:
+            return False, f"job is pinned to device '{self._device}'"
+        return True, "feasible"
+
+    def score(self, ctx: PlacementContext, device: Backend) -> float:
+        return 0.0
 
 
 @register_policy(

@@ -64,6 +64,7 @@ from repro.scenarios.events import (
     event_to_payload,
     normalise_events,
     parse_event,
+    tenants_from_events,
 )
 from repro.scenarios.resilience import (
     RESILIENCE_ROW_KEYS,
@@ -82,6 +83,7 @@ from repro.scenarios.metrics import (
 from repro.scenarios.runner import (
     ENGINE_NAMES,
     NATIVE_POLICY,
+    TENANT_ROW_KEYS,
     JobOutcome,
     ScenarioReport,
     ScenarioRunner,
@@ -90,6 +92,7 @@ from repro.scenarios.runner import (
 from repro.scenarios.sweep import (
     RESILIENCE_COLUMNS,
     SWEEP_COLUMNS,
+    TENANT_COLUMNS,
     SweepResult,
     render_sweep,
     run_sweep,
@@ -133,6 +136,8 @@ __all__ = [
     "ScenarioSpec",
     "StragglerSlowdown",
     "SweepResult",
+    "TENANT_COLUMNS",
+    "TENANT_ROW_KEYS",
     "TRACE_FORMAT",
     "TRACE_VERSION",
     "TenantBurst",
@@ -161,6 +166,7 @@ __all__ = [
     "run_sweep",
     "scenario",
     "summarise_waits",
+    "tenants_from_events",
     "trace_summary",
     "unregister_scenario",
     "wait_fairness",

@@ -158,14 +158,25 @@ class TenantBurst:
     """One tenant submits extra jobs at ``rate_per_hour`` for ``duration_s``.
 
     Applied when the trace is *built* (:func:`apply_workload_events`): the
-    burst jobs join the arrival stream like any other job, and the recorded
-    event lets the resilience metrics attribute the overload window.
+    burst jobs join the arrival stream like any other job — attributed to
+    ``user``, which a tenant-aware replay maps onto a real
+    :class:`~repro.tenancy.Tenant` — and the recorded event lets the
+    resilience metrics attribute the overload window.  The ``weight`` and
+    quota fields describe the bursting tenant itself, so a replayed trace
+    carries everything needed to exercise weighted-fair queueing and
+    admission control end-to-end (:func:`tenants_from_events`).  The fields
+    default to an unconstrained weight-1 tenant, which keeps schema version
+    1 readable in both directions: old payloads simply omit them.
     """
 
     time_s: float
     duration_s: float
     user: str = "burst-tenant"
     rate_per_hour: float = 360.0
+    #: Fair share of the bursting tenant in a tenant-aware replay.
+    weight: float = 1.0
+    #: Pending-jobs quota of the bursting tenant (``None`` = unlimited).
+    max_pending: Optional[int] = None
 
     kind = "tenant-burst"
 
@@ -173,6 +184,13 @@ class TenantBurst:
         _require_time(self.time_s, "TenantBurst.time_s")
         _require_positive(self.duration_s, "TenantBurst.duration_s")
         _require_positive(self.rate_per_hour, "TenantBurst.rate_per_hour")
+        _require_positive(self.weight, "TenantBurst.weight")
+        if self.max_pending is not None and (
+            not isinstance(self.max_pending, int) or self.max_pending <= 0
+        ):
+            raise ScenarioError(
+                f"TenantBurst.max_pending must be a positive int or None, got {self.max_pending!r}"
+            )
 
     @property
     def end_s(self) -> float:
@@ -311,6 +329,33 @@ def apply_workload_events(
         )
         for index, request in enumerate(merged)
     ]
+
+
+def tenants_from_events(events: Sequence) -> Dict[str, "object"]:
+    """Tenant definitions declared by a trace's :class:`TenantBurst` events.
+
+    Returns ``{user: Tenant}`` for every burst, carrying the burst's weight
+    and pending quota — what a tenant-aware :class:`~repro.scenarios.ScenarioRunner`
+    stamps onto the replayed submissions so quotas and fair queueing apply to
+    exactly the tenants the trace declared.  Multiple bursts by the same user
+    must agree on weight/quota (a trace contradiction is an error, not a
+    silent last-wins).
+    """
+    from repro.tenancy.api import Tenant
+
+    tenants: Dict[str, Tenant] = {}
+    for event in events:
+        if not isinstance(event, TenantBurst):
+            continue
+        tenant = Tenant(id=event.user, weight=event.weight, max_pending=event.max_pending)
+        existing = tenants.get(event.user)
+        if existing is not None and existing != tenant:
+            raise ScenarioError(
+                f"Trace declares tenant '{event.user}' twice with conflicting "
+                f"weight/quota ({existing} vs {tenant})"
+            )
+        tenants[event.user] = tenant
+    return tenants
 
 
 # --------------------------------------------------------------------------- #

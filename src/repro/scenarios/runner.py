@@ -31,7 +31,7 @@ from repro.backends.backend import Backend
 from repro.scenarios.arrivals import JobRequest
 from repro.scenarios.metrics import summarise_waits, wait_fairness
 from repro.scenarios.trace import Trace
-from repro.utils.exceptions import ScenarioError
+from repro.utils.exceptions import AdmissionRejectedError, ScenarioError
 from repro.utils.rng import SeedLike, derive_seed
 
 #: Engine names the runner can build on its own.
@@ -41,6 +41,9 @@ ENGINE_NAMES = ("orchestrator", "cluster", "cloud")
 #: native placement path".  One constant so report rows, sweep-cell lookup
 #: and the CLI's ``--policies`` parsing cannot drift apart.
 NATIVE_POLICY = "native"
+
+#: Row keys appended by tenant-aware replays (sweep tables pick them up).
+TENANT_ROW_KEYS = ("tenants", "worst_tenant_p99_s")
 
 
 def policy_label(policy: Optional[str]) -> str:
@@ -91,6 +94,10 @@ class ScenarioReport:
     #: Resilience metrics (:func:`~repro.scenarios.resilience.resilience_summary`)
     #: — populated only when the replayed trace carried fault events.
     resilience: Optional[Dict[str, object]] = None
+    #: Per-tenant wait summaries (p50/p95/p99/mean/max, keyed by tenant id)
+    #: — populated only by tenant-aware replays; ``fairness`` then reads as
+    #: the cross-tenant Jain index.
+    tenant_waits: Optional[Dict[str, Dict[str, float]]] = None
 
     # ------------------------------------------------------------------ #
     def routing(self) -> Tuple[Tuple[str, Optional[str]], ...]:
@@ -144,6 +151,11 @@ class ScenarioReport:
 
             for key in RESILIENCE_ROW_KEYS:
                 row[key] = self.resilience[key]
+        if self.tenant_waits is not None:
+            row["tenants"] = len(self.tenant_waits)
+            row["worst_tenant_p99_s"] = max(
+                (summary["p99"] for summary in self.tenant_waits.values()), default=0.0
+            )
         return row
 
     def to_json(self) -> str:
@@ -194,6 +206,24 @@ class ScenarioRunner:
         canary_shots: Clifford-canary shots of orchestrator/cluster engines.
         slo_wait_s: Wait-time SLO used by the resilience metrics of
             fault-augmented replays (seconds on the report's wait clock).
+        tenant_aware: Stamp each replayed job's trace user onto
+            ``JobRequirements.tenant``, so weighted-fair queueing and
+            per-tenant quotas apply during the replay and the report gains
+            per-tenant wait summaries.  **Off by default**: tenants join the
+            service's dedup key, so enabling this changes grouping (and
+            hence routing) — the pre-tenancy bit-identity pins require the
+            default to stay tenant-blind.
+        tenants: Explicit ``{user: Tenant}`` definitions for tenant-aware
+            replays; merged over (and winning against) the definitions the
+            trace's :class:`~repro.scenarios.events.TenantBurst` events
+            declare.  Users without a definition replay as weight-1
+            unconstrained tenants.
+        admission: Zero-argument factory building a fresh
+            :class:`~repro.tenancy.AdmissionController` per replay (a
+            controller is stateful, so sharing one across replays would
+            leak pressure between them).  Submissions it rejects become
+            failed outcomes with the rejection message — the trace is
+            replayed, not aborted.
     """
 
     def __init__(
@@ -207,6 +237,9 @@ class ScenarioRunner:
         fidelity_report: str = "esp",
         canary_shots: int = 128,
         slo_wait_s: float = 600.0,
+        tenant_aware: bool = False,
+        tenants: Optional[Dict[str, object]] = None,
+        admission: Optional[Callable] = None,
     ) -> None:
         if isinstance(engine, str) and engine not in ENGINE_NAMES:
             raise ScenarioError(
@@ -223,6 +256,13 @@ class ScenarioRunner:
         self._fidelity_report = fidelity_report
         self._canary_shots = canary_shots
         self._slo_wait_s = float(slo_wait_s)
+        if (tenants or admission) and not tenant_aware:
+            raise ScenarioError(
+                "tenants/admission only apply to tenant-aware replays; pass tenant_aware=True"
+            )
+        self._tenant_aware = bool(tenant_aware)
+        self._tenants = dict(tenants) if tenants else {}
+        self._admission_factory = admission
 
     # ------------------------------------------------------------------ #
     @property
@@ -251,18 +291,22 @@ class ScenarioRunner:
             config=CloudSimulationConfig(fidelity_report=self._fidelity_report, seed=engine_seed),
         )
 
-    def _requirements_for(self, request: JobRequest, arrival: bool):
+    def _requirements_for(self, request: JobRequest, arrival: bool, tenant=None):
         from repro.service import JobRequirements
 
         arrival_time = request.arrival_time if arrival else None
         if request.strategy == "topology":
             edges = _topology_edges(request.circuit)
             if edges:
-                return JobRequirements(topology_edges=edges, arrival_time_s=arrival_time)
+                return JobRequirements(
+                    topology_edges=edges, arrival_time_s=arrival_time, tenant=tenant
+                )
         threshold = request.fidelity_threshold
         if not 0.0 < threshold <= 1.0:
             threshold = 1.0
-        return JobRequirements(fidelity_threshold=threshold, arrival_time_s=arrival_time)
+        return JobRequirements(
+            fidelity_threshold=threshold, arrival_time_s=arrival_time, tenant=tenant
+        )
 
     # ------------------------------------------------------------------ #
     def replay(self, trace: Union[Trace, List[JobRequest]], *, name: Optional[str] = None) -> ScenarioReport:
@@ -299,7 +343,15 @@ class ScenarioRunner:
             if has_faults
             else self._fleet
         )
-        service = QRIOService(fleet, engine, workers=self._workers)
+        tenant_map: Dict[str, object] = {}
+        if self._tenant_aware:
+            from repro.scenarios.events import tenants_from_events
+            from repro.tenancy.api import Tenant
+
+            tenant_map = tenants_from_events(events)
+            tenant_map.update(self._tenants)
+        admission = self._admission_factory() if self._admission_factory is not None else None
+        service = QRIOService(fleet, engine, workers=self._workers, admission=admission)
         injector = None
         if has_faults:
             from repro.scenarios.events import FaultInjector
@@ -311,23 +363,45 @@ class ScenarioRunner:
         try:
             handles = []
             for request in sorted(jobs, key=lambda job: (job.arrival_time, job.index)):
-                requirements = self._requirements_for(request, arrival=is_cloud or has_faults)
-                handles.append(
-                    (
-                        request,
-                        service.submit(
-                            request.circuit,
-                            requirements,
-                            shots=request.shots,
-                            name=request.name,
-                        ),
-                    )
+                tenant = None
+                if self._tenant_aware:
+                    tenant = tenant_map.get(request.user)
+                    if tenant is None:
+                        tenant = Tenant(id=request.user)
+                        tenant_map[request.user] = tenant
+                requirements = self._requirements_for(
+                    request, arrival=is_cloud or has_faults, tenant=tenant
                 )
+                try:
+                    handle = service.submit(
+                        request.circuit,
+                        requirements,
+                        shots=request.shots,
+                        name=request.name,
+                    )
+                except AdmissionRejectedError as rejection:
+                    # A rejected submission is an outcome of the scenario,
+                    # not a replay failure: record the shed and keep going.
+                    handles.append((request, None, str(rejection)))
+                else:
+                    handles.append((request, handle, None))
             service.process()
             if injector is not None:
                 injector.finish()
             outcomes: List[JobOutcome] = []
-            for request, handle in handles:
+            for request, handle, shed_error in handles:
+                if handle is None:
+                    outcomes.append(
+                        JobOutcome(
+                            name=request.name,
+                            user=request.user,
+                            device=None,
+                            succeeded=False,
+                            error=shed_error,
+                            arrival_s=request.arrival_time,
+                        )
+                    )
+                    continue
                 status = handle.status()
                 if handle.done:
                     result = handle.result()
@@ -402,6 +476,14 @@ class ScenarioRunner:
             from repro.scenarios.resilience import resilience_summary
 
             resilience = resilience_summary(outcomes, events, slo_wait_s=self._slo_wait_s)
+        tenant_waits: Optional[Dict[str, Dict[str, float]]] = None
+        if self._tenant_aware:
+            # Tenant-aware replays stamp the trace user as the tenant id, so
+            # the per-user wait groups *are* the per-tenant groups.
+            tenant_waits = {
+                user: summarise_waits(samples)
+                for user, samples in sorted(waits_by_user.items())
+            }
         policy_label: Optional[str]
         if self._policy is None:
             policy_label = None
@@ -426,4 +508,5 @@ class ScenarioRunner:
             jobs_per_device=dict(sorted(jobs_per_device.items())),
             device_utilisation=utilisation,
             resilience=resilience,
+            tenant_waits=tenant_waits,
         )

@@ -18,7 +18,7 @@ from repro.backends.backend import Backend
 from repro.scenarios.catalog import build_scenario_trace
 from repro.scenarios.metrics import render_metric_table
 from repro.scenarios.resilience import RESILIENCE_ROW_KEYS
-from repro.scenarios.runner import ScenarioReport, ScenarioRunner, policy_label
+from repro.scenarios.runner import TENANT_ROW_KEYS, ScenarioReport, ScenarioRunner, policy_label
 from repro.scenarios.trace import Trace
 from repro.utils.exceptions import ScenarioError
 from repro.utils.rng import SeedLike
@@ -41,6 +41,10 @@ SWEEP_COLUMNS = [
 #: Extra columns appended when any swept scenario carries fault events —
 #: the "which policy degrades gracefully" view of a resilience sweep.
 RESILIENCE_COLUMNS = list(RESILIENCE_ROW_KEYS)
+
+#: Extra columns appended when any cell replayed tenant-aware — the
+#: "who starved whom" view of a multi-tenant sweep.
+TENANT_COLUMNS = list(TENANT_ROW_KEYS)
 
 
 @dataclass(frozen=True)
@@ -93,6 +97,7 @@ def run_sweep(
     fidelity_report: str = "esp",
     canary_shots: int = 128,
     slo_wait_s: float = 600.0,
+    tenant_aware: bool = False,
 ) -> SweepResult:
     """Replay every scenario through every engine × policy cell.
 
@@ -110,6 +115,10 @@ def run_sweep(
         canary_shots: Canary shots of the orchestrator/cluster engines.
         slo_wait_s: Wait-time SLO of the resilience metrics computed for
             fault-augmented scenario cells.
+        tenant_aware: Replay every cell tenant-aware (trace users become
+            :class:`~repro.tenancy.Tenant` identities; see
+            :class:`~repro.scenarios.ScenarioRunner`), appending the
+            per-tenant columns to the comparison table.
 
     Returns:
         A :class:`SweepResult` with one report per cell, ordered scenario ×
@@ -143,6 +152,7 @@ def run_sweep(
                     fidelity_report=fidelity_report,
                     canary_shots=canary_shots,
                     slo_wait_s=slo_wait_s,
+                    tenant_aware=tenant_aware,
                 )
                 reports.append(runner.replay(trace))
     return SweepResult(reports=tuple(reports))
@@ -157,4 +167,6 @@ def render_sweep(result: SweepResult, title: str = "Scenario sweep") -> str:
     columns = list(SWEEP_COLUMNS)
     if any(report.resilience is not None for report in result.reports):
         columns += RESILIENCE_COLUMNS
+    if any(report.tenant_waits is not None for report in result.reports):
+        columns += TENANT_COLUMNS
     return render_metric_table(result.rows(), columns, title)

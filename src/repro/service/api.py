@@ -33,6 +33,7 @@ from repro.backends.backend import Backend
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.cache import structural_circuit_hash
 from repro.policies.api import PlacementPolicy
+from repro.tenancy.api import DEFAULT_TENANT, DEFAULT_TENANT_ID, Tenant
 from repro.utils.exceptions import ServiceError
 from repro.utils.validation import require_positive_int, require_probability
 
@@ -111,6 +112,13 @@ class JobRequirements:
     #: it.  The policy is part of the batch-dedup key: jobs under different
     #: policies never share one placement.
     policy: Optional[Union[str, PlacementPolicy]] = None
+    #: The submitting tenant (:class:`~repro.tenancy.Tenant`).  ``None``
+    #: (default) means the implicit anonymous tenant — exactly the
+    #: pre-tenancy behaviour, so existing callers and recorded traces are
+    #: unaffected.  Part of the dedup key by construction (requirements are
+    #: in the key): two tenants never share one deduplicated execution,
+    #: which keeps fair-queueing and quota accounting attributable.
+    tenant: Optional[Tenant] = None
 
     def __post_init__(self) -> None:
         if self.num_qubits is not None:
@@ -128,6 +136,10 @@ class JobRequirements:
             )
         if isinstance(self.policy, str) and not self.policy.strip():
             raise ServiceError("policy name must be a non-empty string")
+        if self.tenant is not None and not isinstance(self.tenant, Tenant):
+            raise ServiceError(
+                "tenant must be a repro.tenancy.Tenant (or None for the default tenant)"
+            )
         if self.fidelity_threshold is not None and self.topology_edges is not None:
             raise ServiceError(
                 "Fidelity and topology requirements are mutually exclusive; pick one"
@@ -151,6 +163,16 @@ class JobRequirements:
     def strategy(self) -> str:
         """``"fidelity"`` or ``"topology"`` — which ranking strategy applies."""
         return "topology" if self.topology_edges is not None else "fidelity"
+
+    @property
+    def effective_tenant(self) -> Tenant:
+        """The submitting tenant, with the anonymous default applied."""
+        return self.tenant if self.tenant is not None else DEFAULT_TENANT
+
+    @property
+    def tenant_id(self) -> str:
+        """Tenant id shorthand (``"default"`` for anonymous submissions)."""
+        return self.tenant.id if self.tenant is not None else DEFAULT_TENANT_ID
 
     @property
     def effective_fidelity_threshold(self) -> float:
@@ -208,6 +230,10 @@ class JobEvent:
     # replay inputs; only differences between them are used.
     # qrio: allow[QRIO-D002] observability timestamp, not simulated time
     timestamp: float = field(default_factory=time.monotonic)
+    #: Id of the tenant the job belongs to, so event streams (and the wait
+    #: reports built from them) stay attributable after events leave their
+    #: handle — e.g. when a shard process ships them back to the parent.
+    tenant: str = DEFAULT_TENANT_ID
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"[{self.sequence}] {self.state.value}: {self.message}"

@@ -328,7 +328,14 @@ class JobHandle:
             self._record_locked(state, message)
 
     def _record_locked(self, state: JobState, message: str) -> None:
-        self._events.append(JobEvent(sequence=len(self._events), state=state, message=message))
+        self._events.append(
+            JobEvent(
+                sequence=len(self._events),
+                state=state,
+                message=message,
+                tenant=self._spec.requirements.tenant_id,
+            )
+        )
         self._cv.notify_all()
 
     def _set_placement(self, device: Optional[str], score: Optional[float], detail: Dict[str, object]) -> None:

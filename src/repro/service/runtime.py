@@ -10,11 +10,17 @@ Architecture
 ------------
 The runtime owns three pieces:
 
-* **Priority queue** — submitted job groups (the batch-dedup unit: one
-  representative spec, N handles) are heap-ordered by
-  ``(-priority, deadline, submission order)`` from
-  :class:`~repro.service.JobRequirements`.  Higher priority dispatches first;
-  ties break earliest-deadline-first, then FIFO.  A bounded queue
+* **Weighted-fair tenant queue** — submitted job groups (the batch-dedup
+  unit: one representative spec, N handles) enter the per-tenant sub-queue
+  of their :attr:`~repro.service.JobRequirements.tenant` and are drained by
+  the virtual-time WFQ scheduler of :mod:`repro.tenancy.wfq`: while several
+  tenants are backlogged, dispatch slots are split in proportion to tenant
+  weights, so one tenant's burst can no longer starve everyone else.
+  *Within* a tenant the original ``(-priority, deadline, submission order)``
+  order is preserved — higher priority dispatches first, ties break
+  earliest-deadline-first, then FIFO — and with a single tenant (the
+  pre-tenancy situation) the WFQ degenerates to exactly the old global
+  heap, so existing workloads are bit-identical.  A bounded queue
   (``max_pending``) applies backpressure: ``submit(..., block=False)`` raises
   :class:`~repro.utils.exceptions.ServiceOverloadedError` when full, while
   ``block=True`` parks the submitter until the dispatcher frees capacity.
@@ -51,14 +57,13 @@ synchronous, deterministic PR-2 behavior.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Deque, Dict, Optional, Sequence, Set, Tuple
 
+from repro.tenancy.wfq import WeightedFairQueue
 from repro.utils.exceptions import ServiceError, ServiceOverloadedError
 
 
@@ -90,9 +95,9 @@ class ServiceRuntime:
         self._not_full = threading.Condition(self._lock)
         #: Drain wake-up: a group finished (inflight may have hit zero).
         self._idle = threading.Condition(self._lock)
-        self._heap: List[Tuple[int, float, int, object]] = []
-        self._order = itertools.count()
+        self._queue: WeightedFairQueue = WeightedFairQueue()
         self._queued_jobs = 0  # handles admitted but not yet dispatched
+        self._queued_jobs_by_tenant: Dict[str, int] = {}
         self._inflight_groups = 0  # groups admitted but not yet terminal
         self._executing_groups = 0  # groups handed to lanes, not yet finished
         #: Quiesce wake-up: no matched group is executing in any lane.  Used
@@ -127,9 +132,22 @@ class ServiceRuntime:
             return {
                 "workers": self._workers,
                 "queued_jobs": self._queued_jobs,
-                "queued_groups": len(self._heap),
+                "queued_groups": len(self._queue),
                 "inflight_groups": self._inflight_groups,
                 "active_lanes": len(self._active_lanes),
+            }
+
+    def tenant_depths(self) -> Dict[str, int]:
+        """Queued-but-undispatched *job* count per tenant id.
+
+        The per-tenant live-queue-depth signal ``QRIOService.tenants_report``
+        and the CLI ``tenants`` listing surface.
+        """
+        with self._lock:
+            return {
+                tenant: count
+                for tenant, count in sorted(self._queued_jobs_by_tenant.items())
+                if count > 0
             }
 
     # ------------------------------------------------------------------ #
@@ -174,19 +192,22 @@ class ServiceRuntime:
             now = time.monotonic()
             for group in groups:
                 requirements = group.spec.requirements
+                tenant = requirements.effective_tenant
                 deadline = requirements.deadline_s
                 # deadline_s is relative to submission, so EDF must compare
                 # *absolute* due times — a job submitted later with a short
                 # deadline can be due before one submitted earlier with a
-                # long deadline.
+                # long deadline.  The key only orders jobs *within* a
+                # tenant; across tenants the WFQ's virtual clock decides.
                 key = (
                     -requirements.priority,
                     float("inf") if deadline is None else now + float(deadline),
-                    next(self._order),
-                    group,
                 )
-                heapq.heappush(self._heap, key)
+                self._queue.push(tenant.id, tenant.weight, key, group)
                 self._queued_jobs += len(group.handles)
+                self._queued_jobs_by_tenant[tenant.id] = (
+                    self._queued_jobs_by_tenant.get(tenant.id, 0) + len(group.handles)
+                )
                 self._inflight_groups += 1
             self._work.notify_all()
 
@@ -196,7 +217,7 @@ class ServiceRuntime:
     def drain(self) -> None:
         """Block until every admitted group has reached a terminal state."""
         with self._lock:
-            self._idle.wait_for(lambda: self._inflight_groups == 0 and not self._heap)
+            self._idle.wait_for(lambda: self._inflight_groups == 0 and not self._queue)
 
     def drain_report(self) -> Dict[str, object]:
         """Drain, then summarise the run's wall-clock waits and makespan.
@@ -250,12 +271,18 @@ class ServiceRuntime:
     def _dispatch_loop(self) -> None:
         while True:
             with self._lock:
-                while not self._heap and not self._closed:
+                while not self._queue and not self._closed:
                     self._work.wait()
-                if not self._heap:
+                if not self._queue:
                     return  # closed and fully dispatched
-                _, _, _, group = heapq.heappop(self._heap)
+                group = self._queue.pop()
+                tenant_id = group.spec.requirements.tenant_id
                 self._queued_jobs -= len(group.handles)
+                remaining = self._queued_jobs_by_tenant.get(tenant_id, 0) - len(group.handles)
+                if remaining > 0:
+                    self._queued_jobs_by_tenant[tenant_id] = remaining
+                else:
+                    self._queued_jobs_by_tenant.pop(tenant_id, None)
                 self._not_full.notify_all()
             try:
                 placement = self._service._match_group(group)
@@ -305,5 +332,5 @@ class ServiceRuntime:
                 self._executing_groups -= 1
                 if self._executing_groups == 0:
                     self._quiet.notify_all()
-            if self._inflight_groups == 0 and not self._heap:
+            if self._inflight_groups == 0 and not self._queue:
                 self._idle.notify_all()

@@ -60,6 +60,8 @@ from repro.core.cache import all_cache_stats, plan_cache
 from repro.service.engines import OrchestratorEngine
 from repro.service.handle import JobHandle, wall_wait_from_events
 from repro.service.runtime import ServiceRuntime
+from repro.tenancy.admission import AdmissionController
+from repro.tenancy.api import Tenant
 from repro.utils.exceptions import ReproError, ServiceError
 from repro.utils.rng import SeedLike
 
@@ -127,6 +129,7 @@ class QRIOService:
         workers: int = 0,
         max_pending: Optional[int] = None,
         plan_cache_size: Optional[int] = None,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         """Bind a fleet to an engine, optionally with a concurrent runtime.
 
@@ -146,6 +149,11 @@ class QRIOService:
                 (:func:`repro.core.cache.plan_cache`) instead of keeping its
                 default size.  The cache is process-wide — the knob resizes
                 the shared instance, it does not create a private one.
+            admission: An :class:`~repro.tenancy.AdmissionController` gating
+                submissions per tenant — quota checks plus SLO-pressure
+                accept/defer/shed — before any queue capacity is consumed.
+                ``None`` (default) admits everything, leaving the runtime's
+                ``max_pending`` backpressure as the only limit.
 
         Raises:
             ServiceError: ``seed`` combined with an explicit engine,
@@ -187,6 +195,16 @@ class QRIOService:
         #: Guards the name counter, handle registry and counters; submissions
         #: and worker-thread completions may touch them concurrently.
         self._state_lock = threading.Lock()
+        #: Optional per-tenant admission gate; all calls serialized under the
+        #: state lock, which is also what keeps per-tenant accounting atomic.
+        self._admission = admission
+        #: Per-tenant occupancy (job counts): queued = admitted but not yet
+        #: matched, inflight = matched but not yet terminal.
+        self._tenant_queued: Dict[str, int] = {}
+        self._tenant_inflight: Dict[str, int] = {}
+        #: Latest Tenant definition seen per id (quota/weight source of truth
+        #: for ``tenants_report``; the newest submission wins).
+        self._tenants_seen: Dict[str, Tenant] = {}
         #: Observers of admitted submissions (``fn(job_name, spec)``), called
         #: in submission order after a batch is registered — the hook
         #: :class:`~repro.scenarios.TraceRecorder` captures live runs with.
@@ -223,6 +241,11 @@ class QRIOService:
     def runtime(self) -> Optional[ServiceRuntime]:
         """The concurrent runtime, or ``None`` for a synchronous service."""
         return self._runtime
+
+    @property
+    def admission(self) -> Optional[AdmissionController]:
+        """The admission controller gating submissions, or ``None``."""
+        return self._admission
 
     @property
     def fault_injector(self):
@@ -357,6 +380,7 @@ class QRIOService:
         # registration share one critical section, so two concurrent
         # submitters can never both claim the same job name.
         with self._state_lock:
+            self._admit_specs_locked(specs)
             names: List[str] = []
             taken = lambda name: name in self._handles or name in self._reserved_names  # noqa: E731
             for spec in specs:
@@ -398,6 +422,7 @@ class QRIOService:
                 # Atomicity: a rejected batch leaves the service untouched.
                 with self._state_lock:
                     self._reserved_names.difference_update(names)
+                    self._release_queued_locked(specs)
                 raise
             with self._state_lock:
                 self._register_submission(membership, handles)
@@ -440,6 +465,60 @@ class QRIOService:
             self._handles[name] = handle
             self._group_of[name] = group
         self._counters["submitted"] += len(handles)
+
+    @staticmethod
+    def _batch_by_tenant(specs: Sequence[JobSpec]) -> Tuple[Dict[str, List[int]], Dict[str, Tenant]]:
+        """Aggregate a batch per tenant: ``{id: [jobs, shots]}`` + definitions."""
+        batches: Dict[str, List[int]] = {}
+        tenants: Dict[str, Tenant] = {}
+        for spec in specs:
+            tenant = spec.requirements.effective_tenant
+            tenants[tenant.id] = tenant
+            entry = batches.setdefault(tenant.id, [0, 0])
+            entry[0] += 1
+            entry[1] += spec.shots
+        return batches, tenants
+
+    def _admit_specs_locked(self, specs: Sequence[JobSpec]) -> None:
+        """Admission-check one batch and claim its queued slots (lock held).
+
+        Every tenant in the batch is checked against the live occupancy
+        counts *before* any slot is charged, so a rejected batch leaves the
+        accounting untouched.  (The one non-rollback: in a mixed-tenant batch
+        an earlier tenant's token-bucket draw stands even if a later tenant
+        rejects — rate budgets measure offered load, not admitted load.)
+
+        Raises:
+            AdmissionRejectedError: A tenant's quota or SLO state rejected
+                its slice of the batch.
+        """
+        batches, tenants = self._batch_by_tenant(specs)
+        if self._admission is not None:
+            for tenant_id, (jobs, shots) in batches.items():
+                self._admission.admit(
+                    tenants[tenant_id],
+                    queued=self._tenant_queued.get(tenant_id, 0),
+                    inflight=self._tenant_inflight.get(tenant_id, 0),
+                    batch_jobs=jobs,
+                    batch_shots=shots,
+                )
+        for tenant_id, (jobs, _) in batches.items():
+            self._tenants_seen[tenant_id] = tenants[tenant_id]
+            self._tenant_queued[tenant_id] = self._tenant_queued.get(tenant_id, 0) + jobs
+
+    def _release_queued_locked(self, specs: Sequence[JobSpec]) -> None:
+        """Give back a rejected batch's queued slots (lock held)."""
+        batches, _ = self._batch_by_tenant(specs)
+        for tenant_id, (jobs, _) in batches.items():
+            self._shift_tenant_locked(self._tenant_queued, tenant_id, -jobs)
+
+    @staticmethod
+    def _shift_tenant_locked(counts: Dict[str, int], tenant_id: str, delta: int) -> None:
+        value = counts.get(tenant_id, 0) + delta
+        if value > 0:
+            counts[tenant_id] = value
+        else:
+            counts.pop(tenant_id, None)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -509,6 +588,7 @@ class QRIOService:
 
         handles = self.jobs()
         waits: List[float] = []
+        tenant_waits: Dict[str, List[float]] = {}
         first_queued: Optional[float] = None
         last_terminal: Optional[float] = None
         finished = 0
@@ -521,6 +601,7 @@ class QRIOService:
             wait = wall_wait_from_events(events)
             if wait is not None:
                 waits.append(wait)
+                tenant_waits.setdefault(handle.spec.requirements.tenant_id, []).append(wait)
             if events[-1].state.terminal:
                 finished += 1
                 last_terminal = (
@@ -537,7 +618,45 @@ class QRIOService:
             "waits": summarise_waits(waits),
             "makespan_s": makespan,
             "clock": "wall",
+            "tenants": {
+                tenant: summarise_waits(samples)
+                for tenant, samples in sorted(tenant_waits.items())
+            },
         }
+
+    def tenants_report(self) -> Dict[str, object]:
+        """Live per-tenant occupancy, quotas and admission posture.
+
+        One row per tenant this service has ever seen: the tenant's declared
+        weight/quotas, its current queued and inflight job counts, and its
+        admission state (always ``"accept"`` without a controller).  With a
+        controller attached, the controller's own snapshot (pressure, p99,
+        rejection counts) rides along under ``"admission"``.
+        """
+        with self._state_lock:
+            tenant_ids = sorted(
+                set(self._tenants_seen) | set(self._tenant_queued) | set(self._tenant_inflight)
+            )
+            rows: Dict[str, Dict[str, object]] = {}
+            for tenant_id in tenant_ids:
+                tenant = self._tenants_seen.get(tenant_id) or Tenant(id=tenant_id)
+                rows[tenant_id] = {
+                    "weight": tenant.weight,
+                    "max_pending": tenant.max_pending,
+                    "max_inflight": tenant.max_inflight,
+                    "shots_per_second": tenant.shots_per_second,
+                    "queued": self._tenant_queued.get(tenant_id, 0),
+                    "inflight": self._tenant_inflight.get(tenant_id, 0),
+                    "state": (
+                        self._admission.state(tenant_id).value
+                        if self._admission is not None
+                        else "accept"
+                    ),
+                }
+            report: Dict[str, object] = {"tenants": rows}
+            if self._admission is not None:
+                report["admission"] = self._admission.report()
+            return report
 
     # ------------------------------------------------------------------ #
     # Processing
@@ -634,6 +753,12 @@ class QRIOService:
         size = len(group.handles)
         spec = group.spec
         leader = group.leader
+        with self._state_lock:
+            # Tenant accounting: the group leaves the queue and is now
+            # inflight, whatever happens next (failures decrement inflight).
+            tenant_id = spec.requirements.tenant_id
+            self._shift_tenant_locked(self._tenant_queued, tenant_id, -size)
+            self._shift_tenant_locked(self._tenant_inflight, tenant_id, size)
         dedup_note = f" (group of {size} structurally-identical jobs)" if size > 1 else ""
         for handle in group.handles:
             handle._transition(
@@ -678,6 +803,14 @@ class QRIOService:
         """
         for handle in group.handles:
             handle._transition(JobState.RUNNING, f"executing on '{placement.device}'")
+        if self._admission is not None:
+            # Feed the controller the same QUEUED->RUNNING waits wait_report()
+            # summarises, one sample per job in the group.
+            with self._state_lock:
+                for handle in group.handles:
+                    wait = wall_wait_from_events(handle.events())
+                    if wait is not None:
+                        self._admission.observe_wait(wait)
         try:
             outcome = self._engine.run(placement)
         except ReproError as error:
@@ -697,6 +830,9 @@ class QRIOService:
             handle._fail(reason, exception)
         with self._state_lock:
             self._counters["jobs_failed"] += len(group.handles)
+            self._shift_tenant_locked(
+                self._tenant_inflight, group.spec.requirements.tenant_id, -len(group.handles)
+            )
 
     def _complete_group(self, group: _JobGroup, placement: Placement, outcome: EngineResult) -> None:
         size = len(group.handles)
@@ -720,3 +856,6 @@ class QRIOService:
             self._counters["groups_executed"] += 1
             self._counters["jobs_succeeded"] += size
             self._counters["jobs_deduplicated"] += size - 1
+            self._shift_tenant_locked(
+                self._tenant_inflight, group.spec.requirements.tenant_id, -size
+            )

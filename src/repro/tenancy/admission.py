@@ -1,0 +1,291 @@
+"""SLO-aware admission control: shed load *before* the hard backstop.
+
+The runtime's ``max_pending`` bound is a blunt instrument — by the time it
+fires, the queue is already deep and every tenant suffers.
+:class:`AdmissionController` is the soft layer in front of it, fed by the
+same live p99-wait signal :meth:`QRIOService.wait_report` reports:
+
+* **Quota enforcement** (always on): a tenant's ``max_pending`` /
+  ``max_inflight`` / ``shots_per_second`` caps are checked before its batch
+  enters the queue, so one tenant's burst can never monopolise queue
+  capacity that backpressure would otherwise deny to everyone.
+* **SLO pressure states**: the controller keeps a rolling window of observed
+  QUEUED→RUNNING waits and compares the window's p99 against the configured
+  SLO.  Rising pressure moves tenants ``accept → defer → shed``:
+
+  - **accept** — admit everything within quota;
+  - **defer** — admit a tenant's next job only once its own queue drained
+    (``queued == 0``), which throttles bursters while leaving trickle
+    traffic untouched;
+  - **shed** — reject submissions of any tenant with outstanding work
+    (queued *or* executing) and every multi-job batch; only a tenant with
+    nothing in the system gets one job through, so admission itself stays
+    starvation-free.
+
+  Escalation is immediate (overload must be reacted to at once), but
+  de-escalation is *hysteretic*: pressure must stay below the recovery
+  threshold for ``cooldown`` consecutive observations before a tenant steps
+  back one level — the defer↔shed flapping guard the tenancy test-suite
+  pins.
+
+Rejections raise the typed
+:class:`~repro.utils.exceptions.AdmissionRejectedError` carrying a
+retry-after estimate, and subclass ``ServiceOverloadedError`` so existing
+overload handlers keep working.
+
+Determinism: the controller is driven entirely by the waits it is shown and
+by an injectable clock (the token bucket's refill source), so tests feed
+synthetic waits and a fake clock to walk the state machine reproducibly.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from enum import Enum
+from typing import Callable, Deque, Dict, Optional
+
+from repro.tenancy.api import Tenant
+from repro.utils.exceptions import AdmissionRejectedError, ServiceError
+
+
+class AdmissionState(str, Enum):
+    """Per-tenant admission level (ordered by severity)."""
+
+    ACCEPT = "accept"
+    DEFER = "defer"
+    SHED = "shed"
+
+
+_LEVELS = (AdmissionState.ACCEPT, AdmissionState.DEFER, AdmissionState.SHED)
+
+
+class _TokenBucket:
+    """Shots-per-second rate limiter with a one-second burst capacity."""
+
+    __slots__ = ("rate", "tokens", "stamp")
+
+    def __init__(self, rate: float, now: float) -> None:
+        self.rate = rate
+        self.tokens = rate  # start full: the first burst is free
+        self.stamp = now
+
+    def consume(self, amount: float, now: float) -> Optional[float]:
+        """Take ``amount`` tokens; returns ``None`` on success, else the
+        seconds until enough tokens will have refilled."""
+        self.tokens = min(self.rate, self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if amount <= self.tokens:
+            self.tokens -= amount
+            return None
+        return (amount - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Accept/defer/shed state machine fed by live p99 waits.
+
+    Args:
+        slo_wait_s: The wait-time SLO (seconds on the caller's wait clock).
+        defer_ratio: Pressure (p99 / SLO) at which backlogged tenants defer.
+        shed_ratio: Pressure at which backlogged tenants shed outright.
+        recover_ratio: Pressure below which cooldown ticks accumulate.
+        cooldown: Consecutive low-pressure observations required to step a
+            tenant's state back one level (the de-escalation hysteresis).
+        window: Rolling wait-sample window size for the p99 estimate.
+        min_samples: Observations needed before pressure is trusted at all.
+        clock: Monotonic-seconds source for the token buckets (injectable
+            for deterministic tests).
+
+    Thread-safety: calls are serialized by the service's state lock; the
+    controller itself keeps plain state.
+    """
+
+    def __init__(
+        self,
+        *,
+        slo_wait_s: float,
+        defer_ratio: float = 0.7,
+        shed_ratio: float = 1.1,
+        recover_ratio: float = 0.5,
+        cooldown: int = 4,
+        window: int = 256,
+        min_samples: int = 5,
+        # qrio: allow[QRIO-D002] live-runtime rate limiting needs a real clock
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if slo_wait_s <= 0:
+            raise ServiceError("slo_wait_s must be a positive number of seconds")
+        if not 0 < recover_ratio <= defer_ratio < shed_ratio:
+            raise ServiceError("Admission thresholds need 0 < recover <= defer < shed")
+        if cooldown < 1 or window < 1 or min_samples < 1:
+            raise ServiceError("cooldown, window and min_samples must be >= 1")
+        self.slo_wait_s = float(slo_wait_s)
+        self._defer_ratio = float(defer_ratio)
+        self._shed_ratio = float(shed_ratio)
+        self._recover_ratio = float(recover_ratio)
+        self._cooldown = int(cooldown)
+        self._min_samples = int(min_samples)
+        self._clock = clock
+        self._waits: Deque[float] = deque(maxlen=int(window))
+        self._states: Dict[str, AdmissionState] = {}
+        self._cool: Dict[str, int] = {}
+        self._buckets: Dict[str, _TokenBucket] = {}
+        self._rejections: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # The live SLO signal
+    # ------------------------------------------------------------------ #
+    def observe_wait(self, wait_s: float) -> None:
+        """Feed one observed QUEUED→RUNNING wait into the rolling window.
+
+        The service calls this for every job that starts executing, which is
+        exactly the sample population :meth:`QRIOService.wait_report`'s p99
+        summarises — the controller sees the same signal operators do.
+        """
+        if wait_s >= 0.0:
+            self._waits.append(float(wait_s))
+
+    def p99_wait_s(self) -> float:
+        """The rolling window's p99 wait (0.0 until ``min_samples`` arrive)."""
+        if len(self._waits) < self._min_samples:
+            return 0.0
+        ordered = sorted(self._waits)
+        index = max(0, int(round(0.99 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def pressure(self) -> float:
+        """Current overload pressure: p99 wait / SLO (0.0 = no signal)."""
+        return self.p99_wait_s() / self.slo_wait_s
+
+    # ------------------------------------------------------------------ #
+    # Per-tenant state machine
+    # ------------------------------------------------------------------ #
+    def state(self, tenant_id: str) -> AdmissionState:
+        """The tenant's current admission state (ACCEPT when never seen)."""
+        return self._states.get(tenant_id, AdmissionState.ACCEPT)
+
+    def _advance(self, tenant_id: str) -> AdmissionState:
+        """One state-machine step under the current pressure reading."""
+        pressure = self.pressure()
+        if pressure >= self._shed_ratio:
+            target = AdmissionState.SHED
+        elif pressure >= self._defer_ratio:
+            target = AdmissionState.DEFER
+        else:
+            target = AdmissionState.ACCEPT
+        current = self.state(tenant_id)
+        if _LEVELS.index(target) > _LEVELS.index(current):
+            # Escalate immediately; any escalation restarts the cooldown.
+            self._states[tenant_id] = target
+            self._cool[tenant_id] = 0
+            return target
+        if current is not AdmissionState.ACCEPT:
+            if pressure < self._recover_ratio:
+                ticks = self._cool.get(tenant_id, 0) + 1
+                if ticks >= self._cooldown:
+                    stepped = _LEVELS[_LEVELS.index(current) - 1]
+                    self._states[tenant_id] = stepped
+                    self._cool[tenant_id] = 0
+                    return stepped
+                self._cool[tenant_id] = ticks
+            else:
+                self._cool[tenant_id] = 0
+        return self.state(tenant_id)
+
+    # ------------------------------------------------------------------ #
+    # The admit decision
+    # ------------------------------------------------------------------ #
+    def admit(
+        self,
+        tenant: Tenant,
+        *,
+        queued: int,
+        inflight: int,
+        batch_jobs: int = 1,
+        batch_shots: int = 0,
+    ) -> None:
+        """Admit or reject one submission batch for ``tenant``.
+
+        Args:
+            tenant: The submitting tenant (its quotas apply).
+            queued: The tenant's jobs currently queued, pre-dispatch.
+            inflight: The tenant's jobs dispatched but not yet terminal.
+            batch_jobs: Jobs in the batch under admission.
+            batch_shots: Total shots in the batch (rate-limit accounting).
+
+        Raises:
+            AdmissionRejectedError: Quota exceeded, or the tenant's SLO state
+                rejects the batch; carries ``retry_after_s``.
+        """
+        tenant_id = tenant.id
+        if tenant.max_pending is not None and queued + batch_jobs > tenant.max_pending:
+            self._reject(
+                tenant_id,
+                "quota",
+                f"tenant '{tenant_id}' pending quota exceeded "
+                f"({queued} queued + {batch_jobs} > max_pending={tenant.max_pending})",
+            )
+        if tenant.max_inflight is not None and queued + inflight + batch_jobs > tenant.max_inflight:
+            self._reject(
+                tenant_id,
+                "quota",
+                f"tenant '{tenant_id}' inflight quota exceeded "
+                f"({queued + inflight} outstanding + {batch_jobs} > max_inflight={tenant.max_inflight})",
+            )
+        if tenant.shots_per_second is not None and batch_shots > 0:
+            now = self._clock()
+            bucket = self._buckets.get(tenant_id)
+            if bucket is None or bucket.rate != tenant.shots_per_second:
+                bucket = _TokenBucket(float(tenant.shots_per_second), now)
+                self._buckets[tenant_id] = bucket
+            deficit = bucket.consume(float(batch_shots), now)
+            if deficit is not None:
+                self._reject(
+                    tenant_id,
+                    "quota",
+                    f"tenant '{tenant_id}' shot rate exceeded "
+                    f"({batch_shots} shots > {tenant.shots_per_second}/s budget)",
+                    retry_after_s=deficit,
+                )
+        state = self._advance(tenant_id)
+        if state is AdmissionState.SHED and (queued + inflight > 0 or batch_jobs > 1):
+            self._reject(
+                tenant_id,
+                "shed",
+                f"tenant '{tenant_id}' is shed under SLO pressure "
+                f"{self.pressure():.2f} (p99 {self.p99_wait_s():.3f}s vs SLO {self.slo_wait_s:.3f}s)",
+            )
+        if state is AdmissionState.DEFER and queued > 0:
+            self._reject(
+                tenant_id,
+                "defer",
+                f"tenant '{tenant_id}' is deferred under SLO pressure "
+                f"{self.pressure():.2f}; retry once its {queued} queued jobs drain",
+            )
+
+    def _reject(
+        self, tenant_id: str, state: str, message: str, *, retry_after_s: Optional[float] = None
+    ) -> None:
+        self._rejections[tenant_id] = self._rejections.get(tenant_id, 0) + 1
+        if retry_after_s is None:
+            # Advisory estimate: half the observed tail wait, floored so
+            # callers never busy-spin.
+            retry_after_s = max(0.05, 0.5 * self.p99_wait_s())
+        raise AdmissionRejectedError(
+            message + f" (retry after ~{retry_after_s:.2f}s)",
+            tenant=tenant_id,
+            state=state,
+            retry_after_s=retry_after_s,
+        )
+
+    # ------------------------------------------------------------------ #
+    def report(self) -> Dict[str, object]:
+        """Controller snapshot for ``tenants_report()`` / the CLI listing."""
+        return {
+            "slo_wait_s": self.slo_wait_s,
+            "p99_wait_s": self.p99_wait_s(),
+            "pressure": self.pressure(),
+            "samples": len(self._waits),
+            "states": {tenant: state.value for tenant, state in sorted(self._states.items())},
+            "rejections": dict(sorted(self._rejections.items())),
+        }

@@ -123,6 +123,28 @@ class ServiceOverloadedError(ServiceError):
     """
 
 
+class AdmissionRejectedError(ServiceOverloadedError):
+    """Raised when SLO-aware admission control sheds a submission.
+
+    Subclasses :class:`ServiceOverloadedError` on purpose: admission control
+    is the *soft* load-shedding layer in front of the runtime's hard
+    ``max_pending`` backstop, so callers with a generic overload handler keep
+    working, while tenant-aware callers can read the structured fields:
+
+    * ``tenant`` — id of the tenant whose submission was rejected;
+    * ``state`` — the admission state that triggered the rejection
+      (``"defer"``, ``"shed"`` or ``"quota"``);
+    * ``retry_after_s`` — the controller's estimate of when a retry has a
+      chance of being admitted (advisory, never negative).
+    """
+
+    def __init__(self, message: str, *, tenant: str, state: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.state = state
+        self.retry_after_s = max(0.0, float(retry_after_s))
+
+
 class JobFailedError(ServiceError):
     """Raised when the result of a failed service job is requested."""
 

@@ -20,6 +20,8 @@ from repro.backends import three_device_testbed
 from repro.circuits import ghz
 from repro.plans import ExecutionPlan, PlanCompiler
 from repro.scenarios import PoissonProcess, Trace, generate_requests
+from repro.service import JobRequirements, JobSpec
+from repro.tenancy import EngineSpec, ShardJob, ShardRequest, Tenant
 from repro.workloads import clifford_suite
 
 _REPO_SRC = Path(__file__).resolve().parent.parent.parent / "src"
@@ -108,3 +110,54 @@ class TestTraceRoundTrip:
         original_path = trace.save(tmp_path / "original.jsonl")
         returned_path = returned.save(tmp_path / "returned.jsonl")
         assert original_path.read_bytes() == returned_path.read_bytes()
+
+
+class TestShardDispatchPayloadRoundTrip:
+    """The exact payloads :class:`~repro.tenancy.ShardedService` ships to its
+    spawned worker processes survive the hop intact — tenant included."""
+
+    def test_shard_request_survives_spawned_process(self):
+        fleet = three_device_testbed()
+        request = ShardRequest(
+            shard_index=1,
+            num_shards=2,
+            fleet=tuple(fleet[1::2]),
+            engine=EngineSpec(kind="cloud", policy="round-robin", seed=7,
+                              fidelity_report="none"),
+            workers=2,
+            max_pending=16,
+        )
+        returned = round_trip_through_subprocess(request)
+        assert isinstance(returned, ShardRequest)
+        assert returned.shard_index == request.shard_index
+        assert returned.num_shards == request.num_shards
+        assert returned.engine == request.engine
+        assert returned.workers == request.workers
+        assert returned.max_pending == request.max_pending
+        assert [device.name for device in returned.fleet] == [
+            device.name for device in request.fleet
+        ]
+        # The child can build a working engine from the shipped recipe.
+        assert returned.engine.build().name
+
+    def test_shard_job_survives_spawned_process(self):
+        tenant = Tenant(id="acme", weight=2.5, max_pending=8, shots_per_second=900.0)
+        job = ShardJob(
+            job_id=42,
+            spec=JobSpec(
+                circuit=ghz(3),
+                requirements=JobRequirements(fidelity_threshold=0.9, tenant=tenant),
+                shots=256,
+                name="shard-0042",
+            ),
+        )
+        returned = round_trip_through_subprocess(job)
+        assert isinstance(returned, ShardJob)
+        assert returned.job_id == 42
+        assert returned.spec.name == "shard-0042"
+        assert returned.spec.shots == 256
+        assert returned.spec.requirements.tenant == tenant
+        assert len(returned.spec.circuit) == len(job.spec.circuit)
+        # The dedup key — which embeds the tenant via the requirements — is
+        # stable across the hop despite the child's different hash salt.
+        assert returned.spec.dedup_key() == job.spec.dedup_key()

@@ -1,0 +1,220 @@
+"""AdmissionController: quotas, the token bucket, and the hysteretic
+accept → defer → shed state machine."""
+
+import pytest
+
+from repro.tenancy import AdmissionController, AdmissionState, Tenant
+from repro.utils.exceptions import AdmissionRejectedError, ServiceError
+
+
+class FakeClock:
+    """Deterministic monotonic clock for the token bucket."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def controller(**overrides):
+    defaults = dict(slo_wait_s=10.0, min_samples=3, cooldown=2, clock=FakeClock())
+    defaults.update(overrides)
+    return AdmissionController(**defaults)
+
+
+def feed(admission, wait_s, count):
+    for _ in range(count):
+        admission.observe_wait(wait_s)
+
+
+class TestConstruction:
+    def test_rejects_bad_slo(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(slo_wait_s=0.0)
+
+    def test_rejects_disordered_thresholds(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(slo_wait_s=10.0, defer_ratio=0.9, shed_ratio=0.8)
+        with pytest.raises(ServiceError):
+            AdmissionController(slo_wait_s=10.0, recover_ratio=0.0)
+
+    def test_rejects_bad_window_parameters(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(slo_wait_s=10.0, cooldown=0)
+        with pytest.raises(ServiceError):
+            AdmissionController(slo_wait_s=10.0, min_samples=0)
+
+
+class TestQuotas:
+    def test_pending_quota(self):
+        admission = controller()
+        tenant = Tenant(id="acme", max_pending=3)
+        admission.admit(tenant, queued=2, inflight=0)  # 2 + 1 <= 3
+        with pytest.raises(AdmissionRejectedError) as excinfo:
+            admission.admit(tenant, queued=3, inflight=0)
+        assert excinfo.value.tenant == "acme"
+        assert excinfo.value.state == "quota"
+        assert excinfo.value.retry_after_s >= 0.0
+
+    def test_inflight_quota_counts_queued_plus_executing(self):
+        admission = controller()
+        tenant = Tenant(id="acme", max_inflight=4)
+        admission.admit(tenant, queued=1, inflight=2)  # 3 outstanding + 1 <= 4
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(tenant, queued=2, inflight=2)
+
+    def test_batch_size_counts_against_quotas(self):
+        admission = controller()
+        tenant = Tenant(id="acme", max_pending=3)
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(tenant, queued=0, inflight=0, batch_jobs=4)
+
+    def test_unquotad_tenant_is_never_quota_rejected(self):
+        admission = controller()
+        tenant = Tenant(id="acme")
+        admission.admit(tenant, queued=10_000, inflight=10_000, batch_jobs=500)
+
+
+class TestTokenBucket:
+    def test_rate_limit_refills_on_the_injected_clock(self):
+        clock = FakeClock()
+        admission = controller(clock=clock)
+        tenant = Tenant(id="acme", shots_per_second=100.0)
+        # The bucket starts full: one burst of a full second's budget is free.
+        admission.admit(tenant, queued=0, inflight=0, batch_shots=100)
+        with pytest.raises(AdmissionRejectedError) as excinfo:
+            admission.admit(tenant, queued=0, inflight=0, batch_shots=60)
+        # 60 shots at 100/s refill: the retry-after estimate is 0.6s.
+        assert excinfo.value.retry_after_s == pytest.approx(0.6)
+        clock.advance(0.6)
+        admission.admit(tenant, queued=0, inflight=0, batch_shots=60)
+
+    def test_zero_shot_batches_skip_the_bucket(self):
+        admission = controller()
+        tenant = Tenant(id="acme", shots_per_second=1.0)
+        for _ in range(5):
+            admission.admit(tenant, queued=0, inflight=0, batch_shots=0)
+
+
+class TestPressureSignal:
+    def test_p99_needs_min_samples(self):
+        admission = controller(min_samples=5)
+        feed(admission, 100.0, 4)
+        assert admission.p99_wait_s() == 0.0
+        admission.observe_wait(100.0)
+        assert admission.p99_wait_s() == pytest.approx(100.0)
+
+    def test_negative_waits_are_ignored(self):
+        admission = controller()
+        admission.observe_wait(-1.0)
+        assert admission.report()["samples"] == 0
+
+    def test_pressure_is_p99_over_slo(self):
+        admission = controller(slo_wait_s=10.0)
+        feed(admission, 5.0, 10)
+        assert admission.pressure() == pytest.approx(0.5)
+
+
+class TestStateMachine:
+    def test_escalation_is_immediate(self):
+        admission = controller()  # slo=10: defer at p99 >= 7, shed at >= 11
+        tenant = Tenant(id="acme")
+        assert admission.state("acme") is AdmissionState.ACCEPT
+        feed(admission, 8.0, 10)
+        with pytest.raises(AdmissionRejectedError) as excinfo:
+            admission.admit(tenant, queued=1, inflight=0)
+        assert excinfo.value.state == "defer"
+        assert admission.state("acme") is AdmissionState.DEFER
+        feed(admission, 12.0, 10)
+        with pytest.raises(AdmissionRejectedError) as excinfo:
+            admission.admit(tenant, queued=0, inflight=1)
+        assert excinfo.value.state == "shed"
+        assert admission.state("acme") is AdmissionState.SHED
+
+    def test_defer_admits_tenants_with_an_empty_queue(self):
+        admission = controller()
+        tenant = Tenant(id="acme")
+        feed(admission, 8.0, 10)
+        # Backlogged tenants defer; a tenant whose queue drained gets through.
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(tenant, queued=2, inflight=0)
+        admission.admit(tenant, queued=0, inflight=3)
+
+    def test_shed_admits_one_job_for_idle_tenants_only(self):
+        admission = controller()
+        tenant = Tenant(id="acme")
+        feed(admission, 20.0, 10)
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(tenant, queued=0, inflight=1)
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(tenant, queued=0, inflight=0, batch_jobs=2)
+        # A single job from a tenant with nothing in the system is admitted:
+        # admission itself stays starvation-free.
+        admission.admit(tenant, queued=0, inflight=0, batch_jobs=1)
+
+    def test_deescalation_is_hysteretic(self):
+        admission = controller(cooldown=3)
+        tenant = Tenant(id="acme")
+        feed(admission, 20.0, 10)  # escalate to shed
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(tenant, queued=1, inflight=0)
+        assert admission.state("acme") is AdmissionState.SHED
+        # Pressure collapses below the recovery threshold (0.5 * 10s = 5s
+        # p99), but the state steps back only after `cooldown` consecutive
+        # admit-time observations — and only one level at a time.
+        feed(admission, 0.1, 300)
+        assert admission.pressure() < 0.5
+        for _ in range(2):  # two low-pressure decisions: still shed
+            with pytest.raises(AdmissionRejectedError):
+                admission.admit(tenant, queued=1, inflight=0)
+            assert admission.state("acme") is AdmissionState.SHED
+        with pytest.raises(AdmissionRejectedError):  # third completes cooldown
+            admission.admit(tenant, queued=1, inflight=0)
+        assert admission.state("acme") is AdmissionState.DEFER
+        for _ in range(3):
+            admission.admit(tenant, queued=0, inflight=0)
+        assert admission.state("acme") is AdmissionState.ACCEPT
+
+    def test_rebound_pressure_resets_the_cooldown(self):
+        admission = controller(cooldown=2, window=8)
+        tenant = Tenant(id="acme")
+        feed(admission, 20.0, 8)
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(tenant, queued=1, inflight=0)
+        assert admission.state("acme") is AdmissionState.SHED
+        # One low-pressure tick...
+        feed(admission, 0.1, 8)
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(tenant, queued=1, inflight=0)
+        # ...then pressure rebounds into the dead band (>= recover, < shed):
+        # the cooldown restarts rather than carrying the earlier tick.
+        feed(admission, 6.0, 8)
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(tenant, queued=1, inflight=0)
+        assert admission.state("acme") is AdmissionState.SHED
+        feed(admission, 0.1, 8)
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(tenant, queued=1, inflight=0)
+        assert admission.state("acme") is AdmissionState.SHED  # 1 of 2 ticks
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(tenant, queued=1, inflight=0)
+        assert admission.state("acme") is AdmissionState.DEFER
+
+
+class TestReport:
+    def test_report_snapshot(self):
+        admission = controller()
+        tenant = Tenant(id="acme", max_pending=1)
+        feed(admission, 2.0, 10)
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(tenant, queued=1, inflight=0)
+        snapshot = admission.report()
+        assert snapshot["slo_wait_s"] == 10.0
+        assert snapshot["p99_wait_s"] == pytest.approx(2.0)
+        assert snapshot["pressure"] == pytest.approx(0.2)
+        assert snapshot["samples"] == 10
+        assert snapshot["rejections"] == {"acme": 1}

@@ -1,0 +1,106 @@
+"""Tenant identity: validation, coercion, and the requirements/event plumbing."""
+
+import pytest
+
+from repro.circuits import ghz
+from repro.service import JobRequirements, JobSpec
+from repro.service.api import JobEvent, JobState
+from repro.tenancy import DEFAULT_TENANT, DEFAULT_TENANT_ID, Tenant, coerce_tenant
+from repro.utils.exceptions import ServiceError
+
+
+class TestTenantValidation:
+    def test_minimal_tenant_defaults(self):
+        tenant = Tenant(id="acme")
+        assert tenant.weight == 1.0
+        assert tenant.max_pending is None
+        assert tenant.max_inflight is None
+        assert tenant.shots_per_second is None
+        assert not tenant.is_default
+
+    def test_default_tenant_is_flagged(self):
+        assert DEFAULT_TENANT.is_default
+        assert DEFAULT_TENANT.id == DEFAULT_TENANT_ID
+
+    def test_tenant_is_frozen_and_hashable(self):
+        tenant = Tenant(id="acme", weight=2.0)
+        with pytest.raises(AttributeError):
+            tenant.weight = 3.0
+        assert tenant == Tenant(id="acme", weight=2.0)
+        assert hash(tenant) == hash(Tenant(id="acme", weight=2.0))
+
+    @pytest.mark.parametrize("bad_id", ["", "   ", 7, None])
+    def test_rejects_bad_ids(self, bad_id):
+        with pytest.raises(ServiceError):
+            Tenant(id=bad_id)
+
+    @pytest.mark.parametrize("bad_weight", [0, -1.0, True, "2"])
+    def test_rejects_bad_weights(self, bad_weight):
+        with pytest.raises(ServiceError):
+            Tenant(id="acme", weight=bad_weight)
+
+    @pytest.mark.parametrize("field", ["max_pending", "max_inflight"])
+    @pytest.mark.parametrize("bad", [0, -2, 1.5, True])
+    def test_rejects_bad_job_quotas(self, field, bad):
+        with pytest.raises(ServiceError):
+            Tenant(id="acme", **{field: bad})
+
+    @pytest.mark.parametrize("bad", [0, -1.0, "fast"])
+    def test_rejects_bad_shot_rates(self, bad):
+        with pytest.raises(ServiceError):
+            Tenant(id="acme", shots_per_second=bad)
+
+
+class TestCoerceTenant:
+    def test_passthrough(self):
+        tenant = Tenant(id="acme", weight=2.0)
+        assert coerce_tenant(tenant) is tenant
+        assert coerce_tenant(None) is None
+
+    def test_bare_string_becomes_weight_one_tenant(self):
+        tenant = coerce_tenant("alice")
+        assert tenant == Tenant(id="alice")
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ServiceError):
+            coerce_tenant(42)
+
+
+class TestRequirementsPlumbing:
+    def test_default_requirements_use_default_tenant(self):
+        requirements = JobRequirements()
+        assert requirements.tenant is None
+        assert requirements.effective_tenant == DEFAULT_TENANT
+        assert requirements.tenant_id == DEFAULT_TENANT_ID
+
+    def test_named_tenant_rides_on_requirements(self):
+        tenant = Tenant(id="acme", weight=3.0, max_pending=4)
+        requirements = JobRequirements(tenant=tenant)
+        assert requirements.effective_tenant is tenant
+        assert requirements.tenant_id == "acme"
+
+    def test_rejects_non_tenant_values(self):
+        with pytest.raises(ServiceError):
+            JobRequirements(tenant="acme")
+
+    def test_tenant_is_part_of_the_dedup_key(self):
+        circuit = ghz(3)
+        anonymous = JobSpec(circuit=circuit, requirements=JobRequirements(), shots=64)
+        acme = JobSpec(
+            circuit=circuit,
+            requirements=JobRequirements(tenant=Tenant(id="acme")),
+            shots=64,
+        )
+        bravo = JobSpec(
+            circuit=circuit,
+            requirements=JobRequirements(tenant=Tenant(id="bravo")),
+            shots=64,
+        )
+        keys = {anonymous.dedup_key(), acme.dedup_key(), bravo.dedup_key()}
+        assert len(keys) == 3
+
+    def test_job_event_carries_the_tenant_id(self):
+        event = JobEvent(sequence=0, state=JobState.QUEUED, message="queued", tenant="acme")
+        assert event.tenant == "acme"
+        default_event = JobEvent(sequence=0, state=JobState.QUEUED, message="queued")
+        assert default_event.tenant == DEFAULT_TENANT_ID
