@@ -21,6 +21,11 @@ The CLI exposes the pieces a new user typically wants without writing Python:
   analyzer (determinism/concurrency/serialization lint rules of
   :mod:`repro.analysis`) over the source tree and exit non-zero on any
   finding not recorded in the committed baseline;
+* ``repro-qrio cache-stats [--json]`` — run a small warm/cold workload
+  through the concurrent service and print every shared cache's hit/miss
+  counters (the :meth:`~repro.service.QRIOService.cache_stats` view),
+  including the ``plan`` execution-plan cache and the ``batch`` merged
+  cross-job program cache;
 * ``repro-qrio tenants [--json]`` — run a small multi-tenant demo through
   the admission-controlled service and print every tenant's declared
   quotas, live queue depth and admission state (the
@@ -424,6 +429,37 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if new else 0
 
 
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    """Run a small warm/cold workload and print every shared cache's counters."""
+    from repro.circuits import random_clifford_circuit
+    from repro.core.cache import clear_all_caches
+
+    clear_all_caches()
+    fleet = [b for b in generate_fleet(limit=12, seed=args.seed) if b.num_qubits >= 20][:3]
+    circuits = [
+        random_clifford_circuit(14, 8, seed=args.seed + i, measure=True, name=f"cache-demo-{i}")
+        for i in range(6)
+    ]
+    with QRIOService(fleet, seed=args.seed, workers=2, merge_batch_size=8) as service:
+        # Cold pass compiles plans; warm pass replays them and lets the
+        # runtime coalesce same-device submissions into merged batches.
+        for round_index in range(2):
+            for index, circuit in enumerate(circuits):
+                service.submit(circuit, shots=256, name=f"demo-{round_index}-{index}")
+            service.process()
+        stats = service.cache_stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"{'cache':<20} {'hits':>8} {'misses':>8} {'evictions':>10} {'hit_rate':>9}")
+    for name, row in sorted(stats.items()):
+        print(
+            f"{name:<20} {int(row['hits']):>8} {int(row['misses']):>8} "
+            f"{int(row['evictions']):>10} {row['hit_rate']:>9.2f}"
+        )
+    return 0
+
+
 def _cmd_tenants(args: argparse.Namespace) -> int:
     """Run a small multi-tenant demo and list per-tenant quotas + admission state."""
     from repro.tenancy import AdmissionController, Tenant
@@ -780,6 +816,15 @@ def build_parser() -> argparse.ArgumentParser:
     tenants.add_argument("--json", action="store_true",
                          help="emit the live/final tenant reports as JSON for scripts")
     tenants.set_defaults(handler=_cmd_tenants)
+
+    cache_stats = subparsers.add_parser(
+        "cache-stats",
+        help="run a small warm/cold workload and print every shared cache's "
+             "hit/miss counters (plan, batch, embedding, ideal_distribution)",
+    )
+    cache_stats.add_argument("--json", action="store_true",
+                             help="emit the cache statistics as JSON for scripts")
+    cache_stats.set_defaults(handler=_cmd_cache_stats)
 
     submit = subparsers.add_parser("submit", help="schedule a QASM circuit against a generated fleet")
     submit.add_argument("circuit", help="path to an OpenQASM 2.0 file")

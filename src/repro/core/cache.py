@@ -49,6 +49,7 @@ __all__ = [
     "EmbeddingCache",
     "IdealDistributionCache",
     "PlanCache",
+    "MergedProgramCache",
     "structural_circuit_hash",
     "pattern_hash",
     "calibration_fingerprint",
@@ -56,6 +57,7 @@ __all__ = [
     "embedding_cache",
     "ideal_distribution_cache",
     "plan_cache",
+    "merged_program_cache",
     "clear_all_caches",
     "all_cache_stats",
 ]
@@ -429,12 +431,71 @@ class PlanCache:
         return self._store.stats
 
 
+class MergedProgramCache:
+    """Memoized :class:`~repro.plans.schedule.MergedExecutionProgram` bundles.
+
+    Keys combine the *multiset* of member tableau-program digests (sorted, so
+    batch arrival order never matters), the sorted device names the batch is
+    bound for, and those devices' calibration fingerprints.  The merged
+    artifact itself is noise-model-independent — noise is drawn at execution
+    time — but the fingerprints keep a calibration-drift cycle from replaying
+    a batch composition decided against stale device data, mirroring every
+    other fleet cache.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self._store = LRUCache(maxsize)
+
+    @staticmethod
+    def key(
+        member_digests: Iterable[str],
+        device_names: Iterable[str],
+        fingerprints: Iterable[str],
+    ) -> Tuple[Hashable, ...]:
+        """Build the (sorted digests, sorted devices, sorted fingerprints) key."""
+        return (
+            tuple(sorted(member_digests)),
+            tuple(sorted(device_names)),
+            tuple(sorted(fingerprints)),
+        )
+
+    def get(self, key: Tuple[Hashable, ...]) -> Any:
+        """Cached merged program or ``None`` (a miss)."""
+        return self._store.get(key, None)
+
+    def put(self, key: Tuple[Hashable, ...], program: Any) -> None:
+        """Store a merged program."""
+        self._store.put(key, program)
+
+    def clear(self) -> None:
+        """Drop every cached merged program."""
+        self._store.clear()
+
+    def resize(self, maxsize: int) -> None:
+        """Re-bound the underlying store."""
+        self._store.resize(maxsize)
+
+    @property
+    def maxsize(self) -> int:
+        """Current bound of the underlying store."""
+        return self._store.maxsize
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss statistics of the underlying store."""
+        return self._store.stats
+
+
 # --------------------------------------------------------------------------- #
 # Shared instances
 # --------------------------------------------------------------------------- #
 _EMBEDDING_CACHE = EmbeddingCache()
 _IDEAL_DISTRIBUTION_CACHE = IdealDistributionCache()
 _PLAN_CACHE = PlanCache()
+_MERGED_PROGRAM_CACHE = MergedProgramCache()
 
 
 def embedding_cache() -> EmbeddingCache:
@@ -452,11 +513,17 @@ def plan_cache() -> PlanCache:
     return _PLAN_CACHE
 
 
+def merged_program_cache() -> MergedProgramCache:
+    """The process-wide (fleet-wide) cross-job merged-program cache."""
+    return _MERGED_PROGRAM_CACHE
+
+
 def clear_all_caches() -> None:
     """Empty every shared cache (benchmarks call this between cold runs)."""
     _EMBEDDING_CACHE.clear()
     _IDEAL_DISTRIBUTION_CACHE.clear()
     _PLAN_CACHE.clear()
+    _MERGED_PROGRAM_CACHE.clear()
 
 
 def all_cache_stats() -> Dict[str, Dict[str, float]]:
@@ -465,4 +532,5 @@ def all_cache_stats() -> Dict[str, Dict[str, float]]:
         "embedding": _EMBEDDING_CACHE.stats.as_dict(),
         "ideal_distribution": _IDEAL_DISTRIBUTION_CACHE.stats.as_dict(),
         "plan": _PLAN_CACHE.stats.as_dict(),
+        "batch": _MERGED_PROGRAM_CACHE.stats.as_dict(),
     }

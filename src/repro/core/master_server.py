@@ -81,6 +81,16 @@ class MasterServer:
         return SubmittedJob(job=job, image=image, manifest=spec.to_manifest())
 
     # ------------------------------------------------------------------ #
+    def execution_seed(self, job_name: str, device_name: str):
+        """The deterministic execution seed of one (job, device) pairing.
+
+        Public because the cross-job batch path must pre-execute a job with
+        exactly the seed :meth:`execute_bound_job` will later look up — the
+        bit-identity contract between merged and solo execution hangs on the
+        two call sites deriving the same stream.
+        """
+        return derive_seed(self._seed, "master-execute", job_name, device_name)
+
     def execute_bound_job(
         self, job_name: str, transpile_seed: SeedLike = None, plan=None
     ) -> SimulationResult:
@@ -122,7 +132,7 @@ class MasterServer:
                 result = node.execute(
                     compiled.circuit,
                     shots=job.spec.shots,
-                    seed=derive_seed(self._seed, "master-execute", job_name, node.backend.name),
+                    seed=self.execution_seed(job_name, node.backend.name),
                     precompiled=plan.execution,
                 )
             else:
@@ -141,7 +151,7 @@ class MasterServer:
                 result = node.execute(
                     compiled.circuit,
                     shots=job.spec.shots,
-                    seed=derive_seed(self._seed, "master-execute", job_name, node.backend.name),
+                    seed=self.execution_seed(job_name, node.backend.name),
                 )
         except Exception as error:  # noqa: BLE001 - report any execution failure on the job
             job.mark_failed(str(error))

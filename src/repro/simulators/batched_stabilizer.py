@@ -166,12 +166,25 @@ class BatchedStabilizerState:
         raise StabilizerError(f"Unknown Pauli '{pauli}'")
 
     def apply_pauli(self, pauli: str, qubit: int, shot_indices: Optional[np.ndarray] = None) -> None:
-        """Apply a Pauli error to ``qubit`` of the selected shots (all by default)."""
+        """Apply a Pauli error to ``qubit`` of the selected shots (all by default).
+
+        ``shot_indices`` selects which shots receive the error: ``None`` (all
+        shots), an integer index array, or a boolean mask of shape
+        ``(shots,)`` — the form the cross-job demux layer produces natively.
+        """
         mask = self.pauli_flip_mask(pauli, qubit)
         if shot_indices is None:
             self._r ^= mask[None, :]
+            return
+        selector = np.asarray(shot_indices)
+        if selector.dtype == np.bool_:
+            if selector.shape != (self.shots,):
+                raise StabilizerError(
+                    f"Boolean shot mask must have shape ({self.shots},), got {selector.shape}"
+                )
+            self._r ^= selector.astype(np.uint8)[:, None] & mask[None, :]
         else:
-            self._r[shot_indices] ^= mask[None, :]
+            self._r[selector] ^= mask[None, :]
 
     # ------------------------------------------------------------------ #
     # Measurement

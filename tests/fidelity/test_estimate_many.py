@@ -1,0 +1,76 @@
+"""The batched fleet-ranking canary path: ``estimate_many`` vs solo ``estimate``.
+
+``estimate_many`` is the scheduling-tick form of the canary protocol — one
+canary build, one ideal distribution, memoized per-device transpiles and a
+single merged noisy execution.  The whole point is that none of that changes
+the answer: every report must be *identical* to the per-device ``estimate``
+call it replaces.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.backends import generate_fleet
+from repro.circuits.random_circuits import random_clifford_circuit
+from repro.core.cache import clear_all_caches
+from repro.fidelity import CliffordCanaryEstimator
+from repro.utils.exceptions import FidelityEstimationError
+
+
+@pytest.fixture(autouse=True)
+def _cold_caches():
+    clear_all_caches()
+    yield
+    clear_all_caches()
+
+
+@pytest.fixture(scope="module")
+def wide_fleet():
+    return [b for b in generate_fleet(limit=12, seed=7) if b.num_qubits >= 20][:4]
+
+
+def _circuit(seed=3):
+    return random_clifford_circuit(14, 8, seed=seed, measure=True, name=f"many-{seed}")
+
+
+class TestEstimateMany:
+    def test_reports_identical_to_solo_estimate(self, wide_fleet):
+        circuit = _circuit()
+        batched = CliffordCanaryEstimator(shots=128, seed=9).estimate_many(circuit, wide_fleet)
+        solo_estimator = CliffordCanaryEstimator(shots=128, seed=9)
+        for backend, report in zip(wide_fleet, batched):
+            solo = solo_estimator.estimate(circuit, backend)
+            assert dataclasses.asdict(report) == dataclasses.asdict(solo)
+
+    def test_reports_come_back_in_backends_order(self, wide_fleet):
+        circuit = _circuit(5)
+        reversed_fleet = list(reversed(wide_fleet))
+        reports = CliffordCanaryEstimator(shots=64, seed=2).estimate_many(circuit, reversed_fleet)
+        assert [r.device for r in reports] == [b.name for b in reversed_fleet]
+
+    def test_empty_fleet_returns_empty(self):
+        assert CliffordCanaryEstimator(shots=64, seed=2).estimate_many(_circuit(), []) == []
+
+    def test_infeasible_device_raises_like_estimate(self, wide_fleet):
+        wide = random_clifford_circuit(200, 2, seed=1, measure=True, name="too-wide")
+        with pytest.raises(FidelityEstimationError):
+            CliffordCanaryEstimator(shots=64, seed=2).estimate_many(wide, wide_fleet)
+
+    def test_second_tick_reuses_compiled_canaries(self, wide_fleet):
+        circuit = _circuit(8)
+        estimator = CliffordCanaryEstimator(shots=64, seed=4)
+        first = estimator.estimate_many(circuit, wide_fleet)
+        second = estimator.estimate_many(circuit, wide_fleet)
+        assert [dataclasses.asdict(r) for r in first] == [dataclasses.asdict(r) for r in second]
+        # The transpile memo was populated on the first tick.
+        assert len(estimator._device_plans) == len(wide_fleet)
+
+    def test_rank_backends_routes_through_the_batched_path(self, wide_fleet):
+        circuit = _circuit(6)
+        estimator = CliffordCanaryEstimator(shots=64, seed=4)
+        ranked = estimator.rank_backends(circuit, wide_fleet)
+        fidelities = [r.canary_fidelity for r in ranked]
+        assert fidelities == sorted(fidelities, reverse=True)
+        # rank_backends shares estimate_many's transpile memo.
+        assert len(estimator._device_plans) == len(wide_fleet)

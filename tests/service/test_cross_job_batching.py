@@ -1,0 +1,171 @@
+"""Service-level cross-job batching: one merged run per device per tick.
+
+The concurrent runtime drains each device lane in gulps of up to
+``merge_batch_size`` groups; warm-plan stabilizer jobs in a gulp execute as
+one merged sign-matrix evolution and hand their results to the per-job run
+path through a :class:`~repro.simulators.noisy.BatchExecutionContext`.  The
+acceptance property is *bit-identity*: every job's counts are exactly what
+the unbatched per-job dispatch produces under the same seeds.
+"""
+
+import pytest
+
+from repro.backends import generate_fleet
+from repro.circuits.random_circuits import random_clifford_circuit
+from repro.core.cache import all_cache_stats, clear_all_caches
+from repro.service import (
+    ClusterEngine,
+    DeviceLatencyEngine,
+    OrchestratorEngine,
+    QRIOService,
+)
+from repro.simulators.noisy import BatchExecutionContext, precompile_execution
+from repro.simulators.result import SimulationResult
+from repro.utils.exceptions import ServiceError
+
+#: Wide devices so the transpiled Clifford jobs stay on the stabilizer engine.
+FLEET_SEED = 7
+
+
+def _wide_fleet(count=3):
+    return [b for b in generate_fleet(limit=12, seed=FLEET_SEED) if b.num_qubits >= 20][:count]
+
+
+def _clifford_jobs(count=6):
+    return [
+        random_clifford_circuit(14, 8, seed=index, measure=True, name=f"xjob-{index}")
+        for index in range(count)
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _cold_caches():
+    clear_all_caches()
+    yield
+    clear_all_caches()
+
+
+def _run_warm_workload(engine_factory, merge_batch_size):
+    """Warm the plan cache, then resubmit and collect the warm-pass results."""
+    circuits = _clifford_jobs()
+    with QRIOService(
+        _wide_fleet(), engine_factory(), workers=2, merge_batch_size=merge_batch_size
+    ) as service:
+        for index, circuit in enumerate(circuits):
+            service.submit(circuit, shots=256, name=f"warm-{index}")
+        service.process()
+        handles = service.submit_batch(circuits, shots=256)
+        service.process()
+        return [(h.result().device, h.result().counts) for h in handles]
+
+
+class TestMergedEqualsSolo:
+    @pytest.mark.parametrize(
+        "engine_factory",
+        [
+            lambda: OrchestratorEngine(seed=11, canary_shots=64),
+            lambda: ClusterEngine(seed=11, canary_shots=64),
+            lambda: DeviceLatencyEngine(ClusterEngine(seed=11, canary_shots=64), latency_s=0.0),
+        ],
+        ids=["orchestrator", "cluster", "latency-wrapped"],
+    )
+    def test_batched_warm_pass_is_bit_identical_to_unbatched(self, engine_factory):
+        solo = _run_warm_workload(engine_factory, merge_batch_size=1)
+        clear_all_caches()
+        merged = _run_warm_workload(engine_factory, merge_batch_size=8)
+        assert merged == solo
+
+    def test_batched_pass_actually_merges(self):
+        _run_warm_workload(lambda: OrchestratorEngine(seed=11, canary_shots=64), 8)
+        stats = all_cache_stats()["batch"]
+        assert stats["misses"] + stats["hits"] > 0
+
+
+class TestMergeBatchSizeKnob:
+    def test_default_and_explicit_values(self):
+        service = QRIOService(_wide_fleet(1), OrchestratorEngine(seed=3, canary_shots=64))
+        assert service.merge_batch_size == 8
+        sized = QRIOService(
+            _wide_fleet(1),
+            OrchestratorEngine(seed=3, canary_shots=64),
+            merge_batch_size=3,
+        )
+        assert sized.merge_batch_size == 3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(ServiceError, match="merge_batch_size"):
+            QRIOService(
+                _wide_fleet(1),
+                OrchestratorEngine(seed=3, canary_shots=64),
+                merge_batch_size=bad,
+            )
+
+    def test_cache_stats_exposes_the_batch_row(self):
+        service = QRIOService(_wide_fleet(1), OrchestratorEngine(seed=3, canary_shots=64))
+        stats = service.cache_stats()
+        assert "batch" in stats
+        assert set(stats["batch"]) >= {"hits", "misses", "evictions"}
+
+    def test_engine_prepare_failure_degrades_to_solo(self):
+        class ExplodingEngine(OrchestratorEngine):
+            def prepare_run_batch(self, placements):
+                raise RuntimeError("batching broke")
+
+        circuits = _clifford_jobs(4)
+        with QRIOService(
+            _wide_fleet(), ExplodingEngine(seed=11, canary_shots=64), workers=2
+        ) as service:
+            for index, circuit in enumerate(circuits):
+                service.submit(circuit, shots=128, name=f"warm-{index}")
+            service.process()
+            handles = service.submit_batch(circuits, shots=128)
+            service.process()
+            assert all(handle.result().counts for handle in handles)
+
+
+class TestBatchExecutionContext:
+    def _result(self):
+        return SimulationResult(counts={"0": 4}, shots=4, metadata={})
+
+    def _bundle(self):
+        circuit = random_clifford_circuit(14, 6, seed=1, measure=True, name="ctx")
+        return precompile_execution(circuit)
+
+    def test_no_context_active_by_default(self):
+        assert BatchExecutionContext.current() is None
+
+    def test_activate_take_deactivate_cycle(self):
+        context = BatchExecutionContext()
+        bundle = self._bundle()
+        context.add(bundle, 5, 4, self._result())
+        context.activate()
+        try:
+            assert BatchExecutionContext.current() is context
+            assert context.take(bundle, 5, 4).counts == {"0": 4}
+            # Consumed exactly once.
+            assert context.take(bundle, 5, 4) is None
+            assert len(context) == 0
+        finally:
+            context.deactivate()
+        assert BatchExecutionContext.current() is None
+
+    def test_matching_requires_identity_seed_and_shots(self):
+        context = BatchExecutionContext()
+        bundle = self._bundle()
+        other = self._bundle()
+        context.add(bundle, 5, 4, self._result())
+        assert context.take(other, 5, 4) is None  # equal content, different object
+        assert context.take(bundle, 6, 4) is None
+        assert context.take(bundle, 5, 8) is None
+        assert context.take(bundle, 5, 4) is not None
+
+    def test_deactivate_only_clears_its_own_installation(self):
+        first = BatchExecutionContext()
+        second = BatchExecutionContext()
+        first.activate()
+        try:
+            second.deactivate()  # not current: must not clobber first
+            assert BatchExecutionContext.current() is first
+        finally:
+            first.deactivate()

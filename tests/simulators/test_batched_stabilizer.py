@@ -85,6 +85,45 @@ class TestBatchedStabilizerState:
             BatchedStabilizerState(2, shots=0)
 
 
+class TestApplyPauliShotSelectors:
+    """Regression: boolean masks select shots, they are not index arrays."""
+
+    @staticmethod
+    def _plus_state(shots):
+        state = BatchedStabilizerState(1, shots=shots)
+        state.apply_gate("h", (0,))
+        return state
+
+    def test_boolean_mask_matches_equivalent_index_array(self):
+        mask = np.zeros(16, dtype=bool)
+        mask[[2, 3, 11]] = True
+        by_mask = BatchedStabilizerState(2, shots=16)
+        by_index = BatchedStabilizerState(2, shots=16)
+        by_mask.apply_pauli("z", 0, shot_indices=mask)
+        by_index.apply_pauli("z", 0, shot_indices=np.nonzero(mask)[0])
+        assert np.array_equal(by_mask._r, by_index._r)
+
+    def test_boolean_mask_flips_only_selected_shots(self):
+        # A Z error on |+> flips the measured X-basis outcome, so the flip
+        # pattern is directly observable: prepare |0>, X-error a subset, and
+        # the error shows up exactly on the masked shots.
+        state = BatchedStabilizerState(1, shots=8)
+        mask = np.array([True, False, True, False, False, True, False, False])
+        state.apply_pauli("x", 0, shot_indices=mask)
+        outcome = state.measure(0, ensure_generator(0))
+        assert np.array_equal(outcome.astype(bool), mask)
+
+    def test_wrong_shape_boolean_mask_rejected(self):
+        state = BatchedStabilizerState(1, shots=8)
+        with pytest.raises(StabilizerError):
+            state.apply_pauli("x", 0, shot_indices=np.ones(4, dtype=bool))
+
+    def test_none_selector_hits_every_shot(self):
+        state = BatchedStabilizerState(1, shots=8)
+        state.apply_pauli("x", 0, shot_indices=None)
+        assert state.measure(0, ensure_generator(0)).all()
+
+
 class TestDeterministicFastPath:
     def test_probe_solves_bv_without_batching(self):
         circuit = bernstein_vazirani("1101")
